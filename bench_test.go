@@ -1,0 +1,195 @@
+package halfprice
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its artifact on a
+// reduced instruction budget (cmd/figures produces the full-size tables)
+// and reports the headline number as a custom metric, so
+// `go test -bench=. -benchmem` reproduces the whole evaluation and prints
+// the same summary values the paper reports.
+
+import (
+	"testing"
+
+	"halfprice/internal/experiments"
+)
+
+// benchOpts keeps the per-iteration work bounded while still warming the
+// predictors and caches past their cold-start transients.
+func benchOpts() Options {
+	return Options{Insts: 50000}
+}
+
+func reportSeriesMean(b *testing.B, res *Result, label, metric string) {
+	b.Helper()
+	if m, ok := res.Mean(label); ok {
+		b.ReportMetric(m, metric)
+	}
+}
+
+func BenchmarkTable2BaseIPC(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Table2BaseIPC()
+	}
+	reportSeriesMean(b, res, "IPC-4w", "ipc4w")
+	reportSeriesMean(b, res, "IPC-8w", "ipc8w")
+}
+
+func BenchmarkFigure2Formats(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure2Formats()
+	}
+	reportSeriesMean(b, res, "2src-format", "frac2srcfmt")
+}
+
+func BenchmarkFigure3Breakdown(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure3Breakdown()
+	}
+	reportSeriesMean(b, res, "2-source", "frac2src")
+}
+
+func BenchmarkFigure4ReadyAtInsert(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure4ReadyAtInsert()
+	}
+	reportSeriesMean(b, res, "0-ready", "frac0ready")
+}
+
+func BenchmarkFigure6WakeupSlack(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure6WakeupSlack()
+	}
+	reportSeriesMean(b, res, "slack-0", "fracsimultaneous")
+}
+
+func BenchmarkTable3OperandOrder(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Table3OperandOrder()
+	}
+	reportSeriesMean(b, res, "same-4w", "ordersame4w")
+	reportSeriesMean(b, res, "left-4w", "lastleft4w")
+}
+
+func BenchmarkFigure7PredictorAccuracy(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure7PredictorAccuracy()
+	}
+	reportSeriesMean(b, res, "acc-1024", "acc1k")
+	reportSeriesMean(b, res, "acc-128", "acc128")
+}
+
+func BenchmarkFigure10RegAccess(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure10RegAccess()
+	}
+	reportSeriesMean(b, res, "2-port-need", "frac2port")
+}
+
+func BenchmarkFigure14SeqWakeup(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure14SeqWakeup()
+	}
+	reportSeriesMean(b, res, "seq-wakeup-4w", "seqwakeup4w")
+	reportSeriesMean(b, res, "tag-elim-8w", "tagelim8w")
+	reportSeriesMean(b, res, "no-pred-8w", "nopred8w")
+}
+
+func BenchmarkFigure15SeqRegAccess(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure15SeqRegAccess()
+	}
+	reportSeriesMean(b, res, "seq-rf-4w", "seqrf4w")
+	reportSeriesMean(b, res, "crossbar-4w", "crossbar4w")
+}
+
+func BenchmarkFigure16Combined(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).Figure16Combined()
+	}
+	reportSeriesMean(b, res, "combined-4w", "combined4w")
+	reportSeriesMean(b, res, "combined-8w", "combined8w")
+}
+
+func BenchmarkTimingScheduler(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		sp = SchedulerDelayPs(64, 4, false) - SchedulerDelayPs(64, 4, true)
+	}
+	b.ReportMetric(sp, "ps-saved")
+}
+
+func BenchmarkTimingRegfile(b *testing.B) {
+	var sp float64
+	for i := 0; i < b.N; i++ {
+		sp = RegfileAccessNs(160, 8, false) - RegfileAccessNs(160, 8, true)
+	}
+	b.ReportMetric(sp, "ns-saved")
+}
+
+// Ablation benches: the design-choice studies of DESIGN.md §4 beyond the
+// paper's own artifacts.
+
+func BenchmarkAblationSlowBus(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).AblationSlowBus()
+	}
+	reportSeriesMean(b, res, "slow-1cy", "slow1")
+	reportSeriesMean(b, res, "slow-3cy", "slow3")
+}
+
+func BenchmarkAblationRecovery(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).AblationRecovery()
+	}
+	reportSeriesMean(b, res, "seqw-selective", "seqwsel")
+}
+
+func BenchmarkAblationPredictors(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).AblationPredictors()
+	}
+	reportSeriesMean(b, res, "bimodal-1k-acc", "bimodalacc")
+	reportSeriesMean(b, res, "twolevel-1k-acc", "twolevelacc")
+}
+
+func BenchmarkAblationExtensions(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).AblationExtensions()
+	}
+	reportSeriesMean(b, res, "everything", "operandcentric")
+}
+
+func BenchmarkAblationFrequency(b *testing.B) {
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.NewRunner(benchOpts()).AblationFrequency()
+	}
+	reportSeriesMean(b, res, "perf-ratio", "perfratio")
+}
+
+// BenchmarkPipelineThroughput measures raw simulator speed (simulated
+// instructions per wall-clock operation) — the engineering metric for the
+// simulator itself rather than a paper artifact.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	cfg := Config4Wide()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Simulate(cfg, "gzip", 50000)
+	}
+	b.ReportMetric(50000, "insts/op")
+}

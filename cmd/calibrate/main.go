@@ -1,0 +1,58 @@
+// Command calibrate prints the workload-calibration dashboard: every
+// synthetic profile's measured behaviour next to the paper's reference
+// values, with deviations. Use it after editing
+// internal/trace/profiles.go to re-fit a benchmark.
+//
+// Usage:
+//
+//	calibrate [-insts n] [-bench list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"halfprice"
+	"halfprice/internal/experiments"
+	"halfprice/internal/trace"
+)
+
+func main() {
+	insts := flag.Uint64("insts", 300000, "instructions per run")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset")
+	flag.Parse()
+
+	opts := halfprice.Options{Insts: *insts}
+	benches := halfprice.Benchmarks()
+	if *benchList != "" {
+		benches = strings.Split(*benchList, ",")
+		opts.Benchmarks = benches
+	}
+	r := experiments.NewRunner(opts)
+
+	fmt.Printf("%-8s %18s %18s %7s %7s %7s %7s %7s %7s\n",
+		"bench", "IPC4 (paper,dev)", "IPC8 (paper,dev)", "mispr", "2srcF", "2src", "0rdy", "simult", "same")
+	for _, b := range benches {
+		paper, ok := trace.BaseIPCPaper[b]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "calibrate: unknown benchmark %q\n", b)
+			os.Exit(2)
+		}
+		s4 := r.Base(b, 4)
+		s8 := r.Base(b, 8)
+		fmt.Printf("%-8s %5.2f (%4.2f,%+4.0f%%) %5.2f (%4.2f,%+4.0f%%) %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+			b,
+			s4.IPC(), paper[0], 100*(s4.IPC()-paper[0])/paper[0],
+			s8.IPC(), paper[1], 100*(s8.IPC()-paper[1])/paper[1],
+			100*s4.MispredictRate(),
+			100*s4.Frac2SourceFormat(),
+			100*s4.Frac2Source(),
+			100*s4.FracTwoPending(),
+			100*s4.FracSimultaneous(),
+			100*s4.OrderSameFrac())
+	}
+	fmt.Println()
+	fmt.Println("paper bands: 2srcF 18-36%, 2src 6-23%, 0rdy 4-16%, simult <3%, same 81-98%")
+}

@@ -1,0 +1,114 @@
+// Command figures regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	figures [flags]
+//
+//	-fig id      which artifact: all (default), t2, 2, 3, 4, 6, t3, 7,
+//	             10, 14, 15, 16, timing
+//	-insts n     dynamic instructions per benchmark run (default 500000)
+//	-bench list  comma-separated benchmark subset (default: all twelve)
+//	-kernels     drive the execution-driven assembly kernels instead of
+//	             the calibrated synthetic traces
+//
+// Output is one text table per artifact in the paper's layout, with a
+// MEAN row appended; the notes line records the paper's reference values.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"halfprice"
+	"halfprice/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "artifact: all|t2|2|3|4|6|t3|7|10|14|15|16|timing|a1..a5|ablations")
+	insts := flag.Uint64("insts", 500000, "instructions per benchmark run")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset")
+	kernels := flag.Bool("kernels", false, "use execution-driven kernels")
+	format := flag.String("format", "table", "output format: table|csv|json")
+	flag.Parse()
+
+	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels}
+	if *benchList != "" {
+		opts.Benchmarks = strings.Split(*benchList, ",")
+		for _, b := range opts.Benchmarks {
+			if _, err := halfprice.BenchmarkProfile(b); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(2)
+			}
+		}
+	}
+	r := halfprice.NewRunner(opts)
+
+	artifacts := map[string]func() *halfprice.Result{
+		"t2":     r.Table2BaseIPC,
+		"2":      r.Figure2Formats,
+		"3":      r.Figure3Breakdown,
+		"4":      r.Figure4ReadyAtInsert,
+		"6":      r.Figure6WakeupSlack,
+		"t3":     r.Table3OperandOrder,
+		"7":      r.Figure7PredictorAccuracy,
+		"10":     r.Figure10RegAccess,
+		"14":     r.Figure14SeqWakeup,
+		"15":     r.Figure15SeqRegAccess,
+		"16":     r.Figure16Combined,
+		"timing": experiments.TimingClaims,
+		"a1":     r.AblationSlowBus,
+		"a2":     r.AblationRecovery,
+		"a3":     r.AblationPredictors,
+		"a4":     r.AblationExtensions,
+		"a5":     r.AblationFrequency,
+		"a6":     r.AblationEnergy,
+		"a7":     r.AblationSelect,
+		"a8":     r.AblationSchedulerDesigns,
+		"a9":     r.AblationBranchNoise,
+		"a10":    r.AblationPrefetch,
+		"cpi":    r.CPIStacks,
+	}
+
+	emit := func(res *halfprice.Result) {
+		switch *format {
+		case "table":
+			fmt.Println(res)
+		case "csv":
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+		case "json":
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+
+	switch *fig {
+	case "all":
+		for _, res := range r.All() {
+			emit(res)
+		}
+	case "ablations":
+		for _, res := range r.Ablations() {
+			emit(res)
+		}
+	default:
+		f, ok := artifacts[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown artifact %q\n", *fig)
+			os.Exit(2)
+		}
+		emit(f())
+	}
+}

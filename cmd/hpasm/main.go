@@ -1,0 +1,149 @@
+// Command hpasm assembles and runs HPA64 programs.
+//
+// Usage:
+//
+//	hpasm run file.s        assemble and execute; print output and r0
+//	hpasm disasm file.s     assemble and print the disassembly
+//	hpasm trace file.s      execute and print one line per instruction
+//	hpasm sim file.s        run on the timing pipeline; print IPC
+//	hpasm pipeview file.s   render the first instructions' pipeline chart
+//	                        (F fetch, D dispatch, I issue, E done, C commit,
+//	                        x squash)
+//	hpasm record file.s     execute and write a binary trace to -o
+//	hpasm simtrace file.tr  replay a recorded trace on the timing pipeline
+//
+//	-max n                  instruction budget (default 10,000,000)
+//	-width n                machine width for sim/pipeview (4 or 8)
+//	-n k                    instructions shown by pipeview (default 48)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"halfprice"
+	"halfprice/internal/asm"
+	"halfprice/internal/trace"
+	"halfprice/internal/uarch"
+	"halfprice/internal/vm"
+)
+
+func main() {
+	maxInsts := flag.Uint64("max", 10_000_000, "instruction budget")
+	width := flag.Int("width", 4, "machine width for sim")
+	pvInsts := flag.Int("n", 48, "instructions shown by pipeview")
+	outPath := flag.String("o", "out.tr", "output trace for record")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		usage()
+	}
+	cmd, path := flag.Arg(0), flag.Arg(1)
+
+	if cmd == "simtrace" {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		fs, err := trace.OpenFile(f)
+		if err != nil {
+			fail(err)
+		}
+		st := uarch.New(configFor(*width), fs).Run()
+		if fs.Err() != nil {
+			fail(fs.Err())
+		}
+		fmt.Printf("replayed %d instructions in %d cycles: IPC %.3f\n",
+			st.Committed, st.Cycles, st.IPC())
+		return
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	switch cmd {
+	case "record":
+		out, err := os.Create(*outPath)
+		if err != nil {
+			fail(err)
+		}
+		n, err := trace.WriteFile(out, trace.NewVMStream(vm.New(prog), *maxInsts))
+		if err != nil {
+			fail(err)
+		}
+		if err := out.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %d instructions to %s\n", n, *outPath)
+		return
+	}
+
+	switch cmd {
+	case "disasm":
+		fmt.Print(prog.Disassemble())
+	case "run":
+		m := vm.New(prog)
+		n, err := m.Run(*maxInsts)
+		if err != nil {
+			fail(err)
+		}
+		if m.Output.Len() > 0 {
+			fmt.Printf("output: %q\n", m.Output.String())
+		}
+		fmt.Printf("executed %d instructions, halted=%v, r0=%d\n", n, m.Halted, int64(m.Regs[0]))
+	case "trace":
+		m := vm.New(prog)
+		for !m.Halted {
+			rec, err := m.Step()
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("%8d  %#08x  %v\n", rec.Seq, rec.PC, rec.Inst)
+			if rec.Seq+1 >= *maxInsts {
+				break
+			}
+		}
+	case "sim":
+		st := uarch.New(configFor(*width), trace.NewVMStream(vm.New(prog), *maxInsts)).Run()
+		fmt.Printf("committed %d instructions in %d cycles: IPC %.3f\n",
+			st.Committed, st.Cycles, st.IPC())
+	case "pipeview":
+		sim := uarch.New(configFor(*width), trace.NewVMStream(vm.New(prog), *maxInsts))
+		pv := uarch.NewPipeview(*pvInsts)
+		sim.SetTracer(pv)
+		sim.Run()
+		if err := pv.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func configFor(width int) halfprice.Config {
+	switch width {
+	case 4:
+		return halfprice.Config4Wide()
+	case 8:
+		return halfprice.Config8Wide()
+	}
+	fail(fmt.Errorf("width must be 4 or 8"))
+	panic("unreachable")
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hpasm [flags] run|disasm|trace|sim file.s")
+	os.Exit(2)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hpasm:", err)
+	os.Exit(1)
+}

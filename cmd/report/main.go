@@ -1,0 +1,62 @@
+// Command report regenerates the complete evaluation — every paper
+// artifact plus the repository's ablation studies — as a single markdown
+// document.
+//
+// Usage:
+//
+//	report [-o report.md] [-insts n] [-kernels] [-skip-ablations]
+//
+// The output is self-contained: run it after any model change to get a
+// fresh paper-vs-measured report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"halfprice"
+)
+
+func main() {
+	out := flag.String("o", "report.md", "output markdown file")
+	insts := flag.Uint64("insts", 300000, "instructions per benchmark run")
+	kernels := flag.Bool("kernels", false, "use execution-driven kernels")
+	skipAbl := flag.Bool("skip-ablations", false, "omit the ablation studies")
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	r := halfprice.NewRunner(halfprice.Options{Insts: *insts, UseKernels: *kernels})
+
+	fmt.Fprintf(f, "# Half-Price Architecture — regenerated evaluation\n\n")
+	fmt.Fprintf(f, "Generated %s · %d instructions/benchmark · workloads: %s\n\n",
+		time.Now().Format(time.RFC3339), *insts, workloadKind(*kernels))
+	fmt.Fprintf(f, "## Paper artifacts\n\n")
+	start := time.Now()
+	for _, res := range r.All() {
+		fmt.Fprintln(f, res.Markdown())
+		fmt.Fprintf(os.Stderr, "report: %-10s done (%s elapsed)\n", res.ID, time.Since(start).Round(time.Second))
+	}
+	if !*skipAbl {
+		fmt.Fprintf(f, "## Ablation studies\n\n")
+		for _, res := range r.Ablations() {
+			fmt.Fprintln(f, res.Markdown())
+			fmt.Fprintf(os.Stderr, "report: %-12s done (%s elapsed)\n", res.ID, time.Since(start).Round(time.Second))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "report: wrote %s\n", *out)
+}
+
+func workloadKind(kernels bool) string {
+	if kernels {
+		return "execution-driven assembly kernels"
+	}
+	return "calibrated synthetic traces"
+}

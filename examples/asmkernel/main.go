@@ -1,0 +1,60 @@
+// Asmkernel: write an HPA64 assembly program, run it functionally, and
+// replay it on the timing pipeline — the execution-driven path from
+// source code to IPC.
+package main
+
+import (
+	"fmt"
+
+	"halfprice"
+)
+
+// A string-hashing kernel: djb2 over a byte buffer, repeated. It mixes
+// byte loads, shifts, and data-dependent accumulation — a typical
+// integer-code inner loop.
+const source = `
+	.data
+buf:	.asciz "half-price architecture: two operands for the price of one"
+	.text
+	ldi r17, 2000          # repetitions
+	ldi r0, 0
+outer:
+	ldi r16, buf
+	ldi r2, 5381
+hash:
+	ldbu r3, 0(r16)
+	beqz r3, done
+	slli r4, r2, 5
+	add r2, r4, r2
+	add r2, r2, r3
+	addi r16, r16, 1
+	b hash
+done:
+	xor r0, r0, r2
+	subi r17, r17, 1
+	bnez r17, outer
+	halt
+`
+
+func main() {
+	for _, scheme := range []struct {
+		name string
+		mut  func(*halfprice.Config)
+	}{
+		{"full-price baseline", func(c *halfprice.Config) {}},
+		{"sequential wakeup", func(c *halfprice.Config) { c.Wakeup = halfprice.WakeupSequential }},
+		{"half-price combined", func(c *halfprice.Config) {
+			c.Wakeup = halfprice.WakeupSequential
+			c.Regfile = halfprice.RFSequential
+		}},
+	} {
+		cfg := halfprice.Config4Wide()
+		scheme.mut(&cfg)
+		st, err := halfprice.SimulateProgram(cfg, source, 0)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s %8d insts  %8d cycles  IPC %.3f\n",
+			scheme.name, st.Committed, st.Cycles, st.IPC())
+	}
+}

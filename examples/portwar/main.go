@@ -1,0 +1,45 @@
+// Portwar: the register-file port-reduction study of the paper's §4 and
+// Figure 15. Compares all four register-file organisations across the
+// benchmark suite, and reports the access-time/area model behind the
+// motivation.
+package main
+
+import (
+	"fmt"
+
+	"halfprice"
+)
+
+func main() {
+	const insts = 150000
+
+	fmt.Println("Register file organisations, 4-wide machine, normalised IPC")
+	fmt.Printf("%-8s %10s %10s %10s\n", "bench", "seq-rf", "extra-stg", "crossbar")
+	schemes := []struct {
+		name string
+		rf   halfprice.RegfileScheme
+	}{
+		{"seq-rf", halfprice.RFSequential},
+		{"extra-stg", halfprice.RFExtraStage},
+		{"crossbar", halfprice.RFHalfCrossbar},
+	}
+	for _, bench := range halfprice.Benchmarks() {
+		base := halfprice.Simulate(halfprice.Config4Wide(), bench, insts)
+		row := make([]float64, len(schemes))
+		for i, s := range schemes {
+			cfg := halfprice.Config4Wide()
+			cfg.Regfile = s.rf
+			row[i] = halfprice.Simulate(cfg, bench, insts).IPC() / base.IPC()
+		}
+		fmt.Printf("%-8s %10.4f %10.4f %10.4f\n", bench, row[0], row[1], row[2])
+	}
+
+	fmt.Println()
+	fmt.Println("Access-time model (160 physical registers):")
+	for _, width := range []int{4, 8} {
+		base := halfprice.RegfileAccessNs(160, width, false)
+		half := halfprice.RegfileAccessNs(160, width, true)
+		fmt.Printf("  %d-wide: %d read ports %.2f ns -> %d read ports %.2f ns (%.1f%% faster)\n",
+			width, 2*width, base, width, half, 100*(base-half)/base)
+	}
+}

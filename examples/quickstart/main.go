@@ -1,0 +1,33 @@
+// Quickstart: simulate one benchmark on the full-price baseline and on
+// the half-price machine (sequential wakeup + sequential register access)
+// and compare, reproducing the paper's headline in a dozen lines.
+package main
+
+import (
+	"fmt"
+
+	"halfprice"
+)
+
+func main() {
+	const bench = "crafty"
+	const insts = 300000
+
+	base := halfprice.Simulate(halfprice.Config4Wide(), bench, insts)
+
+	cfg := halfprice.Config4Wide()
+	cfg.Wakeup = halfprice.WakeupSequential // one fast-bus comparator per entry
+	cfg.Regfile = halfprice.RFSequential    // one register read port per slot
+	hp := halfprice.Simulate(cfg, bench, insts)
+
+	fmt.Printf("%s, 4-wide, %d instructions\n", bench, insts)
+	fmt.Printf("  full-price IPC: %.3f\n", base.IPC())
+	fmt.Printf("  half-price IPC: %.3f (%.1f%% degradation)\n",
+		hp.IPC(), 100*(1-hp.IPC()/base.IPC()))
+	fmt.Printf("  sequential register accesses: %d (%.2f%% of instructions)\n",
+		hp.SeqRegAccesses, 100*float64(hp.SeqRegAccesses)/float64(hp.Committed))
+	fmt.Printf("  scheduler delay: %.0f ps -> %.0f ps\n",
+		halfprice.SchedulerDelayPs(64, 4, false), halfprice.SchedulerDelayPs(64, 4, true))
+	fmt.Printf("  register file:   %.2f ns -> %.2f ns\n",
+		halfprice.RegfileAccessNs(160, 8, false), halfprice.RegfileAccessNs(160, 8, true))
+}

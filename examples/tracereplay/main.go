@@ -1,0 +1,90 @@
+// Tracereplay: record a program's dynamic instruction stream once, then
+// replay the identical stream through every scheduler/register-file
+// combination — the trace-driven methodology that guarantees all schemes
+// see exactly the same work.
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"halfprice"
+)
+
+const program = `
+	.data
+ring:	.space 2048            # 128 nodes of {value, next}
+	.text
+	# Build a stride-29 permutation ring and walk it.
+	ldi r16, ring
+	ldi r1, 0
+build:
+	slli r2, r1, 4
+	add r2, r2, r16
+	stq r1, 0(r2)
+	addi r3, r1, 29
+	andi r3, r3, 127
+	slli r3, r3, 4
+	add r3, r3, r16
+	stq r3, 8(r2)
+	addi r1, r1, 1
+	cmplti r4, r1, 128
+	bnez r4, build
+
+	ldi r5, 6000
+	or r6, r16, r16
+	ldi r0, 0
+	ldi r20, 0x5A5A
+walk:
+	ldq r7, 0(r6)          # node value
+	ldq r8, 8(r6)          # next pointer
+	xor r9, r7, r8         # 2-source: both loads in flight
+	and r10, r9, r20
+	add r11, r10, r7       # 2-source: chained + load
+	add r0, r0, r11
+	or r6, r8, r8
+	subi r5, r5, 1
+	bnez r5, walk
+	halt
+`
+
+func main() {
+	var buf bytes.Buffer
+	n, err := halfprice.RecordTrace(&buf, program, 0)
+	if err != nil {
+		panic(err)
+	}
+	recorded := buf.Bytes()
+	fmt.Printf("recorded %d instructions (%d bytes, %.1f bytes/inst)\n\n",
+		n, len(recorded), float64(len(recorded))/float64(n))
+
+	schemes := []struct {
+		name string
+		mut  func(*halfprice.Config)
+	}{
+		{"conventional / 2-port", func(c *halfprice.Config) {}},
+		{"seq wakeup / 2-port", func(c *halfprice.Config) { c.Wakeup = halfprice.WakeupSequential }},
+		{"conventional / seq RF", func(c *halfprice.Config) { c.Regfile = halfprice.RFSequential }},
+		{"half price (both)", func(c *halfprice.Config) {
+			c.Wakeup = halfprice.WakeupSequential
+			c.Regfile = halfprice.RFSequential
+		}},
+	}
+	var baseIPC float64
+	for i, s := range schemes {
+		cfg := halfprice.Config4Wide()
+		s.mut(&cfg)
+		st, err := halfprice.SimulateTrace(cfg, bytes.NewReader(recorded))
+		if err != nil {
+			panic(err)
+		}
+		if i == 0 {
+			baseIPC = st.IPC()
+		}
+		fmt.Printf("%-24s IPC %.3f  (%.4fx base)  slow-bus delays %d, seq RF reads %d\n",
+			s.name, st.IPC(), st.IPC()/baseIPC, st.SeqWakeupDelays, st.SeqRegAccesses)
+	}
+	fmt.Println("\nEvery scheme replayed the identical stream; the half-price")
+	fmt.Println("events fire, but bypass capture and wakeup slack absorb them —")
+	fmt.Println("the paper's result, visible on a single recorded kernel.")
+}

@@ -1,0 +1,170 @@
+package halfprice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimulateBenchmark(t *testing.T) {
+	st := Simulate(Config4Wide(), "gzip", 20000)
+	if st.Committed != 20000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if ipc := st.IPC(); ipc <= 0 || ipc > 4 {
+		t.Fatalf("IPC %v", ipc)
+	}
+}
+
+func TestSimulateUnknownBenchmarkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark accepted")
+		}
+	}()
+	Simulate(Config4Wide(), "doom", 100)
+}
+
+func TestBenchmarkProfile(t *testing.T) {
+	p, err := BenchmarkProfile("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("profile: %v, %v", p.Name, err)
+	}
+	if _, err := BenchmarkProfile("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	// Tweak and run the profile through the public API.
+	p.LoadFrac = 0.2
+	st := SimulateProfile(Config4Wide(), p, 10000)
+	if st.Committed != 10000 {
+		t.Fatal("custom profile did not run")
+	}
+}
+
+func TestHalfPriceHeadline(t *testing.T) {
+	// The paper's core claim through the public API: the half-price
+	// machine performs within a few percent of the full-price one.
+	base := Simulate(Config4Wide(), "crafty", 60000)
+	cfg := Config4Wide()
+	cfg.Wakeup = WakeupSequential
+	cfg.Regfile = RFSequential
+	hp := Simulate(cfg, "crafty", 60000)
+	ratio := hp.IPC() / base.IPC()
+	if ratio < 0.94 || ratio > 1.01 {
+		t.Fatalf("half-price ratio %.4f outside the paper's envelope", ratio)
+	}
+}
+
+func TestSimulateKernel(t *testing.T) {
+	st := SimulateKernel(Config8Wide(), "parser", 0)
+	if st.Committed == 0 {
+		t.Fatal("kernel committed nothing")
+	}
+}
+
+func TestSimulateProgram(t *testing.T) {
+	st, err := SimulateProgram(Config4Wide(), `
+	ldi r1, 100
+loop:
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Committed != 202 {
+		t.Fatalf("committed %d, want 202", st.Committed)
+	}
+	if _, err := SimulateProgram(Config4Wide(), "bogus instruction", 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := SimulateProgram(Config4Wide(), "nop", 0); err == nil || !strings.Contains(err.Error(), "trapped") {
+		t.Fatalf("trap not reported: %v", err)
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 12 || bs[0] != "bzip" || bs[11] != "vpr" {
+		t.Fatalf("benchmarks = %v", bs)
+	}
+	bs[0] = "clobber"
+	if Benchmarks()[0] != "bzip" {
+		t.Fatal("Benchmarks returned aliased slice")
+	}
+}
+
+func TestTimingFacade(t *testing.T) {
+	conv := SchedulerDelayPs(64, 4, false)
+	seq := SchedulerDelayPs(64, 4, true)
+	if conv <= seq {
+		t.Fatalf("conventional %v should exceed sequential %v", conv, seq)
+	}
+	base := RegfileAccessNs(160, 8, false)
+	half := RegfileAccessNs(160, 8, true)
+	if base <= half {
+		t.Fatalf("24-port %v should exceed 16-port %v", base, half)
+	}
+}
+
+func TestRecordAndSimulateTrace(t *testing.T) {
+	src := `
+	ldi r1, 40
+loop:
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`
+	var buf strings.Builder
+	n, err := RecordTrace(&buf, src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 82 {
+		t.Fatalf("recorded %d, want 82", n)
+	}
+	direct, err := SimulateProgram(Config4Wide(), src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := SimulateTrace(Config4Wide(), strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.Cycles != direct.Cycles || replayed.Committed != direct.Committed {
+		t.Fatalf("replay (%d insts, %d cyc) != direct (%d insts, %d cyc)",
+			replayed.Committed, replayed.Cycles, direct.Committed, direct.Cycles)
+	}
+	if _, err := RecordTrace(&buf, "garbage source", 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := SimulateTrace(Config4Wide(), strings.NewReader("nottrace")); err == nil {
+		t.Fatal("bad trace accepted")
+	}
+}
+
+func TestRenderPipeline(t *testing.T) {
+	out, err := RenderPipeline(Config4Wide(), "ldi r1, 1\naddi r2, r1, 1\nhalt", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mark := range []string{"F", "D", "I", "C", "ldi r1, 1"} {
+		if !strings.Contains(out, mark) {
+			t.Fatalf("pipeview missing %q:\n%s", mark, out)
+		}
+	}
+	if _, err := RenderPipeline(Config4Wide(), "junk!", 8); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
+
+func TestReproduceSingleFigure(t *testing.T) {
+	r := NewRunner(Options{Insts: 10000, Benchmarks: []string{"gzip", "mcf"}})
+	res := r.Figure16Combined()
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	if v, ok := res.Get("combined-4w", "gzip"); !ok || v <= 0 {
+		t.Fatalf("combined-4w gzip = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,620 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"halfprice/internal/isa"
+)
+
+// SyntaxError describes an assembly failure with its source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+// item is one instruction slot produced by pass one. Unresolved label
+// operands carry the label name and how it must be patched in pass two.
+type item struct {
+	inst  isa.Inst
+	line  int
+	label string // unresolved label operand ("" when none)
+	// patch selects how the resolved address feeds the instruction:
+	// "branch" turns it into a relative displacement, "abs" into an
+	// absolute immediate.
+	patch string
+}
+
+// dataFixup is a label reference inside the data segment, patched after
+// all symbols are known.
+type dataFixup struct {
+	off   int
+	size  int
+	label string
+	line  int
+}
+
+type assembler struct {
+	items   []item
+	data    []byte
+	fixups  []dataFixup
+	symbols map[string]uint64
+	inData  bool
+	line    int
+}
+
+// Assemble translates HPA64 assembly source into a Program.
+//
+// Syntax summary:
+//
+//	# comment               ; comment
+//	label:                  (text or data, may share a line with code)
+//	.text / .data           segment switch
+//	.quad v, ...            64-bit data values (numbers or labels)
+//	.long v, ...            32-bit values
+//	.byte v, ...            8-bit values
+//	.space n                n zero bytes
+//	.asciz "s"              NUL-terminated string
+//	.align n                pad data to an n-byte boundary
+//	add r1, r2, r3          R format
+//	addi r1, r2, -4         I format
+//	ldi r1, 42              load immediate (also: ldi r1, label)
+//	ldq r1, 8(r2)           loads/stores: disp(base)
+//	beqz r1, loop           branches take label or numeric displacement
+//	br r26, func            unconditional with link register
+//	jmp r31, (r26)          indirect
+//
+// Pseudo-instructions: nop, mov, li, lda, subi, neg, call, ret, jr, b.
+func Assemble(src string) (*Program, error) {
+	a := &assembler{symbols: make(map[string]uint64)}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble for known-good embedded sources; it panics on
+// error, which in this repository always indicates a broken workload file.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (a *assembler) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '#' || s[i] == ';' {
+			// Respect string literals in .asciz directives.
+			if strings.Count(s[:i], `"`)%2 == 1 {
+				continue
+			}
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	for {
+		if s == "" {
+			return nil
+		}
+		// Peel off leading labels.
+		colon := strings.IndexByte(s, ':')
+		if colon < 0 {
+			break
+		}
+		head := strings.TrimSpace(s[:colon])
+		if !isIdent(head) {
+			break // a ':' inside an operand would be a syntax error later
+		}
+		if _, dup := a.symbols[head]; dup {
+			return a.errf("duplicate label %q", head)
+		}
+		if a.inData {
+			a.symbols[head] = DataBase + uint64(len(a.data))
+		} else {
+			a.symbols[head] = TextBase + uint64(len(a.items))*isa.InstBytes
+		}
+		s = strings.TrimSpace(s[colon+1:])
+	}
+	if strings.HasPrefix(s, ".") {
+		return a.doDirective(s)
+	}
+	return a.doInst(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) doDirective(s string) error {
+	name, rest := s, ""
+	if sp := strings.IndexAny(s, " \t"); sp >= 0 {
+		name, rest = s[:sp], strings.TrimSpace(s[sp+1:])
+	}
+	switch name {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".align":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 {
+			return a.errf(".align needs a positive integer, got %q", rest)
+		}
+		for len(a.data)%n != 0 {
+			a.data = append(a.data, 0)
+		}
+	case ".space":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return a.errf(".space needs a non-negative integer, got %q", rest)
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".quad", ".long", ".byte":
+		size := map[string]int{".quad": 8, ".long": 4, ".byte": 1}[name]
+		for _, f := range splitOperands(rest) {
+			v, err := a.dataValue(f, size)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < size; i++ {
+				a.data = append(a.data, byte(v>>(8*i)))
+			}
+		}
+	case ".asciz":
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf(".asciz needs a quoted string, got %q", rest)
+		}
+		a.data = append(a.data, []byte(str)...)
+		a.data = append(a.data, 0)
+	default:
+		return a.errf("unknown directive %q", name)
+	}
+	if !a.inData {
+		switch name {
+		case ".align", ".space", ".quad", ".long", ".byte", ".asciz":
+			return a.errf("%s outside .data", name)
+		}
+	}
+	return nil
+}
+
+// dataValue evaluates a .quad/.long/.byte operand: a number, a char, or a
+// label (text or data). Label references are recorded as fixups and
+// patched once every symbol is known, so forward references work.
+func (a *assembler) dataValue(f string, size int) (int64, error) {
+	if v, err := parseInt(f); err == nil {
+		return v, nil
+	}
+	if !isIdent(f) {
+		return 0, a.errf("cannot evaluate data value %q", f)
+	}
+	a.fixups = append(a.fixups, dataFixup{off: len(a.data), size: size, label: f, line: a.line})
+	return 0, nil
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInt(s string) (int64, error) {
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(body[0]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+func (a *assembler) emit(in isa.Inst) {
+	a.items = append(a.items, item{inst: isa.Canonicalize(in), line: a.line})
+}
+
+func (a *assembler) emitLabelled(in isa.Inst, label, patch string) {
+	a.items = append(a.items, item{inst: isa.Canonicalize(in), line: a.line, label: label, patch: patch})
+}
+
+func (a *assembler) doInst(s string) error {
+	if a.inData {
+		return a.errf("instruction %q inside .data", s)
+	}
+	mnemonic, rest := s, ""
+	if sp := strings.IndexAny(s, " \t"); sp >= 0 {
+		mnemonic, rest = s[:sp], strings.TrimSpace(s[sp+1:])
+	}
+	ops := splitOperands(rest)
+	if done, err := a.tryPseudo(mnemonic, ops); done || err != nil {
+		return err
+	}
+	op := isa.OpcodeByName(mnemonic)
+	if op == isa.OpInvalid {
+		return a.errf("unknown mnemonic %q", mnemonic)
+	}
+	return a.encodeOp(op, ops)
+}
+
+// tryPseudo expands pseudo-instructions. It reports whether the mnemonic
+// was handled.
+func (a *assembler) tryPseudo(m string, ops []string) (bool, error) {
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s expects %d operands, got %d", m, n, len(ops))
+		}
+		return nil
+	}
+	switch m {
+	case "nop":
+		if err := need(0); err != nil {
+			return true, err
+		}
+		a.emit(isa.Nop())
+		return true, nil
+	case "mov": // mov rd, ra  ->  or rd, ra, ra (identical sources, like Alpha)
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return true, err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return true, err
+		}
+		a.emit(isa.Inst{Op: isa.OpOR, Rd: rd, Ra: ra, Rb: ra})
+		return true, nil
+	case "li", "lda": // aliases of ldi (lda documents "load address")
+		return true, a.encodeOp(isa.OpLDI, ops)
+	case "subi": // subi rd, ra, imm -> addi rd, ra, -imm
+		if err := need(3); err != nil {
+			return true, err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return true, err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return true, err
+		}
+		v, err := parseInt(ops[2])
+		if err != nil {
+			return true, a.errf("bad immediate %q", ops[2])
+		}
+		a.emit(isa.Inst{Op: isa.OpADDI, Rd: rd, Ra: ra, Imm: -v})
+		return true, nil
+	case "neg": // neg rd, ra -> sub rd, r31, ra
+		if err := need(2); err != nil {
+			return true, err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return true, err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return true, err
+		}
+		a.emit(isa.Inst{Op: isa.OpSUB, Rd: rd, Ra: isa.ZeroInt, Rb: ra})
+		return true, nil
+	case "call": // call label -> br ra, label
+		if err := need(1); err != nil {
+			return true, err
+		}
+		a.emitLabelled(isa.Inst{Op: isa.OpBR, Rd: isa.RegRA}, ops[0], "branch")
+		return true, nil
+	case "b": // b label -> br r31, label
+		if err := need(1); err != nil {
+			return true, err
+		}
+		a.emitLabelled(isa.Inst{Op: isa.OpBR, Rd: isa.ZeroInt}, ops[0], "branch")
+		return true, nil
+	case "ret": // ret -> jmp r31, (ra)
+		if err := need(0); err != nil {
+			return true, err
+		}
+		a.emit(isa.Inst{Op: isa.OpJMP, Rd: isa.ZeroInt, Ra: isa.RegRA})
+		return true, nil
+	case "jr": // jr rx -> jmp r31, (rx)
+		if err := need(1); err != nil {
+			return true, err
+		}
+		ra, err := a.reg(ops[0])
+		if err != nil {
+			return true, err
+		}
+		a.emit(isa.Inst{Op: isa.OpJMP, Rd: isa.ZeroInt, Ra: ra})
+		return true, nil
+	}
+	return false, nil
+}
+
+func (a *assembler) reg(s string) (isa.Reg, error) {
+	r, err := isa.ParseReg(s)
+	if err != nil {
+		return isa.RegNone, a.errf("%v", err)
+	}
+	return r, nil
+}
+
+// imm parses an immediate operand that may be a label; returns either the
+// literal value or the label name.
+func (a *assembler) immOrLabel(s string) (int64, string, error) {
+	if v, err := parseInt(s); err == nil {
+		return v, "", nil
+	}
+	if isIdent(s) {
+		return 0, s, nil
+	}
+	return 0, "", a.errf("bad immediate or label %q", s)
+}
+
+// memOperand parses "disp(base)" or "(base)".
+func (a *assembler) memOperand(s string) (int64, isa.Reg, error) {
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, isa.RegNone, a.errf("bad memory operand %q (want disp(base))", s)
+	}
+	disp := int64(0)
+	if open > 0 {
+		v, err := parseInt(strings.TrimSpace(s[:open]))
+		if err != nil {
+			return 0, isa.RegNone, a.errf("bad displacement in %q", s)
+		}
+		disp = v
+	}
+	base, err := a.reg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if err != nil {
+		return 0, isa.RegNone, err
+	}
+	return disp, base, nil
+}
+
+func (a *assembler) encodeOp(op isa.Opcode, ops []string) error {
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s expects %d operands, got %d", op, n, len(ops))
+		}
+		return nil
+	}
+	switch op.Format() {
+	case isa.FmtR:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		rb, err := a.reg(ops[2])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Rb: rb})
+	case isa.FmtI:
+		if op == isa.OpPUTC {
+			if err := need(1); err != nil {
+				return err
+			}
+			ra, err := a.reg(ops[0])
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Ra: ra})
+			return nil
+		}
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(ops[2])
+		if err != nil {
+			return a.errf("bad immediate %q", ops[2])
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: ra, Imm: v})
+	case isa.FmtR1:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		ra, err := a.reg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: ra})
+	case isa.FmtLI:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, label, err := a.immOrLabel(ops[1])
+		if err != nil {
+			return err
+		}
+		if label != "" {
+			a.emitLabelled(isa.Inst{Op: op, Rd: rd}, label, "abs")
+		} else {
+			a.emit(isa.Inst{Op: op, Rd: rd, Imm: v})
+		}
+	case isa.FmtLoad, isa.FmtStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		disp, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: base, Imm: disp})
+	case isa.FmtBranch:
+		if err := need(2); err != nil {
+			return err
+		}
+		ra, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, label, err := a.immOrLabel(ops[1])
+		if err != nil {
+			return err
+		}
+		if label != "" {
+			a.emitLabelled(isa.Inst{Op: op, Ra: ra}, label, "branch")
+		} else {
+			a.emit(isa.Inst{Op: op, Ra: ra, Imm: v})
+		}
+	case isa.FmtBr:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		v, label, err := a.immOrLabel(ops[1])
+		if err != nil {
+			return err
+		}
+		if label != "" {
+			a.emitLabelled(isa.Inst{Op: op, Rd: rd}, label, "branch")
+		} else {
+			a.emit(isa.Inst{Op: op, Rd: rd, Imm: v})
+		}
+	case isa.FmtJmp:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := a.reg(ops[0])
+		if err != nil {
+			return err
+		}
+		_, base, err := a.memOperand(ops[1])
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Ra: base})
+	case isa.FmtNone:
+		if err := need(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op})
+	default:
+		return a.errf("unsupported format for %s", op)
+	}
+	return nil
+}
+
+func (a *assembler) finish() (*Program, error) {
+	for _, fx := range a.fixups {
+		addr, ok := a.symbols[fx.label]
+		if !ok {
+			return nil, &SyntaxError{Line: fx.line, Msg: fmt.Sprintf("undefined label %q in data", fx.label)}
+		}
+		for i := 0; i < fx.size; i++ {
+			a.data[fx.off+i] = byte(addr >> (8 * i))
+		}
+	}
+	p := &Program{
+		Insts:   make([]isa.Inst, len(a.items)),
+		Data:    a.data,
+		Symbols: a.symbols,
+	}
+	for i, it := range a.items {
+		in := it.inst
+		if it.label != "" {
+			addr, ok := a.symbols[it.label]
+			if !ok {
+				return nil, &SyntaxError{Line: it.line, Msg: fmt.Sprintf("undefined label %q", it.label)}
+			}
+			switch it.patch {
+			case "branch":
+				// Displacement counts instructions from the *next* PC,
+				// like Alpha's branch displacement.
+				here := TextBase + uint64(i+1)*isa.InstBytes
+				delta := int64(addr) - int64(here)
+				if delta%isa.InstBytes != 0 {
+					return nil, &SyntaxError{Line: it.line, Msg: fmt.Sprintf("branch target %q not instruction-aligned", it.label)}
+				}
+				in.Imm = delta / isa.InstBytes
+			case "abs":
+				if addr > 1<<31-1 {
+					return nil, &SyntaxError{Line: it.line, Msg: fmt.Sprintf("label %q address does not fit in a 32-bit immediate", it.label)}
+				}
+				in.Imm = int64(addr)
+			}
+			in = isa.Canonicalize(in)
+		}
+		p.Insts[i] = in
+	}
+	return p, nil
+}
+
+// BranchTarget computes the target address of a control-transfer
+// instruction located at pc. Indirect jumps have no static target and
+// report ok=false.
+func BranchTarget(in isa.Inst, pc uint64) (uint64, bool) {
+	switch in.Op.Format() {
+	case isa.FmtBranch, isa.FmtBr:
+		return uint64(int64(pc) + isa.InstBytes + in.Imm*isa.InstBytes), true
+	}
+	return 0, false
+}

@@ -1,0 +1,312 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"halfprice/internal/isa"
+)
+
+func TestAssembleBasicProgram(t *testing.T) {
+	src := `
+	# compute 3 + 4 and halt
+	.text
+start:
+	ldi r1, 3
+	ldi r2, 4
+	add r3, r1, r2
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("got %d instructions", len(p.Insts))
+	}
+	if addr, ok := p.Symbol("start"); !ok || addr != TextBase {
+		t.Fatalf("start = %#x, %v", addr, ok)
+	}
+	want := isa.Inst{Op: isa.OpADD, Rd: isa.IntReg(3), Ra: isa.IntReg(1), Rb: isa.IntReg(2)}
+	if p.Insts[2] != isa.Canonicalize(want) {
+		t.Fatalf("inst 2 = %v", p.Insts[2])
+	}
+}
+
+func TestBranchDisplacement(t *testing.T) {
+	src := `
+loop:
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bnez at index 1; next PC is index 2; target is index 0 -> disp -2.
+	if p.Insts[1].Imm != -2 {
+		t.Fatalf("backward disp = %d, want -2", p.Insts[1].Imm)
+	}
+	tgt, ok := BranchTarget(p.Insts[1], p.PCOf(1))
+	if !ok || tgt != p.PCOf(0) {
+		t.Fatalf("BranchTarget = %#x, %v; want %#x", tgt, ok, p.PCOf(0))
+	}
+}
+
+func TestForwardBranchAndCall(t *testing.T) {
+	src := `
+	call fn
+	b done
+fn:
+	ret
+done:
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpBR || p.Insts[0].Rd != isa.RegRA || p.Insts[0].Imm != 1 {
+		t.Fatalf("call = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpBR || !p.Insts[1].Rd.IsZero() || p.Insts[1].Imm != 1 {
+		t.Fatalf("b = %v", p.Insts[1])
+	}
+	if p.Insts[2].Op != isa.OpJMP || p.Insts[2].Ra != isa.RegRA {
+		t.Fatalf("ret = %v", p.Insts[2])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+	.data
+nums:	.quad 1, 0x10, -1
+str:	.asciz "hi"
+	.align 8
+tail:	.byte 'A'
+	.space 3
+	.long 7
+	.text
+	ldi r1, nums
+	lda r2, str
+	ldq r3, 8(r1)
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ := p.Symbol("nums"); addr != DataBase {
+		t.Fatalf("nums = %#x", addr)
+	}
+	if addr, _ := p.Symbol("str"); addr != DataBase+24 {
+		t.Fatalf("str = %#x", addr)
+	}
+	if addr, _ := p.Symbol("tail"); addr != DataBase+32 {
+		t.Fatalf("tail = %#x (align)", addr)
+	}
+	// .quad 0x10 little-endian at offset 8.
+	if p.Data[8] != 0x10 || p.Data[9] != 0 {
+		t.Fatalf("data bytes = %v", p.Data[8:10])
+	}
+	// -1 as all-ones.
+	for i := 16; i < 24; i++ {
+		if p.Data[i] != 0xFF {
+			t.Fatalf("quad -1 byte %d = %#x", i, p.Data[i])
+		}
+	}
+	if string(p.Data[24:27]) != "hi\x00" {
+		t.Fatalf("asciz = %q", p.Data[24:27])
+	}
+	if p.Data[32] != 'A' {
+		t.Fatalf("byte = %#x", p.Data[32])
+	}
+	if int64(p.Insts[0].Imm) != int64(DataBase) {
+		t.Fatalf("ldi nums imm = %#x", p.Insts[0].Imm)
+	}
+	if len(p.Data) != 40 {
+		t.Fatalf("data len = %d", len(p.Data))
+	}
+}
+
+func TestLabelInDataValue(t *testing.T) {
+	src := `
+	.data
+a:	.quad 5
+ptr:	.quad a
+	.text
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := uint64(0)
+	for i := 0; i < 8; i++ {
+		got |= uint64(p.Data[8+i]) << (8 * i)
+	}
+	if got != DataBase {
+		t.Fatalf("ptr = %#x, want %#x", got, DataBase)
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	src := `
+	nop
+	mov r1, r2
+	subi r3, r4, 5
+	neg r5, r6
+	jr r7
+	li r8, 9
+	halt
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0] != isa.Nop() {
+		t.Fatalf("nop = %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpOR || p.Insts[1].Ra != p.Insts[1].Rb {
+		t.Fatalf("mov must be identical-source or: %v", p.Insts[1])
+	}
+	if p.Insts[2].Op != isa.OpADDI || p.Insts[2].Imm != -5 {
+		t.Fatalf("subi = %v", p.Insts[2])
+	}
+	if p.Insts[3].Op != isa.OpSUB || !p.Insts[3].Ra.IsZero() {
+		t.Fatalf("neg = %v", p.Insts[3])
+	}
+	if p.Insts[4].Op != isa.OpJMP || p.Insts[4].Ra != isa.IntReg(7) {
+		t.Fatalf("jr = %v", p.Insts[4])
+	}
+	if p.Insts[5].Op != isa.OpLDI || p.Insts[5].Imm != 9 {
+		t.Fatalf("li = %v", p.Insts[5])
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"bogus r1, r2", "unknown mnemonic"},
+		{"add r1, r2", "expects 3 operands"},
+		{"add r1, r2, r99", "out of range"},
+		{"ldq r1, r2", "bad memory operand"},
+		{"beqz r1, nowhere", "undefined label"},
+		{"x: halt\nx: halt", "duplicate label"},
+		{".quad 1", "outside .data"},
+		{".data\nadd r1, r2, r3", "inside .data"},
+		{".frob 1", "unknown directive"},
+		{".data\n.align -2", "positive integer"},
+		{".data\n.quad undefinedlater", "undefined label"},
+		{".data\n.quad 1+2", "cannot evaluate"},
+		{"addi r1, r2, banana(", "bad immediate"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) error = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestCommentsAndMixedLines(t *testing.T) {
+	src := "start: ldi r1, 1 # set up\n; full-line comment\n  halt"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 2 {
+		t.Fatalf("%d instructions", len(p.Insts))
+	}
+}
+
+func TestCommentCharInsideString(t *testing.T) {
+	src := ".data\ns: .asciz \"a#b\"\n.text\nhalt"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p.Data) != "a#b\x00" {
+		t.Fatalf("data = %q", p.Data)
+	}
+}
+
+func TestProgramIndexOf(t *testing.T) {
+	p := MustAssemble("nop\nnop\nhalt")
+	if p.IndexOf(p.PCOf(2)) != 2 {
+		t.Fatal("IndexOf(PCOf(2)) != 2")
+	}
+	if p.IndexOf(TextBase+3) != -1 {
+		t.Fatal("misaligned PC accepted")
+	}
+	if p.IndexOf(TextBase-isa.InstBytes) != -1 || p.IndexOf(p.PCOf(3)) != -1 {
+		t.Fatal("out-of-range PC accepted")
+	}
+}
+
+func TestDisassembleContainsLabelsAndInsts(t *testing.T) {
+	p := MustAssemble("main: ldi r1, 5\nloop: subi r1, r1, 1\nbnez r1, loop\nhalt")
+	d := p.Disassemble()
+	for _, want := range []string{"main:", "loop:", "ldi r1, 5", "bnez r1, -2", "halt"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAssemble did not panic on bad source")
+		}
+	}()
+	MustAssemble("not an instruction at all!")
+}
+
+// Property: the assembler's instruction grammar round-trips the
+// disassembler's per-instruction rendering for random canonical
+// instructions (numeric displacements, no labels).
+func TestInstStringAssembleRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		op := isa.Opcode(1 + r.Intn(isa.NumOpcodes-1))
+		in := isa.Canonicalize(isa.Inst{
+			Op:  op,
+			Rd:  isa.Reg(r.Intn(isa.NumArchRegs)),
+			Ra:  isa.Reg(r.Intn(isa.NumArchRegs)),
+			Rb:  isa.Reg(r.Intn(isa.NumArchRegs)),
+			Imm: int64(int32(r.Uint32())),
+		})
+		p, err := Assemble(in.String())
+		if err != nil {
+			t.Logf("assemble %q: %v", in.String(), err)
+			return false
+		}
+		if len(p.Insts) != 1 || p.Insts[0] != in {
+			t.Logf("round trip %q -> %v", in.String(), p.Insts)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBranchTargetNonControl(t *testing.T) {
+	if _, ok := BranchTarget(isa.Inst{Op: isa.OpADD}, 0x1000); ok {
+		t.Fatal("ALU op reported a branch target")
+	}
+	if _, ok := BranchTarget(isa.Inst{Op: isa.OpJMP, Rd: isa.ZeroInt, Ra: isa.RegRA}, 0x1000); ok {
+		t.Fatal("indirect jump has no static target")
+	}
+}

@@ -1,0 +1,78 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// HPA64 ISA. The hand-written benchmark workloads (internal/workloads) are
+// assembled with it, and examples use it to build custom programs.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"halfprice/internal/isa"
+)
+
+// Memory layout shared by the assembler, the functional simulator and the
+// pipeline front end.
+const (
+	// TextBase is the address of the first instruction.
+	TextBase uint64 = 0x0000_1000
+	// DataBase is the address of the first byte of the data segment.
+	DataBase uint64 = 0x0010_0000
+	// StackTop is the initial stack pointer (stack grows down).
+	StackTop uint64 = 0x0080_0000
+)
+
+// Program is an assembled HPA64 program: a text segment of decoded
+// instructions starting at TextBase, a data segment image at DataBase, and
+// the resolved symbol table.
+type Program struct {
+	Insts   []isa.Inst
+	Data    []byte
+	Symbols map[string]uint64
+}
+
+// Entry returns the address of the first instruction.
+func (p *Program) Entry() uint64 { return TextBase }
+
+// PCOf returns the address of instruction index i.
+func (p *Program) PCOf(i int) uint64 { return TextBase + uint64(i)*isa.InstBytes }
+
+// IndexOf returns the instruction index for address pc, or -1 when pc is
+// outside the text segment.
+func (p *Program) IndexOf(pc uint64) int {
+	if pc < TextBase || (pc-TextBase)%isa.InstBytes != 0 {
+		return -1
+	}
+	i := int((pc - TextBase) / isa.InstBytes)
+	if i >= len(p.Insts) {
+		return -1
+	}
+	return i
+}
+
+// Symbol resolves a label to its address.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	addr, ok := p.Symbols[name]
+	return addr, ok
+}
+
+// Disassemble renders the whole text segment with addresses and label
+// annotations; the output reassembles to the same program modulo labels.
+func (p *Program) Disassemble() string {
+	byAddr := make(map[uint64][]string)
+	for name, addr := range p.Symbols {
+		byAddr[addr] = append(byAddr[addr], name)
+	}
+	for _, names := range byAddr {
+		sort.Strings(names)
+	}
+	var b strings.Builder
+	for i, in := range p.Insts {
+		pc := p.PCOf(i)
+		for _, name := range byAddr[pc] {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		fmt.Fprintf(&b, "  %#08x  %s\n", pc, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+// Package bpred implements the paper's Table 1 branch prediction stack: a
+// combined bimodal (4k-entry) / gshare (4k-entry) direction predictor with
+// a 4k-entry selector, a 1k-entry 4-way branch target buffer for indirect
+// jumps, and a 16-entry return address stack.
+//
+// The simulator predicts each branch at fetch and trains the predictor
+// when the branch's true outcome is known; because the timing model does
+// not execute wrong-path instructions, history is maintained in program
+// order (the standard trace-driven arrangement).
+package bpred
+
+import (
+	"fmt"
+
+	"halfprice/internal/isa"
+)
+
+// Config sizes the prediction structures. All table sizes must be powers
+// of two.
+type Config struct {
+	BimodalEntries  int
+	GshareEntries   int
+	SelectorEntries int
+	BTBEntries      int
+	BTBWays         int
+	RASEntries      int
+}
+
+// DefaultConfig returns the paper's configuration (Table 1).
+func DefaultConfig() Config {
+	return Config{
+		BimodalEntries:  4096,
+		GshareEntries:   4096,
+		SelectorEntries: 4096,
+		BTBEntries:      1024,
+		BTBWays:         4,
+		RASEntries:      16,
+	}
+}
+
+// Stats counts prediction events.
+type Stats struct {
+	CondLookups   uint64
+	CondCorrect   uint64
+	BTBLookups    uint64
+	BTBHits       uint64
+	BTBCorrect    uint64
+	RASPredictons uint64
+	RASCorrect    uint64
+}
+
+// CondAccuracy returns the conditional direction prediction accuracy.
+func (s Stats) CondAccuracy() float64 {
+	if s.CondLookups == 0 {
+		return 0
+	}
+	return float64(s.CondCorrect) / float64(s.CondLookups)
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	used   uint64
+}
+
+// Predictor is the combined direction predictor + BTB + RAS.
+type Predictor struct {
+	cfg      Config
+	bimodal  []uint8
+	gshare   []uint8
+	selector []uint8
+	history  uint64
+	histMask uint64
+	btb      [][]btbEntry
+	btbTick  uint64
+	ras      []uint64
+	rasTop   int // number of valid entries (grows up, wraps)
+	Stats    Stats
+}
+
+func pow2(n int, what string) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("bpred: %s = %d must be a power of two", what, n))
+	}
+}
+
+// New builds a predictor; table sizes must be powers of two.
+func New(cfg Config) *Predictor {
+	pow2(cfg.BimodalEntries, "BimodalEntries")
+	pow2(cfg.GshareEntries, "GshareEntries")
+	pow2(cfg.SelectorEntries, "SelectorEntries")
+	pow2(cfg.BTBEntries, "BTBEntries")
+	if cfg.BTBWays <= 0 || cfg.BTBEntries%cfg.BTBWays != 0 {
+		panic("bpred: BTB ways must divide entries")
+	}
+	if cfg.RASEntries <= 0 {
+		panic("bpred: RAS must have entries")
+	}
+	p := &Predictor{
+		cfg:      cfg,
+		bimodal:  make([]uint8, cfg.BimodalEntries),
+		gshare:   make([]uint8, cfg.GshareEntries),
+		selector: make([]uint8, cfg.SelectorEntries),
+		ras:      make([]uint64, cfg.RASEntries),
+	}
+	// Initialise 2-bit counters to weakly taken, the usual reset state.
+	for i := range p.bimodal {
+		p.bimodal[i] = 2
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 2
+	}
+	for i := range p.selector {
+		p.selector[i] = 2 // weakly prefer gshare
+	}
+	p.histMask = uint64(cfg.GshareEntries - 1)
+	sets := cfg.BTBEntries / cfg.BTBWays
+	p.btb = make([][]btbEntry, sets)
+	for i := range p.btb {
+		p.btb[i] = make([]btbEntry, cfg.BTBWays)
+	}
+	return p
+}
+
+func pcIndex(pc uint64) uint64 { return pc / isa.InstBytes }
+
+func (p *Predictor) bimodalIdx(pc uint64) uint64 {
+	return pcIndex(pc) & uint64(p.cfg.BimodalEntries-1)
+}
+
+func (p *Predictor) gshareIdx(pc uint64) uint64 {
+	return (pcIndex(pc) ^ p.history) & uint64(p.cfg.GshareEntries-1)
+}
+
+func (p *Predictor) selectorIdx(pc uint64) uint64 {
+	return pcIndex(pc) & uint64(p.cfg.SelectorEntries-1)
+}
+
+func counterTaken(c uint8) bool { return c >= 2 }
+
+func bump(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// PredictCond predicts the direction of the conditional branch at pc.
+func (p *Predictor) PredictCond(pc uint64) bool {
+	g := counterTaken(p.gshare[p.gshareIdx(pc)])
+	b := counterTaken(p.bimodal[p.bimodalIdx(pc)])
+	if counterTaken(p.selector[p.selectorIdx(pc)]) {
+		return g
+	}
+	return b
+}
+
+// UpdateCond trains the predictor with the branch's resolved outcome and
+// advances the global history. Call exactly once per dynamic conditional
+// branch, in program order, after PredictCond.
+func (p *Predictor) UpdateCond(pc uint64, taken bool) {
+	gi, bi, si := p.gshareIdx(pc), p.bimodalIdx(pc), p.selectorIdx(pc)
+	g := counterTaken(p.gshare[gi])
+	b := counterTaken(p.bimodal[bi])
+	pred := b
+	if counterTaken(p.selector[si]) {
+		pred = g
+	}
+	p.Stats.CondLookups++
+	if pred == taken {
+		p.Stats.CondCorrect++
+	}
+	// Train the selector only when the components disagree.
+	if g != b {
+		p.selector[si] = bump(p.selector[si], g == taken)
+	}
+	p.gshare[gi] = bump(p.gshare[gi], taken)
+	p.bimodal[bi] = bump(p.bimodal[bi], taken)
+	p.history = ((p.history << 1) | boolBit(taken)) & p.histMask
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// PredictIndirect returns the BTB's target for the indirect jump at pc.
+func (p *Predictor) PredictIndirect(pc uint64) (uint64, bool) {
+	p.Stats.BTBLookups++
+	set := p.btb[pcIndex(pc)&uint64(len(p.btb)-1)]
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			p.Stats.BTBHits++
+			p.btbTick++
+			set[i].used = p.btbTick
+			return set[i].target, true
+		}
+	}
+	return 0, false
+}
+
+// UpdateIndirect installs or refreshes the BTB entry for pc. Call with the
+// resolved target; correct is whether the earlier prediction matched.
+func (p *Predictor) UpdateIndirect(pc, target uint64, correct bool) {
+	if correct {
+		p.Stats.BTBCorrect++
+	}
+	p.btbTick++
+	set := p.btb[pcIndex(pc)&uint64(len(p.btb)-1)]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			set[i].target = target
+			set[i].used = p.btbTick
+			return
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	set[victim] = btbEntry{valid: true, tag: pc, target: target, used: p.btbTick}
+}
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(retAddr uint64) {
+	p.ras[p.rasTop%len(p.ras)] = retAddr
+	p.rasTop++
+}
+
+// PopRAS predicts a return target. It reports ok=false when the stack has
+// underflowed.
+func (p *Predictor) PopRAS() (uint64, bool) {
+	if p.rasTop == 0 {
+		return 0, false
+	}
+	p.rasTop--
+	return p.ras[p.rasTop%len(p.ras)], true
+}
+
+// RASDepth returns the current stack depth (for tests).
+func (p *Predictor) RASDepth() int { return p.rasTop }

@@ -1,0 +1,176 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func newDefault() *Predictor { return New(DefaultConfig()) }
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BimodalEntries: 3, GshareEntries: 4, SelectorEntries: 4, BTBEntries: 4, BTBWays: 2, RASEntries: 4},
+		{BimodalEntries: 4, GshareEntries: 0, SelectorEntries: 4, BTBEntries: 4, BTBWays: 2, RASEntries: 4},
+		{BimodalEntries: 4, GshareEntries: 4, SelectorEntries: 4, BTBEntries: 4, BTBWays: 3, RASEntries: 4},
+		{BimodalEntries: 4, GshareEntries: 4, SelectorEntries: 4, BTBEntries: 4, BTBWays: 2, RASEntries: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestAlwaysTakenBranchLearned(t *testing.T) {
+	p := newDefault()
+	pc := uint64(0x1000)
+	for i := 0; i < 100; i++ {
+		pred := p.PredictCond(pc)
+		p.UpdateCond(pc, true)
+		if i > 5 && !pred {
+			t.Fatalf("iteration %d: always-taken branch predicted not-taken", i)
+		}
+	}
+	if acc := p.Stats.CondAccuracy(); acc < 0.95 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+}
+
+func TestAlternatingBranchLearnedByGshare(t *testing.T) {
+	// A strictly alternating branch defeats bimodal but is captured by
+	// gshare+selector once history warms up.
+	p := newDefault()
+	pc := uint64(0x2000)
+	correct := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		taken := i%2 == 0
+		if p.PredictCond(pc) == taken {
+			correct++
+		}
+		p.UpdateCond(pc, taken)
+	}
+	if frac := float64(correct) / n; frac < 0.9 {
+		t.Fatalf("alternating pattern accuracy = %v, want > 0.9 (gshare should capture it)", frac)
+	}
+}
+
+func TestCorrelatedBranches(t *testing.T) {
+	// Branch B always follows branch A's direction; gshare sees A's
+	// outcome in history.
+	p := newDefault()
+	r := rand.New(rand.NewSource(7))
+	correctB := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		a := r.Intn(2) == 0
+		p.PredictCond(0x3000)
+		p.UpdateCond(0x3000, a)
+		if p.PredictCond(0x3008) == a {
+			correctB++
+		}
+		p.UpdateCond(0x3008, a)
+	}
+	if frac := float64(correctB) / n; frac < 0.9 {
+		t.Fatalf("correlated branch accuracy = %v", frac)
+	}
+}
+
+func TestRandomBranchAccuracyNearHalf(t *testing.T) {
+	p := newDefault()
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x4000 + 8*(r.Intn(64)))
+		taken := r.Intn(2) == 0
+		p.PredictCond(pc)
+		p.UpdateCond(pc, taken)
+	}
+	acc := p.Stats.CondAccuracy()
+	if acc < 0.4 || acc > 0.65 {
+		t.Fatalf("random-branch accuracy = %v, want ~0.5", acc)
+	}
+}
+
+func TestBTB(t *testing.T) {
+	p := newDefault()
+	if _, hit := p.PredictIndirect(0x1000); hit {
+		t.Fatal("cold BTB hit")
+	}
+	p.UpdateIndirect(0x1000, 0x9000, false)
+	tgt, hit := p.PredictIndirect(0x1000)
+	if !hit || tgt != 0x9000 {
+		t.Fatalf("tgt=%#x hit=%v", tgt, hit)
+	}
+	// Retarget.
+	p.UpdateIndirect(0x1000, 0xA000, false)
+	if tgt, _ := p.PredictIndirect(0x1000); tgt != 0xA000 {
+		t.Fatalf("retarget = %#x", tgt)
+	}
+	if p.Stats.BTBLookups != 3 || p.Stats.BTBHits != 2 {
+		t.Fatalf("stats = %+v", p.Stats)
+	}
+}
+
+func TestBTBConflictEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BTBEntries, cfg.BTBWays = 8, 2 // 4 sets
+	p := New(cfg)
+	// Three PCs in the same set (stride = sets * InstBytes = 32).
+	pcs := []uint64{0x1000, 0x1000 + 32, 0x1000 + 64}
+	for _, pc := range pcs {
+		p.UpdateIndirect(pc, pc+0x100, false)
+	}
+	// First PC was LRU -> evicted.
+	if _, hit := p.PredictIndirect(pcs[0]); hit {
+		t.Fatal("LRU BTB entry survived")
+	}
+	if _, hit := p.PredictIndirect(pcs[2]); !hit {
+		t.Fatal("MRU BTB entry evicted")
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := newDefault()
+	if _, ok := p.PopRAS(); ok {
+		t.Fatal("empty RAS popped")
+	}
+	p.PushRAS(0x100)
+	p.PushRAS(0x200)
+	if p.RASDepth() != 2 {
+		t.Fatalf("depth = %d", p.RASDepth())
+	}
+	if a, ok := p.PopRAS(); !ok || a != 0x200 {
+		t.Fatalf("pop = %#x, %v", a, ok)
+	}
+	if a, ok := p.PopRAS(); !ok || a != 0x100 {
+		t.Fatalf("pop = %#x, %v", a, ok)
+	}
+}
+
+func TestRASOverflowKeepsRecent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RASEntries = 4
+	p := New(cfg)
+	for i := 1; i <= 6; i++ {
+		p.PushRAS(uint64(i * 0x10))
+	}
+	// The most recent 4 survive.
+	for want := 6; want > 2; want-- {
+		a, ok := p.PopRAS()
+		if !ok || a != uint64(want*0x10) {
+			t.Fatalf("pop = %#x, want %#x", a, want*0x10)
+		}
+	}
+}
+
+func TestStatsAccuracyZeroWhenIdle(t *testing.T) {
+	var s Stats
+	if s.CondAccuracy() != 0 {
+		t.Fatal("idle accuracy != 0")
+	}
+}

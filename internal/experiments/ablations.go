@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halfprice/internal/timing"
+	"halfprice/internal/uarch"
+)
+
+// The ablations quantify the design choices behind the half-price
+// architecture that the paper asserts or leaves implicit: how much the
+// slow-bus depth matters, whether sequential wakeup really composes with
+// selective recovery (§3.1's argument against tag elimination), what the
+// predictor style buys, how far the §6 extensions can go, and — the
+// bottom line — what the IPC loss buys in clock frequency.
+
+// AblationSlowBus sweeps the slow wakeup bus delay (the paper uses one
+// cycle; a physically remote slow array might need two or three).
+func (r *Runner) AblationSlowBus() *Result {
+	res := &Result{
+		ID:         "Ablation A1",
+		Title:      "sequential wakeup slow-bus depth (normalised IPC, 4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	for _, d := range []int{1, 2, 3} {
+		d := d
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("slow-%dcy", d),
+			Values: r.normalised(4, func(c *uarch.Config) {
+				c.Wakeup = uarch.WakeupSequential
+				c.SlowBusDelay = d
+			}),
+		})
+	}
+	res.Notes = "wakeup slack (Figure 6) hides one cycle almost completely; deeper slow buses start eating into it"
+	return res
+}
+
+// AblationRecovery crosses the wakeup schemes with the recovery policy.
+// The paper argues (§3.1) that sequential wakeup composes with selective
+// recovery while tag elimination cannot; here both are measured under
+// both policies (tag elimination under selective recovery is the
+// impractical design the paper rules out — simulated anyway for scale).
+func (r *Runner) AblationRecovery() *Result {
+	res := &Result{
+		ID:         "Ablation A2",
+		Title:      "wakeup scheme x recovery policy (normalised IPC, 4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	type cfg struct {
+		label string
+		mut   func(*uarch.Config)
+	}
+	cases := []cfg{
+		{"base-selective", func(c *uarch.Config) { c.Recovery = uarch.RecoverySelective }},
+		{"seqw-nonsel", func(c *uarch.Config) { c.Wakeup = uarch.WakeupSequential }},
+		{"seqw-selective", func(c *uarch.Config) {
+			c.Wakeup = uarch.WakeupSequential
+			c.Recovery = uarch.RecoverySelective
+		}},
+	}
+	for _, cs := range cases {
+		res.Series = append(res.Series, Series{Label: cs.label, Values: r.normalised(4, cs.mut)})
+	}
+	res.Notes = "normalised to the non-selective base; selective recovery lifts the baseline and sequential wakeup keeps its tiny cost on top"
+	return res
+}
+
+// AblationPredictors compares operand-predictor designs feeding
+// sequential wakeup: the paper's bimodal, the static-right fallback, and
+// a local-history two-level design (§3.2's 'more sophisticated' class).
+func (r *Runner) AblationPredictors() *Result {
+	res := &Result{
+		ID:         "Ablation A3",
+		Title:      "operand predictor designs under sequential wakeup (4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	type cfg struct {
+		label string
+		kind  uarch.OperandPredictor
+	}
+	for _, cs := range []cfg{
+		{"bimodal-1k", uarch.OpPredBimodal},
+		{"twolevel-1k", uarch.OpPredTwoLevel},
+		{"static-right", uarch.OpPredStaticRight},
+	} {
+		kind := cs.kind
+		res.Series = append(res.Series, Series{
+			Label: cs.label + "-ipc",
+			Values: r.normalised(4, func(c *uarch.Config) {
+				c.Wakeup = uarch.WakeupSequential
+				c.OpPred = kind
+			}),
+		})
+		res.Series = append(res.Series, Series{
+			Label: cs.label + "-acc",
+			Values: r.perBench(func(b string) float64 {
+				return r.Run(b, 4, func(c *uarch.Config) {
+					c.Wakeup = uarch.WakeupSequential
+					c.OpPred = kind
+				}).OpPredAccuracy()
+			}),
+		})
+	}
+	res.Notes = "the paper's conclusion: the simple bimodal table matches elaborate designs because sequential wakeup's misprediction penalty is one cycle"
+	return res
+}
+
+// AblationExtensions measures the §6 future-work knobs individually and
+// all together: half rename ports, half bypass, and the fully
+// operand-centric machine.
+func (r *Runner) AblationExtensions() *Result {
+	res := &Result{
+		ID:         "Ablation A4",
+		Title:      "§6 extensions: half-price rename, bypass, everything (4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	res.Series = []Series{
+		{Label: "half-rename", Values: r.normalised(4, func(c *uarch.Config) { c.Rename = uarch.RenameHalfPorts })},
+		{Label: "half-bypass", Values: r.normalised(4, func(c *uarch.Config) { c.Bypass = uarch.BypassHalf })},
+		{Label: "everything", Values: r.normalised(4, func(c *uarch.Config) {
+			c.Wakeup = uarch.WakeupSequential
+			c.Regfile = uarch.RFSequential
+			c.Rename = uarch.RenameHalfPorts
+			c.Bypass = uarch.BypassHalf
+		})},
+	}
+	res.Notes = "the paper's operand-centric end state: every 2-operand structure halved"
+	return res
+}
+
+// AblationFrequency folds the circuit model into the IPC results: if the
+// scheduler's wakeup loop sets the clock, sequential wakeup's 24.6%
+// frequency headroom dwarfs its <1% IPC cost. Values are normalised
+// performance = (IPC x frequency) relative to the conventional machine.
+func (r *Runner) AblationFrequency() *Result {
+	res := &Result{
+		ID:         "Ablation A5",
+		Title:      "scheduler-limited performance: IPC x clock (4-wide, 64-entry)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	convDelay := timing.ConventionalScheduler(64, 4).Delay()
+	seqDelay := timing.SequentialWakeupScheduler(64, 4).Delay()
+	freqGain := convDelay / seqDelay
+	ipcRatio := r.normalised(4, func(c *uarch.Config) { c.Wakeup = uarch.WakeupSequential })
+	perf := make([]float64, len(ipcRatio))
+	for i, v := range ipcRatio {
+		perf[i] = v * freqGain
+	}
+	res.Series = []Series{
+		{Label: "ipc-ratio", Values: ipcRatio},
+		{Label: "perf-ratio", Values: perf},
+	}
+	res.Notes = fmt.Sprintf("frequency gain %.3fx (%.0f ps -> %.0f ps); if the scheduler limits the clock, half price wins ~%d%% end to end",
+		freqGain, convDelay, seqDelay, int(100*(stMean(perf)-1)))
+	return res
+}
+
+func stMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// AblationEnergy folds the activity-based energy models into measured
+// behaviour: broadcast energy per issued instruction under sequential
+// wakeup, and register-read energy per instruction under sequential
+// access with each benchmark's measured double-read rate. Values are
+// ratios to the conventional structures (lower is better).
+func (r *Runner) AblationEnergy() *Result {
+	res := &Result{
+		ID:         "Ablation A6",
+		Title:      "dynamic energy of the half-price structures (ratios, 4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	const entries, width, regs = 64, 4, 160
+	convWakeup := timing.WakeupEnergyPerBroadcast(timing.ConventionalScheduler(entries, width))
+	seqWakeup := timing.SequentialWakeupEnergyPerBroadcast(entries, width)
+	convRFPerInst := timing.RegfileEnergyPerRead(timing.BaseRegfile(regs, width)) // ~1 read/inst
+
+	res.Series = []Series{
+		{Label: "wakeup-energy", Values: r.perBench(func(string) float64 {
+			return seqWakeup / convWakeup
+		})},
+		{Label: "rf-energy", Values: r.perBench(func(b string) float64 {
+			st := r.Run(b, width, func(c *uarch.Config) {
+				c.Wakeup = uarch.WakeupSequential
+				c.Regfile = uarch.RFSequential
+			})
+			doubleFrac := float64(st.SeqRegAccesses) / float64(st.Committed)
+			seq := timing.SequentialAccessEnergyPerInst(regs, width, doubleFrac, 1.0)
+			return seq / convRFPerInst
+		})},
+	}
+	res.Notes = "per-event energy from the internal/timing activity models; the double-read rate is each benchmark's measured SeqRegAccesses/instruction"
+	return res
+}
+
+// AblationSelect compares selection policies under the half-price
+// combination: the paper's load/branch-priority oldest-first policy
+// versus pure-oldest and a cheap positional selector.
+func (r *Runner) AblationSelect() *Result {
+	res := &Result{
+		ID:         "Ablation A7",
+		Title:      "selection policy under the half-price machine (4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	halfPrice := func(p uarch.SelectPolicy) func(*uarch.Config) {
+		return func(c *uarch.Config) {
+			c.Wakeup = uarch.WakeupSequential
+			c.Regfile = uarch.RFSequential
+			c.Select = p
+		}
+	}
+	res.Series = []Series{
+		{Label: "load-branch-first", Values: r.normalised(4, halfPrice(uarch.SelectLoadBranchFirst))},
+		{Label: "oldest", Values: r.normalised(4, halfPrice(uarch.SelectOldestFirst))},
+		{Label: "positional", Values: r.normalised(4, halfPrice(uarch.SelectPositional))},
+	}
+	res.Notes = "normalised to the full-price base; the paper's priority classes matter most when loads gate dependent chains"
+	return res
+}
+
+// AblationSchedulerDesigns is the grand scheduler comparison: the
+// conventional atomic loop, sequential wakeup, and a two-stage pipelined
+// wakeup/select (the Hrishikesh/Stark alternative of §3's related work),
+// each as raw IPC and as frequency-adjusted performance under the timing
+// model. Pipelined wakeup clocks fastest but loses back-to-back issue;
+// sequential wakeup keeps back-to-back and most of the frequency — the
+// paper's central engineering argument, quantified.
+func (r *Runner) AblationSchedulerDesigns() *Result {
+	res := &Result{
+		ID:         "Ablation A8",
+		Title:      "scheduler design space: IPC and IPC x clock (4-wide, 64-entry)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	convDelay := timing.ConventionalScheduler(64, 4).Delay()
+	seqDelay := timing.SequentialWakeupScheduler(64, 4).Delay()
+	pipeDelay := timing.PipelinedSchedulerStageDelay(64, 4)
+
+	seqIPC := r.normalised(4, func(c *uarch.Config) { c.Wakeup = uarch.WakeupSequential })
+	pipeIPC := r.normalised(4, func(c *uarch.Config) { c.Wakeup = uarch.WakeupPipelined })
+	scale := func(v []float64, f float64) []float64 {
+		out := make([]float64, len(v))
+		for i := range v {
+			out[i] = v[i] * f
+		}
+		return out
+	}
+	res.Series = []Series{
+		{Label: "seqw-ipc", Values: seqIPC},
+		{Label: "pipe-ipc", Values: pipeIPC},
+		{Label: "seqw-perf", Values: scale(seqIPC, convDelay/seqDelay)},
+		{Label: "pipe-perf", Values: scale(pipeIPC, convDelay/pipeDelay)},
+	}
+	res.Notes = fmt.Sprintf("clocks: conventional %.0f ps, sequential %.0f ps, pipelined stage %.0f ps; perf = normalised IPC x clock gain",
+		convDelay, seqDelay, pipeDelay)
+	return res
+}
+
+// AblationBranchNoise measures how much of the half-price machine's
+// headroom comes from branch-misprediction slack: with an oracle front
+// end the pipeline runs denser, so the sequential wakeup/register-access
+// penalties have fewer idle slots to hide in.
+func (r *Runner) AblationBranchNoise() *Result {
+	res := &Result{
+		ID:         "Ablation A9",
+		Title:      "half-price cost with real vs oracle branch prediction (4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	comb := func(perfect bool) func(*uarch.Config) {
+		return func(c *uarch.Config) {
+			c.Wakeup = uarch.WakeupSequential
+			c.Regfile = uarch.RFSequential
+			c.PerfectBranchPred = perfect
+		}
+	}
+	// Each variant normalised against its matching baseline, so the
+	// ratios isolate the half-price cost at each pipeline density.
+	real := r.normalised(4, comb(false))
+	oracleBase := r.perBench(func(b string) float64 {
+		return r.Run(b, 4, func(c *uarch.Config) { c.PerfectBranchPred = true }).IPC()
+	})
+	oracleHP := r.perBench(func(b string) float64 {
+		return r.Run(b, 4, comb(true)).IPC()
+	})
+	oracle := make([]float64, len(oracleBase))
+	for i := range oracle {
+		oracle[i] = oracleHP[i] / oracleBase[i]
+	}
+	res.Series = []Series{
+		{Label: "real-bpred", Values: real},
+		{Label: "oracle-bpred", Values: oracle},
+	}
+	res.Notes = "each column normalised to its own baseline (real or oracle front end)"
+	return res
+}
+
+// AblationPrefetch adds a next-line DL1 prefetcher and asks whether a
+// better memory system changes the half-price story: fewer load misses
+// mean fewer replays and a denser pipeline, so the sequential penalties
+// have less slack — yet the degradation stays small.
+func (r *Runner) AblationPrefetch() *Result {
+	res := &Result{
+		ID:         "Ablation A10",
+		Title:      "DL1 next-line prefetch x half price (4-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	pf := func(c *uarch.Config) { c.Mem.DL1.NextLinePrefetch = true }
+	pfHP := func(c *uarch.Config) {
+		pf(c)
+		c.Wakeup = uarch.WakeupSequential
+		c.Regfile = uarch.RFSequential
+	}
+	pfBase := r.perBench(func(b string) float64 { return r.Run(b, 4, pf).IPC() })
+	res.Series = []Series{
+		// Prefetch speedup over the plain base machine.
+		{Label: "prefetch-speedup", Values: r.normalised(4, pf)},
+		// Half-price cost measured on the prefetching machine.
+		{Label: "halfprice-on-pf", Values: func() []float64 {
+			hp := r.perBench(func(b string) float64 { return r.Run(b, 4, pfHP).IPC() })
+			out := make([]float64, len(hp))
+			for i := range hp {
+				out[i] = hp[i] / pfBase[i]
+			}
+			return out
+		}()},
+	}
+	res.Notes = "prefetch-speedup is vs the paper's base memory system; halfprice-on-pf is normalised to the prefetching baseline"
+	return res
+}
+
+// CPIStacks breaks every benchmark's cycles into commit-outcome classes
+// (full/partial commit, front-end starvation, execution stall,
+// replay/verification wait) on the base 4-wide machine — the standard
+// "where do the cycles go" companion to Table 2.
+func (r *Runner) CPIStacks() *Result {
+	res := &Result{
+		ID:         "CPI stack",
+		Title:      "cycle breakdown on the base 4-wide machine",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	for c := uarch.CycleClass(0); c < uarch.CycleClass(uarch.NumCycleClasses); c++ {
+		c := c
+		res.Series = append(res.Series, Series{
+			Label:  c.String(),
+			Values: r.perBench(func(b string) float64 { return r.Base(b, 4).CycleFrac(c) }),
+		})
+	}
+	res.Notes = "fractions of all cycles; execution-stall dominance marks memory-bound benchmarks (mcf), front-end dominance marks mispredict-bound ones"
+	return res
+}
+
+// Ablations runs every ablation study.
+func (r *Runner) Ablations() []*Result {
+	return []*Result{
+		r.AblationSlowBus(),
+		r.AblationRecovery(),
+		r.AblationPredictors(),
+		r.AblationExtensions(),
+		r.AblationFrequency(),
+		r.AblationEnergy(),
+		r.AblationSelect(),
+		r.AblationSchedulerDesigns(),
+		r.AblationBranchNoise(),
+		r.AblationPrefetch(),
+	}
+}

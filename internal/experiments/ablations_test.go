@@ -1,0 +1,178 @@
+package experiments
+
+import "testing"
+
+func ablRunner() *Runner {
+	return NewRunner(Options{Insts: 40000, Benchmarks: []string{"crafty", "gzip", "mcf", "vpr"}})
+}
+
+func TestAblationSlowBusMonotone(t *testing.T) {
+	res := ablRunner().AblationSlowBus()
+	m1, _ := res.Mean("slow-1cy")
+	m2, _ := res.Mean("slow-2cy")
+	m3, _ := res.Mean("slow-3cy")
+	if m2 > m1+0.002 || m3 > m2+0.002 {
+		t.Fatalf("deeper slow bus should not help: %v %v %v", m1, m2, m3)
+	}
+	if m3 < 0.95 {
+		t.Fatalf("3-cycle slow bus mean %.4f — slack should absorb most of it", m3)
+	}
+}
+
+func TestAblationRecoveryComposition(t *testing.T) {
+	res := ablRunner().AblationRecovery()
+	baseSel, _ := res.Mean("base-selective")
+	seqSel, _ := res.Mean("seqw-selective")
+	seqNon, _ := res.Mean("seqw-nonsel")
+	// Selective recovery lifts the baseline (values normalised to the
+	// non-selective base).
+	if baseSel < 1.0 {
+		t.Fatalf("selective recovery should not lose to non-selective: %.4f", baseSel)
+	}
+	// The paper's §3.1 composition claim: sequential wakeup keeps its
+	// tiny cost on top of selective recovery.
+	if seqSel < baseSel-0.01 {
+		t.Fatalf("sequential wakeup on selective recovery lost %.4f vs %.4f", seqSel, baseSel)
+	}
+	if seqNon < 0.985 {
+		t.Fatalf("sequential wakeup on non-selective lost too much: %.4f", seqNon)
+	}
+}
+
+func TestAblationPredictorsComparable(t *testing.T) {
+	res := ablRunner().AblationPredictors()
+	biIPC, _ := res.Mean("bimodal-1k-ipc")
+	tlIPC, _ := res.Mean("twolevel-1k-ipc")
+	stIPC, _ := res.Mean("static-right-ipc")
+	// The paper's conclusion: bimodal ~ sophisticated designs, both
+	// better than static.
+	if tlIPC < biIPC-0.01 || tlIPC > biIPC+0.01 {
+		t.Fatalf("two-level IPC %.4f should be within a point of bimodal %.4f", tlIPC, biIPC)
+	}
+	if stIPC > biIPC+0.002 {
+		t.Fatalf("static %.4f should not beat bimodal %.4f", stIPC, biIPC)
+	}
+	biAcc, _ := res.Mean("bimodal-1k-acc")
+	stAcc, _ := res.Mean("static-right-acc")
+	if biAcc <= stAcc {
+		t.Fatalf("bimodal accuracy %.3f should exceed static %.3f", biAcc, stAcc)
+	}
+}
+
+func TestAblationExtensionsEnvelope(t *testing.T) {
+	res := ablRunner().AblationExtensions()
+	for _, label := range []string{"half-rename", "half-bypass", "everything"} {
+		m, ok := res.Mean(label)
+		if !ok {
+			t.Fatalf("missing series %s", label)
+		}
+		if m < 0.93 || m > 1.002 {
+			t.Errorf("%s mean %.4f outside [0.93, 1.0]", label, m)
+		}
+	}
+}
+
+func TestAblationFrequencyWins(t *testing.T) {
+	res := ablRunner().AblationFrequency()
+	perf, _ := res.Mean("perf-ratio")
+	ipc, _ := res.Mean("ipc-ratio")
+	if perf < 1.15 {
+		t.Fatalf("frequency-adjusted performance %.3f should show the ~24%% win", perf)
+	}
+	if ipc > 1.0 {
+		t.Fatalf("IPC ratio %.4f cannot exceed 1", ipc)
+	}
+}
+
+func TestAblationEnergySavings(t *testing.T) {
+	res := ablRunner().AblationEnergy()
+	wk, _ := res.Mean("wakeup-energy")
+	rf, _ := res.Mean("rf-energy")
+	if wk >= 1 || wk <= 0 {
+		t.Fatalf("wakeup energy ratio %.3f, want (0,1)", wk)
+	}
+	if rf >= 1 || rf <= 0 {
+		t.Fatalf("rf energy ratio %.3f, want (0,1)", rf)
+	}
+}
+
+func TestAblationSelectPolicies(t *testing.T) {
+	res := ablRunner().AblationSelect()
+	lb, _ := res.Mean("load-branch-first")
+	old, _ := res.Mean("oldest")
+	pos, _ := res.Mean("positional")
+	// The paper's policy should be at least as good as pure-oldest, and
+	// the positional selector should trail both.
+	if old > lb+0.01 {
+		t.Fatalf("pure-oldest %.4f should not beat load/branch priority %.4f", old, lb)
+	}
+	if pos > lb+0.005 {
+		t.Fatalf("positional %.4f should not beat the paper's policy %.4f", pos, lb)
+	}
+	if pos < 0.80 {
+		t.Fatalf("positional %.4f collapsed — selection model broken", pos)
+	}
+}
+
+func TestAblationSchedulerDesigns(t *testing.T) {
+	res := ablRunner().AblationSchedulerDesigns()
+	seqIPC, _ := res.Mean("seqw-ipc")
+	pipeIPC, _ := res.Mean("pipe-ipc")
+	seqPerf, _ := res.Mean("seqw-perf")
+	pipePerf, _ := res.Mean("pipe-perf")
+	// Pipelined wakeup breaks back-to-back issue: its IPC must be
+	// clearly below sequential wakeup's.
+	if pipeIPC > seqIPC-0.01 {
+		t.Fatalf("pipelined IPC %.4f should lose to sequential %.4f", pipeIPC, seqIPC)
+	}
+	if pipeIPC < 0.75 {
+		t.Fatalf("pipelined IPC %.4f collapsed", pipeIPC)
+	}
+	// Both beat the conventional machine once frequency is charged.
+	if seqPerf < 1.1 || pipePerf < 1.0 {
+		t.Fatalf("frequency-adjusted perf: seq %.3f, pipe %.3f", seqPerf, pipePerf)
+	}
+	// The paper's position: sequential wakeup's balance wins overall.
+	if pipePerf > seqPerf+0.05 {
+		t.Fatalf("pipelined perf %.3f should not dominate sequential %.3f", pipePerf, seqPerf)
+	}
+}
+
+func TestAblationBranchNoise(t *testing.T) {
+	res := ablRunner().AblationBranchNoise()
+	real, _ := res.Mean("real-bpred")
+	oracle, _ := res.Mean("oracle-bpred")
+	if real < 0.95 || real > 1.002 {
+		t.Fatalf("real-bpred half-price ratio %.4f out of envelope", real)
+	}
+	if oracle < 0.93 || oracle > 1.002 {
+		t.Fatalf("oracle-bpred half-price ratio %.4f out of envelope", oracle)
+	}
+}
+
+func TestAblationPrefetch(t *testing.T) {
+	// Use strided, miss-heavy benchmarks where next-line prefetch bites.
+	r := NewRunner(Options{Insts: 40000, Benchmarks: []string{"bzip", "mcf", "gzip"}})
+	res := r.AblationPrefetch()
+	sp, _ := res.Mean("prefetch-speedup")
+	if sp < 1.0 {
+		t.Fatalf("prefetch slowed the machine down on average: %.4f", sp)
+	}
+	hp, _ := res.Mean("halfprice-on-pf")
+	if hp < 0.95 || hp > 1.002 {
+		t.Fatalf("half-price on prefetching machine %.4f out of envelope", hp)
+	}
+}
+
+func TestAblationsComplete(t *testing.T) {
+	r := NewRunner(Options{Insts: 4000, Benchmarks: []string{"gzip"}})
+	all := r.Ablations()
+	if len(all) != 10 {
+		t.Fatalf("%d ablations", len(all))
+	}
+	for _, res := range all {
+		if res.ID == "" || len(res.Series) == 0 || res.Notes == "" {
+			t.Fatalf("malformed ablation %+v", res)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"halfprice/internal/uarch"
+)
+
+var (
+	sharedOnce   sync.Once
+	sharedRunner *Runner
+)
+
+// testRunner returns a memoised runner shared across the test suite so the
+// base machines simulate once.
+func testRunner() *Runner {
+	sharedOnce.Do(func() {
+		sharedRunner = NewRunner(Options{Insts: 120000})
+	})
+	return sharedRunner
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.insts() != 200000 {
+		t.Fatalf("default insts = %d", o.insts())
+	}
+	if len(o.benchmarks()) != 12 {
+		t.Fatalf("default benchmarks = %v", o.benchmarks())
+	}
+	o2 := Options{Insts: 5, Benchmarks: []string{"mcf"}}
+	if o2.insts() != 5 || len(o2.benchmarks()) != 1 {
+		t.Fatal("options not honoured")
+	}
+}
+
+func TestRunnerMemoisation(t *testing.T) {
+	r := NewRunner(Options{Insts: 5000, Benchmarks: []string{"gzip"}})
+	a := r.Base("gzip", 4)
+	b := r.Base("gzip", 4)
+	if a != b {
+		t.Fatal("identical configurations not memoised")
+	}
+	// A no-op mutation still produces the base configuration and must
+	// hit the same cache entry.
+	c := r.Run("gzip", 4, func(cfg *uarch.Config) {})
+	if c != a {
+		t.Fatal("equal configurations via mutation not memoised")
+	}
+}
+
+func TestTable2ShapeHolds(t *testing.T) {
+	res := testRunner().Table2BaseIPC()
+	if len(res.Series) != 4 || len(res.Benchmarks) != 12 {
+		t.Fatalf("table 2 shape: %d series, %d benchmarks", len(res.Series), len(res.Benchmarks))
+	}
+	for _, b := range res.Benchmarks {
+		got4, _ := res.Get("IPC-4w", b)
+		paper4, _ := res.Get("paper-4w", b)
+		if math.Abs(got4-paper4)/paper4 > 0.40 {
+			t.Errorf("%s: 4-wide IPC %.2f vs paper %.2f (>40%% off)", b, got4, paper4)
+		}
+		got8, _ := res.Get("IPC-8w", b)
+		if got8 < got4 {
+			t.Errorf("%s: 8-wide IPC %.2f below 4-wide %.2f", b, got8, got4)
+		}
+	}
+	// mcf is the memory-bound outlier: lowest IPC in the suite, both
+	// in the paper and here.
+	mcf, _ := res.Get("IPC-4w", "mcf")
+	for _, b := range res.Benchmarks {
+		if b == "mcf" {
+			continue
+		}
+		if v, _ := res.Get("IPC-4w", b); v < mcf {
+			t.Errorf("%s IPC %.2f below mcf %.2f — suite ordering broken", b, v, mcf)
+		}
+	}
+}
+
+func TestFigure2Range(t *testing.T) {
+	res := testRunner().Figure2Formats()
+	for i, b := range res.Benchmarks {
+		v := res.Series[0].Values[i]
+		if v < 0.13 || v > 0.42 {
+			t.Errorf("%s: 2-source-format %.3f outside the paper's 18-36%% band (tolerance applied)", b, v)
+		}
+		sum := res.Series[0].Values[i] + res.Series[1].Values[i] + res.Series[2].Values[i]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: categories sum to %.4f", b, sum)
+		}
+	}
+}
+
+func TestFigure3Funnel(t *testing.T) {
+	res := testRunner().Figure3Breakdown()
+	f2 := testRunner().Figure2Formats()
+	for i, b := range res.Benchmarks {
+		twoSrc, _ := res.Get("2-source", b)
+		if twoSrc < 0.05 || twoSrc > 0.26 {
+			t.Errorf("%s: 2-source %.3f outside the paper's 6-23%% band", b, twoSrc)
+		}
+		// The four categories reassemble Figure 2's 2-source-format bar.
+		sum := 0.0
+		for _, s := range res.Series {
+			sum += s.Values[i]
+		}
+		fmtFrac := f2.Series[0].Values[i]
+		if math.Abs(sum-fmtFrac) > 1e-9 {
+			t.Errorf("%s: breakdown sums to %.4f but Figure 2 reports %.4f", b, sum, fmtFrac)
+		}
+	}
+}
+
+func TestFigure4ZeroReadyMinority(t *testing.T) {
+	res := testRunner().Figure4ReadyAtInsert()
+	for i, b := range res.Benchmarks {
+		zero := res.Series[0].Values[i]
+		if zero > 0.30 {
+			t.Errorf("%s: 0-ready %.3f far above the paper's 4-16%%", b, zero)
+		}
+		sum := zero + res.Series[1].Values[i] + res.Series[2].Values[i]
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: ready buckets sum to %.4f", b, sum)
+		}
+	}
+}
+
+func TestFigure6SimultaneousRare(t *testing.T) {
+	res := testRunner().Figure6WakeupSlack()
+	for i, b := range res.Benchmarks {
+		if s0 := res.Series[0].Values[i]; s0 > 0.12 {
+			t.Errorf("%s: simultaneous wakeups %.3f (paper <3%%, tolerance 12%%)", b, s0)
+		}
+	}
+	if m, _ := res.Mean("slack-0"); m > 0.05 {
+		t.Errorf("mean simultaneous %.3f above 5%%", m)
+	}
+}
+
+func TestTable3Stability(t *testing.T) {
+	res := testRunner().Table3OperandOrder()
+	for _, b := range res.Benchmarks {
+		same, _ := res.Get("same-4w", b)
+		if same < 0.70 || same > 1.0 {
+			t.Errorf("%s: order stability %.3f outside the paper's 81-98%% band", b, same)
+		}
+	}
+	// Per-benchmark last-arriving biases: vortex right-heavy, perl
+	// left-heavy (Table 3).
+	vortex, _ := res.Get("left-4w", "vortex")
+	perl, _ := res.Get("left-4w", "perl")
+	if vortex >= perl {
+		t.Errorf("left-last: vortex %.2f should be below perl %.2f", vortex, perl)
+	}
+}
+
+func TestFigure7AccuracyImprovesWithSize(t *testing.T) {
+	res := testRunner().Figure7PredictorAccuracy()
+	small, _ := res.Mean("acc-128")
+	big, _ := res.Mean("acc-4096")
+	if big+0.02 < small {
+		t.Fatalf("4096-entry accuracy %.3f below 128-entry %.3f", big, small)
+	}
+	if big < 0.55 {
+		t.Fatalf("mean accuracy %.3f too low (paper ~85-95%%)", big)
+	}
+}
+
+func TestFigure10TwoPortNeedSmall(t *testing.T) {
+	res := testRunner().Figure10RegAccess()
+	for i, b := range res.Benchmarks {
+		need := res.Series[3].Values[i]
+		if need > 0.06 {
+			t.Errorf("%s: two-port need %.3f (paper <4%%)", b, need)
+		}
+		if math.Abs(need-(res.Series[1].Values[i]+res.Series[2].Values[i])) > 1e-9 {
+			t.Errorf("%s: 2-port-need != 2-ready + non-b2b", b)
+		}
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	res := testRunner().Figure14SeqWakeup()
+	for _, w := range []string{"4w", "8w"} {
+		seq, _ := res.Mean("seq-wakeup-" + w)
+		noPred, _ := res.Mean("no-pred-" + w)
+		tagE, _ := res.Mean("tag-elim-" + w)
+		if seq < 0.985 {
+			t.Errorf("%s: sequential wakeup mean %.4f (paper ~0.996)", w, seq)
+		}
+		if noPred > seq+0.003 {
+			t.Errorf("%s: no-predictor %.4f should not beat predictor %.4f", w, noPred, seq)
+		}
+		if noPred < 0.95 {
+			t.Errorf("%s: no-predictor mean %.4f too low (paper ~0.974-0.984)", w, noPred)
+		}
+		if tagE > 1.005 {
+			t.Errorf("%s: tag elimination mean %.4f above base", w, tagE)
+		}
+	}
+}
+
+func TestFigure15Shape(t *testing.T) {
+	res := testRunner().Figure15SeqRegAccess()
+	for _, w := range []string{"4w", "8w"} {
+		seqRF, _ := res.Mean("seq-rf-" + w)
+		xbar, _ := res.Mean("crossbar-" + w)
+		if seqRF < 0.97 {
+			t.Errorf("%s: sequential RF mean %.4f (paper ~0.99)", w, seqRF)
+		}
+		if xbar < 0.995 {
+			t.Errorf("%s: crossbar mean %.4f should stay near base", w, xbar)
+		}
+		worst, _ := res.Min("seq-rf-" + w)
+		if worst < 0.94 {
+			t.Errorf("%s: worst sequential RF %.4f (paper worst 2.2%%)", w, worst)
+		}
+	}
+}
+
+func TestFigure16Shape(t *testing.T) {
+	res := testRunner().Figure16Combined()
+	f14 := testRunner().Figure14SeqWakeup()
+	for _, w := range []string{"4w", "8w"} {
+		comb, _ := res.Mean("combined-" + w)
+		if comb < 0.95 || comb > 1.002 {
+			t.Errorf("%s: combined mean %.4f outside [0.95, 1.0] (paper: 2.2%% average loss)", w, comb)
+		}
+		seqOnly, _ := f14.Mean("seq-wakeup-" + w)
+		if comb > seqOnly+0.004 {
+			t.Errorf("%s: combined %.4f should not beat sequential wakeup alone %.4f", w, comb, seqOnly)
+		}
+		worst, _ := res.Min("combined-" + w)
+		if worst < 0.92 {
+			t.Errorf("%s: worst combined %.4f (paper worst 4.8%%)", w, worst)
+		}
+	}
+}
+
+func TestTimingClaims(t *testing.T) {
+	res := TimingClaims()
+	sched, _ := res.Get("speedup", "sched-4w-64e")
+	if math.Abs(sched-0.246) > 0.005 {
+		t.Fatalf("scheduler speedup %.3f, paper 24.6%%", sched)
+	}
+	rf, _ := res.Get("speedup", "regfile-160e-8w")
+	if math.Abs(rf-0.205) > 0.01 {
+		t.Fatalf("regfile speedup %.3f, paper 20.5%%", rf)
+	}
+}
+
+func TestResultHelpersAndRendering(t *testing.T) {
+	res := &Result{
+		ID:         "Figure X",
+		Title:      "demo",
+		Benchmarks: []string{"a", "b"},
+		Series:     []Series{{Label: "v", Values: []float64{1, 3}}},
+		Notes:      "hello",
+	}
+	if v, ok := res.Get("v", "b"); !ok || v != 3 {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	if _, ok := res.Get("v", "zzz"); ok {
+		t.Fatal("Get found unknown benchmark")
+	}
+	if _, ok := res.Get("zzz", "a"); ok {
+		t.Fatal("Get found unknown series")
+	}
+	if m, ok := res.Mean("v"); !ok || m != 2 {
+		t.Fatalf("Mean = %v, %v", m, ok)
+	}
+	if m, ok := res.Min("v"); !ok || m != 1 {
+		t.Fatalf("Min = %v, %v", m, ok)
+	}
+	if _, ok := res.Mean("zzz"); ok {
+		t.Fatal("Mean found unknown series")
+	}
+	if _, ok := res.Min("zzz"); ok {
+		t.Fatal("Min found unknown series")
+	}
+	s := res.String()
+	for _, want := range []string{"Figure X", "MEAN", "hello", "2.000"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered result missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestKernelModeRuns(t *testing.T) {
+	r := NewRunner(Options{UseKernels: true, Insts: 30000, Benchmarks: []string{"mcf", "parser"}})
+	res := r.Table2BaseIPC()
+	for _, b := range res.Benchmarks {
+		if v, _ := res.Get("IPC-4w", b); v <= 0 || v > 4 {
+			t.Fatalf("%s kernel IPC = %v", b, v)
+		}
+	}
+}
+
+func TestAllReturnsEveryArtifact(t *testing.T) {
+	r := NewRunner(Options{Insts: 4000, Benchmarks: []string{"gzip"}})
+	all := r.All()
+	if len(all) != 12 {
+		t.Fatalf("All returned %d results, want 12", len(all))
+	}
+	seen := map[string]bool{}
+	for _, res := range all {
+		if res.ID == "" || len(res.Series) == 0 {
+			t.Fatalf("malformed result %+v", res)
+		}
+		seen[res.ID] = true
+	}
+	for _, id := range []string{"Table 2", "Figure 2", "Figure 3", "Figure 4", "Figure 6",
+		"Table 3", "Figure 7", "Figure 10", "Figure 14", "Figure 15", "Figure 16", "Timing"} {
+		if !seen[id] {
+			t.Fatalf("missing artifact %s", id)
+		}
+	}
+}
+
+func TestUnknownBenchmarkPanics(t *testing.T) {
+	r := NewRunner(Options{Insts: 100, Benchmarks: []string{"frobnitz"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark accepted")
+		}
+	}()
+	r.Table2BaseIPC()
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV writes the result as RFC-4180 CSV: a header row of series
+// labels, one row per benchmark, and a final MEAN row — the same layout
+// as Table().
+func (res *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"benchmark"}, labels(res)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, b := range res.Benchmarks {
+		row := make([]string, 0, len(header))
+		row = append(row, b)
+		for _, s := range res.Series {
+			row = append(row, fmt.Sprintf("%.6f", s.Values[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	mean := []string{"MEAN"}
+	for _, s := range res.Series {
+		m, _ := res.Mean(s.Label)
+		mean = append(mean, fmt.Sprintf("%.6f", m))
+	}
+	if err := cw.Write(mean); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Markdown renders the result as a GitHub-flavoured markdown table with a
+// MEAN row, for report generation.
+func (res *Result) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", res.ID, res.Title)
+	b.WriteString("| benchmark |")
+	for _, s := range res.Series {
+		fmt.Fprintf(&b, " %s |", s.Label)
+	}
+	b.WriteString("\n|---|")
+	for range res.Series {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for i, bench := range res.Benchmarks {
+		fmt.Fprintf(&b, "| %s |", bench)
+		for _, s := range res.Series {
+			fmt.Fprintf(&b, " %.3f |", s.Values[i])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("| **MEAN** |")
+	for _, s := range res.Series {
+		m, _ := res.Mean(s.Label)
+		fmt.Fprintf(&b, " **%.3f** |", m)
+	}
+	b.WriteByte('\n')
+	if res.Notes != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", res.Notes)
+	}
+	return b.String()
+}
+
+func labels(res *Result) []string {
+	out := make([]string, len(res.Series))
+	for i, s := range res.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// MarshalJSON encodes the result with explicit field names so downstream
+// tooling gets a stable schema.
+func (res *Result) MarshalJSON() ([]byte, error) {
+	type series struct {
+		Label  string    `json:"label"`
+		Values []float64 `json:"values"`
+	}
+	out := struct {
+		ID         string   `json:"id"`
+		Title      string   `json:"title"`
+		Benchmarks []string `json:"benchmarks"`
+		Series     []series `json:"series"`
+		Notes      string   `json:"notes,omitempty"`
+	}{
+		ID:         res.ID,
+		Title:      res.Title,
+		Benchmarks: res.Benchmarks,
+		Notes:      res.Notes,
+	}
+	for _, s := range res.Series {
+		out.Series = append(out.Series, series(s))
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (res *Result) UnmarshalJSON(data []byte) error {
+	type series struct {
+		Label  string    `json:"label"`
+		Values []float64 `json:"values"`
+	}
+	var in struct {
+		ID         string   `json:"id"`
+		Title      string   `json:"title"`
+		Benchmarks []string `json:"benchmarks"`
+		Series     []series `json:"series"`
+		Notes      string   `json:"notes"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	res.ID, res.Title, res.Benchmarks, res.Notes = in.ID, in.Title, in.Benchmarks, in.Notes
+	res.Series = res.Series[:0]
+	for _, s := range in.Series {
+		res.Series = append(res.Series, Series(s))
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func demoResult() *Result {
+	return &Result{
+		ID:         "Figure 99",
+		Title:      "demo",
+		Benchmarks: []string{"a", "b"},
+		Series: []Series{
+			{Label: "x", Values: []float64{1, 2}},
+			{Label: "y", Values: []float64{0.5, 0.25}},
+		},
+		Notes: "n",
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := demoResult().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "benchmark,x,y" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,1.000000,0.500000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "MEAN,1.500000,0.375000") {
+		t.Fatalf("mean = %q", lines[3])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := demoResult()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"Figure 99"`, `"label":"x"`, `"notes":"n"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("json missing %s: %s", want, data)
+		}
+	}
+	var back Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig, &back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", orig, &back)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := demoResult().Markdown()
+	for _, want := range []string{
+		"### Figure 99 — demo",
+		"| benchmark | x | y |",
+		"| a | 1.000 | 0.500 |",
+		"| **MEAN** | **1.500** | **0.375** |",
+		"*n*",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestJSONUnmarshalRejectsGarbage(t *testing.T) {
+	var r Result
+	if err := json.Unmarshal([]byte(`{"id": 5}`), &r); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

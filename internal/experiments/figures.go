@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halfprice/internal/trace"
+	"halfprice/internal/uarch"
+)
+
+// perBench evaluates one value for every benchmark.
+func (r *Runner) perBench(f func(bench string) float64) []float64 {
+	out := make([]float64, 0, len(r.opts.benchmarks()))
+	for _, b := range r.opts.benchmarks() {
+		out = append(out, f(b))
+	}
+	return out
+}
+
+// Table2BaseIPC reproduces Table 2: base-machine IPC per benchmark on the
+// 4- and 8-wide configurations, next to the paper's values.
+func (r *Runner) Table2BaseIPC() *Result {
+	res := &Result{
+		ID:         "Table 2",
+		Title:      "base IPC (4- and 8-wide)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	res.Series = []Series{
+		{Label: "IPC-4w", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).IPC() })},
+		{Label: "paper-4w", Values: r.perBench(func(b string) float64 { return trace.BaseIPCPaper[b][0] })},
+		{Label: "IPC-8w", Values: r.perBench(func(b string) float64 { return r.Base(b, 8).IPC() })},
+		{Label: "paper-8w", Values: r.perBench(func(b string) float64 { return trace.BaseIPCPaper[b][1] })},
+	}
+	res.Notes = "paper columns are Table 2's reference values (SPEC binaries on SimpleScalar)"
+	return res
+}
+
+// Figure2Formats reproduces Figure 2: the fraction of dynamic instructions
+// with a 2-source format, with stores in their own category.
+func (r *Runner) Figure2Formats() *Result {
+	res := &Result{
+		ID:         "Figure 2",
+		Title:      "2-source-format instructions (stores separate)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	res.Series = []Series{
+		{Label: "2src-format", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).Frac2SourceFormat() })},
+		{Label: "stores", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).FracStores() })},
+		{Label: "other", Values: r.perBench(func(b string) float64 {
+			st := r.Base(b, 4)
+			return 1 - st.Frac2SourceFormat() - st.FracStores()
+		})},
+	}
+	res.Notes = "paper: 18-36% of dynamic instructions use the 2-source format"
+	return res
+}
+
+// Figure3Breakdown reproduces Figure 3: 2-source-format instructions by
+// the number of unique source operands (fractions of all instructions).
+func (r *Runner) Figure3Breakdown() *Result {
+	res := &Result{
+		ID:         "Figure 3",
+		Title:      "breakdown of 2-source-format instructions",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	frac := func(class int) func(string) float64 {
+		return func(b string) float64 {
+			st := r.Base(b, 4)
+			if st.Committed == 0 {
+				return 0
+			}
+			return float64(st.ClassCounts[class]) / float64(st.Committed)
+		}
+	}
+	res.Series = []Series{
+		{Label: "nop", Values: r.perBench(frac(2))},
+		{Label: "zero-reg", Values: r.perBench(frac(3))},
+		{Label: "identical", Values: r.perBench(frac(4))},
+		{Label: "2-source", Values: r.perBench(frac(5))},
+	}
+	res.Notes = "paper: 6-23% of instructions have two unique non-zero sources"
+	return res
+}
+
+// Figure4ReadyAtInsert reproduces Figure 4: 2-source instructions by the
+// number of operands already ready at scheduler insert (fractions of
+// 2-source instructions, 4-wide machine).
+func (r *Runner) Figure4ReadyAtInsert() *Result {
+	res := &Result{
+		ID:         "Figure 4",
+		Title:      "ready operands of 2-source instructions at insert",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	frac := func(ready int) func(string) float64 {
+		return func(b string) float64 {
+			st := r.Base(b, 4)
+			n := st.Num2Source()
+			if n == 0 {
+				return 0
+			}
+			return float64(st.ReadyAtInsert[ready]) / float64(n)
+		}
+	}
+	res.Series = []Series{
+		{Label: "0-ready", Values: r.perBench(frac(0))},
+		{Label: "1-ready", Values: r.perBench(frac(1))},
+		{Label: "2-ready", Values: r.perBench(frac(2))},
+	}
+	res.Notes = "paper: only 4-16% have two unresolved operands at insert"
+	return res
+}
+
+// Figure6WakeupSlack reproduces Figure 6: cycles between the two operand
+// wakeups of 2-pending-source instructions (4-wide machine).
+func (r *Runner) Figure6WakeupSlack() *Result {
+	res := &Result{
+		ID:         "Figure 6",
+		Title:      "slack between two operand wakeups",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	frac := func(slack int) func(string) float64 {
+		return func(b string) float64 { return r.Base(b, 4).WakeupSlack.Fraction(slack) }
+	}
+	res.Series = []Series{
+		{Label: "slack-0", Values: r.perBench(frac(0))},
+		{Label: "slack-1", Values: r.perBench(frac(1))},
+		{Label: "slack-2", Values: r.perBench(frac(2))},
+		{Label: "slack-3+", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).WakeupSlack.OverflowFraction() })},
+	}
+	res.Notes = "paper: under 3% of 2-pending instructions wake both operands in the same cycle"
+	return res
+}
+
+// Table3OperandOrder reproduces Table 3: wakeup-order stability (same as
+// the previous dynamic instance at the same PC) and the left/right
+// last-arriving split, on both machine widths.
+func (r *Runner) Table3OperandOrder() *Result {
+	res := &Result{
+		ID:         "Table 3",
+		Title:      "operand wakeup order and last-arriving side",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	res.Series = []Series{
+		{Label: "same-4w", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).OrderSameFrac() })},
+		{Label: "left-4w", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).LastLeftFrac() })},
+		{Label: "same-8w", Values: r.perBench(func(b string) float64 { return r.Base(b, 8).OrderSameFrac() })},
+		{Label: "left-8w", Values: r.perBench(func(b string) float64 { return r.Base(b, 8).LastLeftFrac() })},
+	}
+	res.Notes = "paper: ~90% order stability; last-arriving side near 50/50 with per-benchmark biases"
+	return res
+}
+
+// Figure7PredictorAccuracy reproduces Figure 7: last-arriving operand
+// prediction accuracy versus table size (128..4096 entries, 4-wide).
+func (r *Runner) Figure7PredictorAccuracy() *Result {
+	res := &Result{
+		ID:         "Figure 7",
+		Title:      "last-arriving operand predictor accuracy vs table size",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	for _, entries := range []int{128, 256, 512, 1024, 2048, 4096} {
+		entries := entries
+		res.Series = append(res.Series, Series{
+			Label: fmt.Sprintf("acc-%d", entries),
+			Values: r.perBench(func(b string) float64 {
+				st := r.Run(b, 4, func(c *uarch.Config) {
+					c.Wakeup = uarch.WakeupSequential
+					c.OpPredEntries = entries
+				})
+				return st.OpPredAccuracy()
+			}),
+		})
+	}
+	res.Series = append(res.Series, Series{
+		Label: "simultaneous",
+		Values: r.perBench(func(b string) float64 {
+			st := r.Run(b, 4, func(c *uarch.Config) { c.Wakeup = uarch.WakeupSequential })
+			return st.FracSimultaneous()
+		}),
+	})
+	res.Notes = "accuracy over 2-pending-source instructions; simultaneous wakeups shown separately as in the paper"
+	return res
+}
+
+// Figure10RegAccess reproduces Figure 10: where 2-source instructions get
+// their source values (fractions of all committed instructions).
+func (r *Runner) Figure10RegAccess() *Result {
+	res := &Result{
+		ID:         "Figure 10",
+		Title:      "register access characterisation of 2-source instructions",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	frac := func(pick func(*uarch.Stats) uint64) func(string) float64 {
+		return func(b string) float64 {
+			st := r.Base(b, 4)
+			if st.Committed == 0 {
+				return 0
+			}
+			return float64(pick(st)) / float64(st.Committed)
+		}
+	}
+	res.Series = []Series{
+		{Label: "back-to-back", Values: r.perBench(frac(func(s *uarch.Stats) uint64 { return s.RegBackToBack }))},
+		{Label: "2-ready", Values: r.perBench(frac(func(s *uarch.Stats) uint64 { return s.RegTwoReady }))},
+		{Label: "non-b2b", Values: r.perBench(frac(func(s *uarch.Stats) uint64 { return s.RegNonBackToBack }))},
+		{Label: "2-port-need", Values: r.perBench(func(b string) float64 { return r.Base(b, 4).FracTwoPortNeed() })},
+	}
+	res.Notes = "paper: 2-ready + non-back-to-back (= two port reads) stays under ~4% of instructions"
+	return res
+}
+
+// normalised returns scheme IPC / base IPC per benchmark for a width.
+func (r *Runner) normalised(width int, mutate func(*uarch.Config)) []float64 {
+	return r.perBench(func(b string) float64 {
+		return r.Run(b, width, mutate).IPC() / r.Base(b, width).IPC()
+	})
+}
+
+// Figure14SeqWakeup reproduces Figure 14: IPC of sequential wakeup (with
+// the 1k-entry predictor), tag elimination, and sequential wakeup without
+// a predictor, normalised to base, on both widths.
+func (r *Runner) Figure14SeqWakeup() *Result {
+	res := &Result{
+		ID:         "Figure 14",
+		Title:      "performance of sequential wakeup (normalised IPC)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	seqW := func(c *uarch.Config) { c.Wakeup = uarch.WakeupSequential }
+	tagE := func(c *uarch.Config) { c.Wakeup = uarch.WakeupTagElim }
+	noPred := func(c *uarch.Config) {
+		c.Wakeup = uarch.WakeupSequential
+		c.OpPred = uarch.OpPredStaticRight
+	}
+	for _, w := range []int{4, 8} {
+		res.Series = append(res.Series,
+			Series{Label: fmt.Sprintf("seq-wakeup-%dw", w), Values: r.normalised(w, seqW)},
+			Series{Label: fmt.Sprintf("tag-elim-%dw", w), Values: r.normalised(w, tagE)},
+			Series{Label: fmt.Sprintf("no-pred-%dw", w), Values: r.normalised(w, noPred)},
+		)
+	}
+	res.Notes = "paper: seq wakeup loses 0.4%/0.6% on average; without a predictor 1.6%/2.6%; tag elimination is worse in most benchmarks"
+	return res
+}
+
+// Figure15SeqRegAccess reproduces Figure 15: IPC of sequential register
+// access, a register file with one extra pipeline stage, and half the
+// ports behind a crossbar, normalised to base, on both widths.
+func (r *Runner) Figure15SeqRegAccess() *Result {
+	res := &Result{
+		ID:         "Figure 15",
+		Title:      "performance of sequential register access (normalised IPC)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	for _, w := range []int{4, 8} {
+		res.Series = append(res.Series,
+			Series{Label: fmt.Sprintf("seq-rf-%dw", w), Values: r.normalised(w, func(c *uarch.Config) { c.Regfile = uarch.RFSequential })},
+			Series{Label: fmt.Sprintf("extra-stage-%dw", w), Values: r.normalised(w, func(c *uarch.Config) { c.Regfile = uarch.RFExtraStage })},
+			Series{Label: fmt.Sprintf("crossbar-%dw", w), Values: r.normalised(w, func(c *uarch.Config) { c.Regfile = uarch.RFHalfCrossbar })},
+		)
+	}
+	res.Notes = "paper: seq RF access loses 1.1%/0.7% on average (worst 2.2%, eon); the crossbar stays near base at the cost of global arbitration"
+	return res
+}
+
+// Figure16Combined reproduces Figure 16: sequential wakeup and sequential
+// register access applied together, normalised to base, on both widths.
+func (r *Runner) Figure16Combined() *Result {
+	res := &Result{
+		ID:         "Figure 16",
+		Title:      "combined sequential wakeup + sequential register access",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	comb := func(c *uarch.Config) {
+		c.Wakeup = uarch.WakeupSequential
+		c.Regfile = uarch.RFSequential
+	}
+	for _, w := range []int{4, 8} {
+		res.Series = append(res.Series, Series{
+			Label:  fmt.Sprintf("combined-%dw", w),
+			Values: r.normalised(w, comb),
+		})
+	}
+	res.Notes = "paper: 2.2% average degradation, worst case 4.8% (bzip, 8-wide)"
+	return res
+}
+
+// All runs every experiment in paper order.
+func (r *Runner) All() []*Result {
+	return []*Result{
+		r.Table2BaseIPC(),
+		r.Figure2Formats(),
+		r.Figure3Breakdown(),
+		r.Figure4ReadyAtInsert(),
+		r.Figure6WakeupSlack(),
+		r.Table3OperandOrder(),
+		r.Figure7PredictorAccuracy(),
+		r.Figure10RegAccess(),
+		r.Figure14SeqWakeup(),
+		r.Figure15SeqRegAccess(),
+		r.Figure16Combined(),
+		TimingClaims(),
+	}
+}

@@ -1,0 +1,205 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment function returns a structured Result that
+// renders to the same rows/series the paper reports; cmd/figures and the
+// repository's benchmark harness drive them.
+//
+// Workloads default to the calibrated synthetic traces (internal/trace),
+// which are fitted to the paper's own characterisation of SPEC CINT2000;
+// Options.UseKernels switches to the hand-written execution-driven
+// kernels (internal/workloads) instead.
+package experiments
+
+import (
+	"fmt"
+
+	"halfprice/internal/stats"
+	"halfprice/internal/trace"
+	"halfprice/internal/uarch"
+	"halfprice/internal/vm"
+	"halfprice/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Insts bounds the dynamic instructions simulated per benchmark
+	// (default 200000; the paper runs billions — the distributions
+	// stabilise far earlier at this scale).
+	Insts uint64
+	// Benchmarks restricts the benchmark set (default: all twelve).
+	Benchmarks []string
+	// UseKernels selects the execution-driven assembly kernels instead
+	// of the calibrated synthetic traces.
+	UseKernels bool
+	// Warmup discards the first N committed instructions' statistics
+	// (caches and predictors stay warm); it is added on top of Insts, so
+	// Insts instructions are always measured.
+	Warmup uint64
+}
+
+func (o Options) insts() uint64 {
+	if o.Insts == 0 {
+		return 200000
+	}
+	return o.Insts
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) == 0 {
+		return trace.BenchmarkNames
+	}
+	return o.Benchmarks
+}
+
+// Runner executes simulations with memoisation, so experiments that share
+// a configuration (every figure needs the base machine) run it once.
+type Runner struct {
+	opts  Options
+	cache map[runKey]*uarch.Stats
+}
+
+type runKey struct {
+	bench string
+	cfg   uarch.Config
+}
+
+// NewRunner returns a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, cache: make(map[runKey]*uarch.Stats)}
+}
+
+// Options returns the runner's options.
+func (r *Runner) Options() Options { return r.opts }
+
+func (r *Runner) stream(bench string) trace.Stream {
+	budget := r.opts.insts() + r.opts.Warmup
+	if r.opts.UseKernels {
+		return trace.NewVMStream(vm.New(workloads.MustProgram(bench)), budget)
+	}
+	p, ok := trace.ProfileByName(bench)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
+	}
+	return trace.NewSynthetic(p, budget)
+}
+
+// config returns the machine configuration for a width with a mutation.
+func config(width int, mutate func(*uarch.Config)) uarch.Config {
+	var cfg uarch.Config
+	if width == 8 {
+		cfg = uarch.Config8Wide()
+	} else {
+		cfg = uarch.Config4Wide()
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+// Run simulates one benchmark on one configuration (memoised).
+func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch.Stats {
+	cfg := config(width, mutate)
+	cfg.WarmupInsts = r.opts.Warmup
+	key := runKey{bench: bench, cfg: cfg}
+	if st, ok := r.cache[key]; ok {
+		return st
+	}
+	st := uarch.New(cfg, r.stream(bench)).Run()
+	r.cache[key] = st
+	return st
+}
+
+// Base simulates the baseline machine.
+func (r *Runner) Base(bench string, width int) *uarch.Stats {
+	return r.Run(bench, width, nil)
+}
+
+// Series is one labelled value-per-benchmark column of a Result.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Result is one reproduced table or figure.
+type Result struct {
+	ID         string // e.g. "Figure 14"
+	Title      string
+	Benchmarks []string
+	Series     []Series
+	Notes      string
+}
+
+// Get returns the value of the labelled series for a benchmark.
+func (res *Result) Get(label, bench string) (float64, bool) {
+	bi := -1
+	for i, b := range res.Benchmarks {
+		if b == bench {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		return 0, false
+	}
+	for _, s := range res.Series {
+		if s.Label == label {
+			return s.Values[bi], true
+		}
+	}
+	return 0, false
+}
+
+// Mean returns the arithmetic mean of the labelled series.
+func (res *Result) Mean(label string) (float64, bool) {
+	for _, s := range res.Series {
+		if s.Label == label {
+			return stats.Mean(s.Values), true
+		}
+	}
+	return 0, false
+}
+
+// Min returns the minimum of the labelled series.
+func (res *Result) Min(label string) (float64, bool) {
+	for _, s := range res.Series {
+		if s.Label == label {
+			return stats.Min(s.Values), true
+		}
+	}
+	return 0, false
+}
+
+// Table renders the result as a text table with one row per benchmark and
+// a final mean row.
+func (res *Result) Table() *stats.Table {
+	cols := make([]string, 0, len(res.Series)+1)
+	cols = append(cols, "benchmark")
+	for _, s := range res.Series {
+		cols = append(cols, s.Label)
+	}
+	t := stats.NewTable(fmt.Sprintf("%s: %s", res.ID, res.Title), cols...)
+	for i, b := range res.Benchmarks {
+		cells := make([]interface{}, 0, len(cols))
+		cells = append(cells, b)
+		for _, s := range res.Series {
+			cells = append(cells, s.Values[i])
+		}
+		t.AddRowf(cells...)
+	}
+	mean := make([]interface{}, 0, len(cols))
+	mean = append(mean, "MEAN")
+	for _, s := range res.Series {
+		mean = append(mean, stats.Mean(s.Values))
+	}
+	t.AddRowf(mean...)
+	return t
+}
+
+// String renders the result (table plus notes).
+func (res *Result) String() string {
+	s := res.Table().String()
+	if res.Notes != "" {
+		s += "note: " + res.Notes + "\n"
+	}
+	return s
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"halfprice/internal/timing"
+)
+
+// TimingClaims reproduces the paper's circuit-level claims (§3.3 and §4):
+// the sequential-wakeup scheduler speedup and the half-read-ported
+// register file access-time reduction.
+func TimingClaims() *Result {
+	res := &Result{
+		ID:         "Timing",
+		Title:      "circuit-delay claims (ps / ns / ratios)",
+		Benchmarks: []string{"sched-4w-64e", "regfile-160e-8w"},
+	}
+	conv := timing.ConventionalScheduler(64, 4).Delay()
+	seq := timing.SequentialWakeupScheduler(64, 4).Delay()
+	base := timing.BaseRegfile(160, 8).AccessTime()
+	half := timing.HalfPriceRegfile(160, 8).AccessTime()
+	res.Series = []Series{
+		{Label: "baseline", Values: []float64{conv, base}},
+		{Label: "half-price", Values: []float64{seq, half}},
+		{Label: "speedup", Values: []float64{
+			timing.SchedulerSpeedup(64, 4),
+			timing.RegfileSpeedup(160, 8),
+		}},
+	}
+	res.Notes = "paper: 466->374 ps (24.6%) for the scheduler; 1.71->1.36 ns (20.5%) for the 24->16 port register file"
+	return res
+}

@@ -1,0 +1,142 @@
+package isa
+
+import "fmt"
+
+// HPA64 binary encoding: a fixed 64-bit instruction word.
+//
+//	bits  0..7   opcode
+//	bits  8..15  rd
+//	bits 16..23  ra
+//	bits 24..31  rb
+//	bits 32..63  imm (two's-complement 32-bit)
+//
+// Register fields unused by the opcode's format encode as 0xFF and decode
+// back to RegNone, so Encode/Decode is a bijection on canonical
+// instructions (a property test in this package checks the round trip).
+
+// ErrBadEncoding is returned by Decode for words that do not decode to a
+// valid instruction.
+type ErrBadEncoding struct {
+	Word   uint64
+	Reason string
+}
+
+func (e *ErrBadEncoding) Error() string {
+	return fmt.Sprintf("isa: bad encoding %#016x: %s", e.Word, e.Reason)
+}
+
+// Canonicalize returns in with every field not used by the opcode's format
+// forced to its canonical value (RegNone for unused register slots, zero
+// for unused immediates). The assembler and trace generators produce
+// canonical instructions; Encode requires them.
+func Canonicalize(in Inst) Inst {
+	out := Inst{Op: in.Op, Rd: RegNone, Ra: RegNone, Rb: RegNone}
+	switch in.Op.Format() {
+	case FmtR:
+		out.Rd, out.Ra, out.Rb = in.Rd, in.Ra, in.Rb
+	case FmtI:
+		out.Rd, out.Ra, out.Imm = in.Rd, in.Ra, in.Imm
+		if in.Op == OpPUTC {
+			out.Rd, out.Imm = RegNone, 0
+		}
+	case FmtR1:
+		out.Rd, out.Ra = in.Rd, in.Ra
+	case FmtLI:
+		out.Rd, out.Imm = in.Rd, in.Imm
+	case FmtLoad, FmtStore:
+		out.Rd, out.Ra, out.Imm = in.Rd, in.Ra, in.Imm
+	case FmtBranch:
+		out.Ra, out.Imm = in.Ra, in.Imm
+	case FmtBr:
+		out.Rd, out.Imm = in.Rd, in.Imm
+	case FmtJmp:
+		out.Rd, out.Ra = in.Rd, in.Ra
+	case FmtNone:
+	}
+	return out
+}
+
+func encReg(r Reg) uint64 {
+	if !r.Valid() {
+		return 0xFF
+	}
+	return uint64(r)
+}
+
+// Encode packs a canonical instruction into its 64-bit word. It panics on
+// immediates that do not fit in 32 bits, which the assembler guards
+// against; direct API users should call Canonicalize first.
+func Encode(in Inst) uint64 {
+	in = Canonicalize(in)
+	if in.Imm > 1<<31-1 || in.Imm < -(1<<31) {
+		panic(fmt.Sprintf("isa: immediate %d does not fit in 32 bits for %v", in.Imm, in))
+	}
+	w := uint64(in.Op)
+	w |= encReg(in.Rd) << 8
+	w |= encReg(in.Ra) << 16
+	w |= encReg(in.Rb) << 24
+	w |= uint64(uint32(int32(in.Imm))) << 32
+	return w
+}
+
+func decReg(b uint64) (Reg, bool) {
+	if b == 0xFF {
+		return RegNone, true
+	}
+	r := Reg(b)
+	return r, r.Valid()
+}
+
+// Decode unpacks a 64-bit instruction word.
+func Decode(w uint64) (Inst, error) {
+	op := Opcode(w & 0xFF)
+	if !op.Valid() {
+		return Inst{}, &ErrBadEncoding{w, "invalid opcode"}
+	}
+	rd, ok1 := decReg((w >> 8) & 0xFF)
+	ra, ok2 := decReg((w >> 16) & 0xFF)
+	rb, ok3 := decReg((w >> 24) & 0xFF)
+	if !ok1 || !ok2 || !ok3 {
+		return Inst{}, &ErrBadEncoding{w, "register field out of range"}
+	}
+	in := Inst{Op: op, Rd: rd, Ra: ra, Rb: rb, Imm: int64(int32(uint32(w >> 32)))}
+	// Reject words whose used register fields are absent: every format's
+	// operative slots must name real registers.
+	f := op.Format()
+	need := func(r Reg) bool { return r.Valid() }
+	switch f {
+	case FmtR:
+		if !need(in.Rd) || !need(in.Ra) || !need(in.Rb) {
+			return Inst{}, &ErrBadEncoding{w, "missing register in R format"}
+		}
+	case FmtI:
+		if op == OpPUTC {
+			if !need(in.Ra) {
+				return Inst{}, &ErrBadEncoding{w, "missing register in putc"}
+			}
+		} else if !need(in.Rd) || !need(in.Ra) {
+			return Inst{}, &ErrBadEncoding{w, "missing register in I format"}
+		}
+	case FmtR1:
+		if !need(in.Rd) || !need(in.Ra) {
+			return Inst{}, &ErrBadEncoding{w, "missing register in R1 format"}
+		}
+	case FmtLI, FmtBr:
+		if !need(in.Rd) {
+			return Inst{}, &ErrBadEncoding{w, "missing destination register"}
+		}
+	case FmtLoad, FmtStore:
+		if !need(in.Rd) || !need(in.Ra) {
+			return Inst{}, &ErrBadEncoding{w, "missing register in memory format"}
+		}
+	case FmtBranch:
+		if !need(in.Ra) {
+			return Inst{}, &ErrBadEncoding{w, "missing register in branch"}
+		}
+	case FmtJmp:
+		if !need(in.Rd) || !need(in.Ra) {
+			return Inst{}, &ErrBadEncoding{w, "missing register in jmp"}
+		}
+	}
+	return Canonicalize(in), nil
+}

@@ -1,0 +1,353 @@
+package isa
+
+import "fmt"
+
+// Format identifies the operand layout of an instruction, which determines
+// how many register *source fields* it has. The paper's Figure 2 counts
+// instructions by format class before refining by actual register usage.
+type Format uint8
+
+const (
+	// FmtR is the three-register format: op rd, ra, rb (two source fields).
+	FmtR Format = iota
+	// FmtI is the register+immediate format: op rd, ra, imm (one source field).
+	FmtI
+	// FmtR1 is the two-register format: op rd, ra (one source field);
+	// used by FP moves and conversions.
+	FmtR1
+	// FmtLI loads an immediate: op rd, imm (zero source fields).
+	FmtLI
+	// FmtLoad is a load: op rd, imm(ra) (one source field). HPA64, like
+	// Alpha, has no reg+reg addressing mode.
+	FmtLoad
+	// FmtStore is a store: op rs, imm(ra) (two source fields: the data
+	// register and the base register). Stores are classified separately
+	// throughout the paper because the core splits them into address
+	// generation and a data move, neither of which needs two sources.
+	FmtStore
+	// FmtBranch is a conditional branch: op ra, disp (one source field,
+	// comparing ra against zero — exactly Alpha's branch format).
+	FmtBranch
+	// FmtBr is a PC-relative unconditional branch/call: op rd, disp
+	// (zero source fields; rd receives the return address, r31 to discard).
+	FmtBr
+	// FmtJmp is an indirect jump/call: op rd, (ra) (one source field).
+	FmtJmp
+	// FmtNone has no operands (HALT).
+	FmtNone
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FmtR:
+		return "R"
+	case FmtI:
+		return "I"
+	case FmtR1:
+		return "R1"
+	case FmtLI:
+		return "LI"
+	case FmtLoad:
+		return "Load"
+	case FmtStore:
+		return "Store"
+	case FmtBranch:
+		return "Branch"
+	case FmtBr:
+		return "Br"
+	case FmtJmp:
+		return "Jmp"
+	case FmtNone:
+		return "None"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// NumSrcFields returns the number of register source fields in the format.
+// This is the static property behind the paper's "2-source format" count.
+func (f Format) NumSrcFields() int {
+	switch f {
+	case FmtR, FmtStore:
+		return 2
+	case FmtI, FmtR1, FmtLoad, FmtBranch, FmtJmp:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ExecClass groups opcodes by the functional unit that executes them.
+// Latencies are assigned per class by the machine configuration (Table 1).
+type ExecClass uint8
+
+const (
+	ClassIntALU ExecClass = iota
+	ClassIntMult
+	ClassIntDiv
+	ClassFpALU
+	ClassFpMult
+	ClassFpDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional and unconditional control transfers
+	ClassSys    // HALT, PUTC: executed at commit, no result
+	numExecClasses
+)
+
+// NumExecClasses is the number of distinct execution classes.
+const NumExecClasses = int(numExecClasses)
+
+// String names the execution class.
+func (c ExecClass) String() string {
+	switch c {
+	case ClassIntALU:
+		return "IntALU"
+	case ClassIntMult:
+		return "IntMult"
+	case ClassIntDiv:
+		return "IntDiv"
+	case ClassFpALU:
+		return "FpALU"
+	case ClassFpMult:
+		return "FpMult"
+	case ClassFpDiv:
+		return "FpDiv"
+	case ClassLoad:
+		return "Load"
+	case ClassStore:
+		return "Store"
+	case ClassBranch:
+		return "Branch"
+	case ClassSys:
+		return "Sys"
+	}
+	return fmt.Sprintf("ExecClass(%d)", uint8(c))
+}
+
+// Opcode enumerates every HPA64 operation.
+type Opcode uint8
+
+const (
+	OpInvalid Opcode = iota
+
+	// Integer register-register arithmetic and logic (FmtR).
+	OpADD
+	OpSUB
+	OpMUL
+	OpDIV
+	OpREM
+	OpAND
+	OpOR
+	OpXOR
+	OpANDNOT
+	OpSLL
+	OpSRL
+	OpSRA
+	OpCMPEQ
+	OpCMPLT
+	OpCMPLE
+	OpCMPULT
+
+	// Integer register-immediate forms (FmtI).
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpCMPEQI
+	OpCMPLTI
+	OpCMPLEI
+
+	// Immediate loads (FmtLI / FmtI).
+	OpLDI  // rd = signext(imm32)            (FmtLI)
+	OpLDIH // rd = ra + (imm32 << 32)        (FmtI)
+
+	// Floating point (FmtR unless noted).
+	OpFADD
+	OpFSUB
+	OpFMUL
+	OpFDIV
+	OpFCMPEQ // writes an integer register
+	OpFCMPLT // writes an integer register
+	OpFCMPLE // writes an integer register
+	OpFMOV   // FmtR1
+	OpFNEG   // FmtR1
+	OpFABS   // FmtR1
+	OpFSQRT  // FmtR1, divider latency
+	OpITOF   // FmtR1: int reg -> fp reg (bit convert to float64 value)
+	OpFTOI   // FmtR1: fp reg -> int reg (truncate)
+
+	// Memory (FmtLoad / FmtStore).
+	OpLDQ  // 64-bit load
+	OpLDL  // 32-bit sign-extending load
+	OpLDBU // 8-bit zero-extending load
+	OpLDF  // fp load
+	OpSTQ
+	OpSTL
+	OpSTB
+	OpSTF
+
+	// Control (FmtBranch / FmtBr / FmtJmp).
+	OpBEQZ
+	OpBNEZ
+	OpBLTZ
+	OpBGEZ
+	OpBGTZ
+	OpBLEZ
+	OpBR  // unconditional PC-relative; rd gets return address
+	OpJMP // indirect; rd gets return address, target = ra
+
+	// System (FmtI with ra only / FmtNone).
+	OpPUTC // write low byte of ra to the VM's output
+	OpHALT
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes including OpInvalid.
+const NumOpcodes = int(numOpcodes)
+
+type opInfo struct {
+	name   string
+	format Format
+	class  ExecClass
+	fpDest bool // destination is an FP register namespace op
+}
+
+var opTable = [numOpcodes]opInfo{
+	OpInvalid: {"invalid", FmtNone, ClassSys, false},
+
+	OpADD:    {"add", FmtR, ClassIntALU, false},
+	OpSUB:    {"sub", FmtR, ClassIntALU, false},
+	OpMUL:    {"mul", FmtR, ClassIntMult, false},
+	OpDIV:    {"div", FmtR, ClassIntDiv, false},
+	OpREM:    {"rem", FmtR, ClassIntDiv, false},
+	OpAND:    {"and", FmtR, ClassIntALU, false},
+	OpOR:     {"or", FmtR, ClassIntALU, false},
+	OpXOR:    {"xor", FmtR, ClassIntALU, false},
+	OpANDNOT: {"andnot", FmtR, ClassIntALU, false},
+	OpSLL:    {"sll", FmtR, ClassIntALU, false},
+	OpSRL:    {"srl", FmtR, ClassIntALU, false},
+	OpSRA:    {"sra", FmtR, ClassIntALU, false},
+	OpCMPEQ:  {"cmpeq", FmtR, ClassIntALU, false},
+	OpCMPLT:  {"cmplt", FmtR, ClassIntALU, false},
+	OpCMPLE:  {"cmple", FmtR, ClassIntALU, false},
+	OpCMPULT: {"cmpult", FmtR, ClassIntALU, false},
+
+	OpADDI:   {"addi", FmtI, ClassIntALU, false},
+	OpANDI:   {"andi", FmtI, ClassIntALU, false},
+	OpORI:    {"ori", FmtI, ClassIntALU, false},
+	OpXORI:   {"xori", FmtI, ClassIntALU, false},
+	OpSLLI:   {"slli", FmtI, ClassIntALU, false},
+	OpSRLI:   {"srli", FmtI, ClassIntALU, false},
+	OpSRAI:   {"srai", FmtI, ClassIntALU, false},
+	OpCMPEQI: {"cmpeqi", FmtI, ClassIntALU, false},
+	OpCMPLTI: {"cmplti", FmtI, ClassIntALU, false},
+	OpCMPLEI: {"cmplei", FmtI, ClassIntALU, false},
+
+	OpLDI:  {"ldi", FmtLI, ClassIntALU, false},
+	OpLDIH: {"ldih", FmtI, ClassIntALU, false},
+
+	OpFADD:   {"fadd", FmtR, ClassFpALU, true},
+	OpFSUB:   {"fsub", FmtR, ClassFpALU, true},
+	OpFMUL:   {"fmul", FmtR, ClassFpMult, true},
+	OpFDIV:   {"fdiv", FmtR, ClassFpDiv, true},
+	OpFCMPEQ: {"fcmpeq", FmtR, ClassFpALU, false},
+	OpFCMPLT: {"fcmplt", FmtR, ClassFpALU, false},
+	OpFCMPLE: {"fcmple", FmtR, ClassFpALU, false},
+	OpFMOV:   {"fmov", FmtR1, ClassFpALU, true},
+	OpFNEG:   {"fneg", FmtR1, ClassFpALU, true},
+	OpFABS:   {"fabs", FmtR1, ClassFpALU, true},
+	OpFSQRT:  {"fsqrt", FmtR1, ClassFpDiv, true},
+	OpITOF:   {"itof", FmtR1, ClassFpALU, true},
+	OpFTOI:   {"ftoi", FmtR1, ClassFpALU, false},
+
+	OpLDQ:  {"ldq", FmtLoad, ClassLoad, false},
+	OpLDL:  {"ldl", FmtLoad, ClassLoad, false},
+	OpLDBU: {"ldbu", FmtLoad, ClassLoad, false},
+	OpLDF:  {"ldf", FmtLoad, ClassLoad, true},
+	OpSTQ:  {"stq", FmtStore, ClassStore, false},
+	OpSTL:  {"stl", FmtStore, ClassStore, false},
+	OpSTB:  {"stb", FmtStore, ClassStore, false},
+	OpSTF:  {"stf", FmtStore, ClassStore, false},
+
+	OpBEQZ: {"beqz", FmtBranch, ClassBranch, false},
+	OpBNEZ: {"bnez", FmtBranch, ClassBranch, false},
+	OpBLTZ: {"bltz", FmtBranch, ClassBranch, false},
+	OpBGEZ: {"bgez", FmtBranch, ClassBranch, false},
+	OpBGTZ: {"bgtz", FmtBranch, ClassBranch, false},
+	OpBLEZ: {"blez", FmtBranch, ClassBranch, false},
+	OpBR:   {"br", FmtBr, ClassBranch, false},
+	OpJMP:  {"jmp", FmtJmp, ClassBranch, false},
+
+	OpPUTC: {"putc", FmtI, ClassSys, false},
+	OpHALT: {"halt", FmtNone, ClassSys, false},
+}
+
+// Valid reports whether op names a defined operation.
+func (op Opcode) Valid() bool { return op > OpInvalid && op < numOpcodes }
+
+// String returns the assembler mnemonic.
+func (op Opcode) String() string {
+	if int(op) < len(opTable) {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint8(op))
+}
+
+// Format returns the operand layout of op.
+func (op Opcode) Format() Format {
+	if int(op) >= len(opTable) {
+		return FmtNone
+	}
+	return opTable[op].format
+}
+
+// Class returns the functional-unit class of op.
+func (op Opcode) Class() ExecClass {
+	if int(op) >= len(opTable) {
+		return ClassSys
+	}
+	return opTable[op].class
+}
+
+// FpDest reports whether op writes a floating-point register.
+func (op Opcode) FpDest() bool {
+	if int(op) >= len(opTable) {
+		return false
+	}
+	return opTable[op].fpDest
+}
+
+// IsLoad reports whether op reads memory.
+func (op Opcode) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Opcode) IsStore() bool { return op.Class() == ClassStore }
+
+// IsBranch reports whether op transfers control (conditionally or not).
+func (op Opcode) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Opcode) IsCondBranch() bool { return op.Format() == FmtBranch }
+
+// opByName maps mnemonics to opcodes for the assembler.
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := OpInvalid + 1; op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// OpcodeByName resolves an assembler mnemonic, returning OpInvalid when the
+// mnemonic is unknown.
+func OpcodeByName(name string) Opcode {
+	if op, ok := opByName[name]; ok {
+		return op
+	}
+	return OpInvalid
+}

@@ -1,0 +1,122 @@
+// Package isa defines HPA64, the 64-bit load/store RISC instruction set
+// used by the half-price architecture simulator. HPA64 mirrors the
+// properties of the Alpha AXP ISA that the paper relies on: at most two
+// source register operands and one destination per instruction, hardwired
+// zero registers (r31 and f31), register+displacement memory addressing
+// only (no MEM[reg+reg] mode), and single-source conditional branches that
+// compare one register against zero.
+package isa
+
+import "fmt"
+
+// Reg names one architectural register. Integer registers are 0..31 and
+// floating-point registers are 32..63 in a single flat namespace, so that
+// dependence tracking in the pipeline needs no separate banks. R31 and F31
+// are hardwired to zero, exactly like the Alpha's r31/f31.
+type Reg uint8
+
+// Architectural register file geometry.
+const (
+	NumIntRegs  = 32
+	NumFpRegs   = 32
+	NumArchRegs = NumIntRegs + NumFpRegs
+
+	// ZeroInt and ZeroFp read as zero and ignore writes.
+	ZeroInt Reg = 31
+	ZeroFp  Reg = 63
+
+	// RegNone marks an absent operand slot in a decoded instruction.
+	RegNone Reg = 0xFF
+)
+
+// Conventional software register assignments used by the assembler and the
+// hand-written workloads. These mirror common RISC conventions: a stack
+// pointer, a return-address register, and argument/temporary registers.
+const (
+	RegV0 Reg = 0  // function result
+	RegA0 Reg = 16 // first argument
+	RegA1 Reg = 17
+	RegA2 Reg = 18
+	RegA3 Reg = 19
+	RegSP Reg = 30 // stack pointer
+	RegRA Reg = 26 // return address
+)
+
+// IntReg returns the integer register with index i (0..31).
+func IntReg(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return Reg(i)
+}
+
+// FpReg returns the floating-point register with index i (0..31).
+func FpReg(i int) Reg {
+	if i < 0 || i >= NumFpRegs {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return Reg(NumIntRegs + i)
+}
+
+// Valid reports whether r names an architectural register (not RegNone).
+func (r Reg) Valid() bool { return r < NumArchRegs }
+
+// IsZero reports whether r is one of the hardwired zero registers. Reads
+// of a zero register never create a dependence and writes to one are
+// discarded; the paper's Figure 3 taxonomy leans on this.
+func (r Reg) IsZero() bool { return r == ZeroInt || r == ZeroFp }
+
+// IsFp reports whether r is a floating-point register.
+func (r Reg) IsFp() bool { return r >= NumIntRegs && r < NumArchRegs }
+
+// String renders the register in assembler syntax (r0..r31, f0..f31).
+func (r Reg) String() string {
+	switch {
+	case r < NumIntRegs:
+		return fmt.Sprintf("r%d", r)
+	case r < NumArchRegs:
+		return fmt.Sprintf("f%d", r-NumIntRegs)
+	case r == RegNone:
+		return "-"
+	default:
+		return fmt.Sprintf("reg?%d", uint8(r))
+	}
+}
+
+// ParseReg parses assembler register syntax ("r12", "f3", "sp", "ra",
+// "zero"). It returns RegNone and an error for anything else.
+func ParseReg(s string) (Reg, error) {
+	switch s {
+	case "sp":
+		return RegSP, nil
+	case "ra":
+		return RegRA, nil
+	case "zero":
+		return ZeroInt, nil
+	case "fzero":
+		return ZeroFp, nil
+	}
+	if len(s) < 2 {
+		return RegNone, fmt.Errorf("isa: invalid register %q", s)
+	}
+	var n int
+	for _, c := range s[1:] {
+		if c < '0' || c > '9' {
+			return RegNone, fmt.Errorf("isa: invalid register %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	switch s[0] {
+	case 'r':
+		if n >= NumIntRegs {
+			return RegNone, fmt.Errorf("isa: integer register %q out of range", s)
+		}
+		return IntReg(n), nil
+	case 'f':
+		if n >= NumFpRegs {
+			return RegNone, fmt.Errorf("isa: fp register %q out of range", s)
+		}
+		return FpReg(n), nil
+	}
+	return RegNone, fmt.Errorf("isa: invalid register %q", s)
+}

@@ -1,0 +1,239 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// newTiny builds a 1 KiB, 2-way, 16B-line cache (32 sets) for tests.
+func newTiny(next Level) *Cache {
+	return NewCache(CacheConfig{Name: "t", SizeKB: 1, Ways: 2, LineSize: 16, Lat: 1}, next)
+}
+
+func TestMainMemory(t *testing.T) {
+	m := NewMainMemory(50)
+	lat, hit := m.Access(0x1234, false)
+	if lat != 50 || !hit {
+		t.Fatalf("lat=%d hit=%v", lat, hit)
+	}
+	if m.Latency() != 50 || m.Name() != "mem" || m.Accesses != 1 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	m := NewMainMemory(50)
+	c := newTiny(m)
+	lat, hit := c.Access(0x1000, false)
+	if hit || lat != 51 {
+		t.Fatalf("cold miss: lat=%d hit=%v", lat, hit)
+	}
+	lat, hit = c.Access(0x1008, false) // same 16B line
+	if !hit || lat != 1 {
+		t.Fatalf("hit: lat=%d hit=%v", lat, hit)
+	}
+	if c.Stats.Accesses != 2 || c.Stats.Hits != 1 || c.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if got := c.Stats.MissRate(); got != 0.5 {
+		t.Fatalf("miss rate = %v", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	m := NewMainMemory(10)
+	// 1KB, 2-way, 16B lines -> 32 sets. Set stride = 32*16 = 512.
+	c := newTiny(m)
+	if c.NumSets() != 32 {
+		t.Fatalf("sets = %d", c.NumSets())
+	}
+	const stride = 512
+	a, b, d := uint64(0x0000), uint64(0x0000+stride), uint64(0x0000+2*stride)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a most recently used
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Fatal("expected residents missing")
+	}
+	if c.Contains(b) {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestCacheWriteback(t *testing.T) {
+	m := NewMainMemory(10)
+	c := newTiny(m)
+	const stride = 512
+	c.Access(0, true) // dirty
+	c.Access(stride, false)
+	c.Access(2*stride, false) // evicts dirty line 0 -> writeback
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("writebacks = %d", c.Stats.Writebacks)
+	}
+	// Clean eviction does not write back.
+	c.Access(3*stride, false)
+	if c.Stats.Writebacks != 1 {
+		t.Fatalf("clean eviction wrote back: %d", c.Stats.Writebacks)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := newTiny(NewMainMemory(10))
+	c.Access(0x40, false)
+	if !c.Contains(0x40) {
+		t.Fatal("line not resident after access")
+	}
+	c.Flush()
+	if c.Contains(0x40) {
+		t.Fatal("line resident after flush")
+	}
+	if c.Stats.Accesses != 1 {
+		t.Fatal("flush clobbered stats")
+	}
+}
+
+func TestCacheConfigValidation(t *testing.T) {
+	m := NewMainMemory(1)
+	cases := []CacheConfig{
+		{Name: "badline", SizeKB: 1, Ways: 2, LineSize: 24, Lat: 1},  // not pow2
+		{Name: "noline", SizeKB: 1, Ways: 2, LineSize: 0, Lat: 1},    // zero
+		{Name: "noways", SizeKB: 1, Ways: 0, LineSize: 16, Lat: 1},   // zero ways
+		{Name: "badsets", SizeKB: 3, Ways: 2, LineSize: 16, Lat: 1},  // 96 sets
+		{Name: "toosmall", SizeKB: 0, Ways: 2, LineSize: 16, Lat: 1}, // 0 sets
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %s did not panic", cfg.Name)
+				}
+			}()
+			NewCache(cfg, m)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil lower level did not panic")
+			}
+		}()
+		NewCache(CacheConfig{Name: "x", SizeKB: 1, Ways: 2, LineSize: 16, Lat: 1}, nil)
+	}()
+}
+
+// Property: capacity invariant — after any access sequence, re-touching
+// the most recent address always hits, and stats conserve
+// (hits + misses == accesses).
+func TestCacheInvariantsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := newTiny(NewMainMemory(5))
+		var last uint64
+		for i := 0; i < int(n)+1; i++ {
+			last = uint64(r.Intn(1 << 14))
+			c.Access(last, r.Intn(2) == 0)
+		}
+		if _, hit := c.Access(last, false); !hit {
+			return false
+		}
+		return c.Stats.Hits+c.Stats.Misses == c.Stats.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a working set that fits in one set's ways never misses after
+// the first touch, regardless of access order.
+func TestCacheConflictFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := newTiny(NewMainMemory(5))
+		addrs := []uint64{0x100, 0x100 + 512} // same set, 2 ways
+		c.Access(addrs[0], false)
+		c.Access(addrs[1], false)
+		for i := 0; i < 50; i++ {
+			if _, hit := c.Access(addrs[r.Intn(2)], false); !hit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	m := NewMainMemory(10)
+	c := NewCache(CacheConfig{Name: "p", SizeKB: 1, Ways: 2, LineSize: 16, Lat: 1, NextLinePrefetch: true}, m)
+	// Demand miss on line 0x100 pulls 0x110 too.
+	if _, hit := c.Access(0x100, false); hit {
+		t.Fatal("cold access hit")
+	}
+	if !c.Contains(0x110) {
+		t.Fatal("next line not prefetched")
+	}
+	if c.Stats.Prefetches != 1 {
+		t.Fatalf("prefetches = %d", c.Stats.Prefetches)
+	}
+	// The prefetched line hits without a second miss.
+	if _, hit := c.Access(0x118, false); !hit {
+		t.Fatal("prefetched line missed")
+	}
+	// Already-resident next line: no duplicate prefetch.
+	c.Access(0x200, false)
+	before := c.Stats.Prefetches
+	c.Access(0x1F0, false) // next line 0x200 resident
+	if c.Stats.Prefetches != before {
+		t.Fatal("prefetched a resident line")
+	}
+	// A strided walk sees roughly half the misses of the no-prefetch cache.
+	plain := newTiny(NewMainMemory(10))
+	for a := uint64(0x4000); a < 0x4400; a += 16 {
+		c.Access(a, false)
+		plain.Access(a, false)
+	}
+	if c.Stats.Misses*3 > plain.Stats.Misses*2 {
+		t.Fatalf("prefetch misses %d vs plain %d: too little benefit", c.Stats.Misses, plain.Stats.Misses)
+	}
+}
+
+func TestHierarchyTable1(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	// Cold instruction fetch: IL1 miss -> L2 miss -> memory.
+	lat, hit := h.FetchLatency(0x1000)
+	if hit || lat != 2+8+50 {
+		t.Fatalf("cold fetch lat=%d hit=%v", lat, hit)
+	}
+	// Second fetch of the same line hits IL1.
+	lat, hit = h.FetchLatency(0x1004)
+	if !hit || lat != 2 {
+		t.Fatalf("warm fetch lat=%d hit=%v", lat, hit)
+	}
+	// Data load of a different address: DL1 miss, L2 hit? The L2 line is
+	// 64B; 0x1000 was fetched, so 0x1010 is in L2 already.
+	lat, hit = h.LoadLatency(0x1010)
+	if hit || lat != 2+8 {
+		t.Fatalf("load with L2 hit: lat=%d hit=%v", lat, hit)
+	}
+	// Store hits DL1 now.
+	lat, hit = h.StoreLatency(0x1010)
+	if !hit || lat != 2 {
+		t.Fatalf("store lat=%d hit=%v", lat, hit)
+	}
+	if h.IL1.Config().SizeKB != 64 || h.DL1.Config().LineSize != 16 || h.L2.Latency() != 8 {
+		t.Fatal("Table 1 geometry wrong")
+	}
+}
+
+func TestHierarchySharedL2(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.FetchLatency(0x2000)          // brings 64B L2 line
+	lat, _ := h.LoadLatency(0x2020) // same L2 line, different DL1 line
+	if lat != 2+8 {
+		t.Fatalf("unified L2 not shared: lat=%d", lat)
+	}
+}

@@ -1,0 +1,56 @@
+package mem
+
+// HierarchyConfig describes the full memory system. The zero value is not
+// usable; start from DefaultHierarchyConfig (Table 1 of the paper).
+type HierarchyConfig struct {
+	IL1        CacheConfig
+	DL1        CacheConfig
+	L2         CacheConfig
+	MemLatency int
+}
+
+// DefaultHierarchyConfig returns the paper's Table 1 memory system: 64KB
+// 2-way 32B-line IL1 (2 cycles), 64KB 4-way 16B-line DL1 (2), 512KB 4-way
+// 64B-line unified L2 (8), 50-cycle main memory.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		IL1:        CacheConfig{Name: "IL1", SizeKB: 64, Ways: 2, LineSize: 32, Lat: 2},
+		DL1:        CacheConfig{Name: "DL1", SizeKB: 64, Ways: 4, LineSize: 16, Lat: 2},
+		L2:         CacheConfig{Name: "L2", SizeKB: 512, Ways: 4, LineSize: 64, Lat: 8},
+		MemLatency: 50,
+	}
+}
+
+// Hierarchy is the instantiated memory system: split L1s over a unified
+// L2 over main memory.
+type Hierarchy struct {
+	IL1 *Cache
+	DL1 *Cache
+	L2  *Cache
+	Mem *MainMemory
+}
+
+// NewHierarchy instantiates the configured memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	m := NewMainMemory(cfg.MemLatency)
+	l2 := NewCache(cfg.L2, m)
+	return &Hierarchy{
+		IL1: NewCache(cfg.IL1, l2),
+		DL1: NewCache(cfg.DL1, l2),
+		L2:  l2,
+		Mem: m,
+	}
+}
+
+// FetchLatency performs an instruction fetch of the line containing pc and
+// returns its latency and whether IL1 hit.
+func (h *Hierarchy) FetchLatency(pc uint64) (int, bool) { return h.IL1.Access(pc, false) }
+
+// LoadLatency performs a data read and returns its latency and whether DL1
+// hit. The paper's speculative scheduler issues dependents assuming the
+// DL1 hit latency; the hit flag drives mis-scheduling recovery.
+func (h *Hierarchy) LoadLatency(addr uint64) (int, bool) { return h.DL1.Access(addr, false) }
+
+// StoreLatency performs a data write (at commit, per the paper's store
+// handling) and returns its latency.
+func (h *Hierarchy) StoreLatency(addr uint64) (int, bool) { return h.DL1.Access(addr, true) }

@@ -1,0 +1,82 @@
+package opred
+
+import (
+	"fmt"
+
+	"halfprice/internal/isa"
+)
+
+// TwoLevel is a local-history last-arriving operand predictor in the
+// style of the "more sophisticated designs" the paper compared the
+// bimodal table against (§3.2, citing Stark/Brown/Patt and Ernst/Austin):
+// a first-level table records each static instruction's recent
+// last-arriving sides as a bit history; the history indexes a shared
+// second-level table of 2-bit counters. It captures alternating or
+// patterned operand orders that defeat a bimodal counter — at the cost of
+// two serial table reads, which is exactly why the paper concludes the
+// bimodal table is the better engineering trade.
+type TwoLevel struct {
+	histories []uint8 // per-PC local history (HistBits wide)
+	counters  []uint8 // pattern table of 2-bit counters
+	histBits  uint
+	pcMask    uint64
+}
+
+// NewTwoLevel returns a two-level predictor with pcEntries first-level
+// histories of histBits bits and a 2^histBits-entry pattern table.
+func NewTwoLevel(pcEntries, histBits int) *TwoLevel {
+	if pcEntries <= 0 || pcEntries&(pcEntries-1) != 0 {
+		panic(fmt.Sprintf("opred: pcEntries = %d must be a power of two", pcEntries))
+	}
+	if histBits <= 0 || histBits > 16 {
+		panic(fmt.Sprintf("opred: histBits = %d out of range (1..16)", histBits))
+	}
+	t := &TwoLevel{
+		histories: make([]uint8, pcEntries),
+		counters:  make([]uint8, 1<<uint(histBits)),
+		histBits:  uint(histBits),
+		pcMask:    uint64(pcEntries - 1),
+	}
+	for i := range t.counters {
+		t.counters[i] = 1 // weakly Right, like the bimodal reset state
+	}
+	return t
+}
+
+func (t *TwoLevel) pcIdx(pc uint64) uint64 { return (pc / isa.InstBytes) & t.pcMask }
+
+func (t *TwoLevel) patIdx(pc uint64) uint64 {
+	return uint64(t.histories[t.pcIdx(pc)]) & (uint64(len(t.counters)) - 1)
+}
+
+// Predict returns the side expected to arrive last.
+func (t *TwoLevel) Predict(pc uint64) Side {
+	if t.counters[t.patIdx(pc)] >= 2 {
+		return Left
+	}
+	return Right
+}
+
+// Update trains the pattern counter and shifts the local history.
+func (t *TwoLevel) Update(pc uint64, last Side) {
+	pi := t.patIdx(pc)
+	c := t.counters[pi]
+	if last == Left {
+		if c < 3 {
+			t.counters[pi] = c + 1
+		}
+	} else if c > 0 {
+		t.counters[pi] = c - 1
+	}
+	bit := uint8(0)
+	if last == Left {
+		bit = 1
+	}
+	hi := t.pcIdx(pc)
+	t.histories[hi] = (t.histories[hi]<<1 | bit) & uint8(1<<t.histBits-1)
+}
+
+// Name identifies the predictor.
+func (t *TwoLevel) Name() string {
+	return fmt.Sprintf("twolevel-%dx%d", len(t.histories), t.histBits)
+}

@@ -1,0 +1,105 @@
+package opred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTwoLevelValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTwoLevel(0, 4) },
+		func() { NewTwoLevel(3, 4) },
+		func() { NewTwoLevel(128, 0) },
+		func() { NewTwoLevel(128, 17) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid two-level config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+	if NewTwoLevel(256, 6).Name() != "twolevel-256x6" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestTwoLevelColdPredictsRight(t *testing.T) {
+	p := NewTwoLevel(128, 4)
+	if p.Predict(0x1000) != Right {
+		t.Fatal("cold prediction must be Right")
+	}
+}
+
+func TestTwoLevelLearnsStableSide(t *testing.T) {
+	p := NewTwoLevel(128, 4)
+	for i := 0; i < 20; i++ {
+		p.Update(0x1000, Left)
+	}
+	if p.Predict(0x1000) != Left {
+		t.Fatal("did not learn a constant side")
+	}
+}
+
+func TestTwoLevelCapturesAlternation(t *testing.T) {
+	// An alternating last-arriving side defeats a bimodal counter
+	// (~50%), but local history captures it almost perfectly.
+	tl := NewTwoLevel(128, 6)
+	bi := NewBimodal(128)
+	pc := uint64(0x2000)
+	var tlHits, biHits int
+	const n = 2000
+	for i := 0; i < n; i++ {
+		side := Left
+		if i%2 == 0 {
+			side = Right
+		}
+		if tl.Predict(pc) == side {
+			tlHits++
+		}
+		if bi.Predict(pc) == side {
+			biHits++
+		}
+		tl.Update(pc, side)
+		bi.Update(pc, side)
+	}
+	if frac := float64(tlHits) / n; frac < 0.9 {
+		t.Fatalf("two-level accuracy on alternation = %v", frac)
+	}
+	if float64(biHits)/n > 0.65 {
+		t.Fatalf("bimodal unexpectedly good at alternation: %v", float64(biHits)/n)
+	}
+}
+
+func TestTwoLevelComparableToBimodalOnStableSites(t *testing.T) {
+	// The paper's finding: on realistic (mostly stable) operand orders a
+	// simple bimodal table is about as accurate. Verify the two designs
+	// land within a few points of each other.
+	r := rand.New(rand.NewSource(11))
+	tl := NewTwoLevel(1024, 6)
+	bi := NewBimodal(1024)
+	stable := map[uint64]Side{}
+	var tlAcc, biAcc Accuracy
+	for i := 0; i < 40000; i++ {
+		pc := uint64(0x1000 + 8*r.Intn(300))
+		side, ok := stable[pc]
+		if !ok {
+			side = Side(r.Intn(2))
+			stable[pc] = side
+		}
+		actual := side
+		if r.Float64() < 0.1 {
+			actual = side.Opposite()
+		}
+		tlAcc.Observe(tl.Predict(pc), actual, false)
+		biAcc.Observe(bi.Predict(pc), actual, false)
+		tl.Update(pc, actual)
+		bi.Update(pc, actual)
+	}
+	if d := tlAcc.CorrectFrac() - biAcc.CorrectFrac(); d < -0.05 || d > 0.1 {
+		t.Fatalf("two-level %.3f vs bimodal %.3f: designs should be comparable on stable workloads",
+			tlAcc.CorrectFrac(), biAcc.CorrectFrac())
+	}
+}

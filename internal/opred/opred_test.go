@@ -1,0 +1,180 @@
+package opred
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSideOpposite(t *testing.T) {
+	if Left.Opposite() != Right || Right.Opposite() != Left {
+		t.Fatal("Opposite wrong")
+	}
+	if Left.String() != "left" || Right.String() != "right" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestBimodalValidation(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("entries=%d did not panic", n)
+				}
+			}()
+			NewBimodal(n)
+		}()
+	}
+	if NewBimodal(128).Entries() != 128 {
+		t.Fatal("Entries wrong")
+	}
+}
+
+func TestBimodalInitialPredictionIsRight(t *testing.T) {
+	b := NewBimodal(1024)
+	if b.Predict(0x1000) != Right {
+		t.Fatal("cold prediction must be Right (weak static fallback)")
+	}
+}
+
+func TestBimodalLearnsStableSide(t *testing.T) {
+	b := NewBimodal(1024)
+	pc := uint64(0x2000)
+	for i := 0; i < 4; i++ {
+		b.Update(pc, Left)
+	}
+	if b.Predict(pc) != Left {
+		t.Fatal("did not learn Left")
+	}
+	// Hysteresis: one contrary outcome does not flip a saturated counter.
+	b.Update(pc, Right)
+	if b.Predict(pc) != Left {
+		t.Fatal("saturated counter flipped after one contrary outcome")
+	}
+	b.Update(pc, Right)
+	if b.Predict(pc) != Right {
+		t.Fatal("did not relearn Right")
+	}
+}
+
+func TestBimodalAliasing(t *testing.T) {
+	b := NewBimodal(128)
+	pcA := uint64(0x1000)
+	pcB := pcA + 128*8 // same index
+	for i := 0; i < 4; i++ {
+		b.Update(pcA, Left)
+	}
+	if b.Predict(pcB) != Left {
+		t.Fatal("aliased PCs must share an entry in a direct-mapped table")
+	}
+	big := NewBimodal(4096)
+	for i := 0; i < 4; i++ {
+		big.Update(pcA, Left)
+	}
+	if big.Predict(pcA+128*8) != Right {
+		t.Fatal("larger table must separate these PCs")
+	}
+}
+
+// Property: for any training sequence, Predict returns Left iff the
+// counter has seen strictly more recent Left pressure (counter >= 2) —
+// equivalently, prediction equals that of a reference saturating counter.
+func TestBimodalMatchesReferenceCounter(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := NewBimodal(128)
+		pc := uint64(0x4000)
+		ref := uint8(1)
+		for i := 0; i < int(n); i++ {
+			last := Side(r.Intn(2))
+			b.Update(pc, last)
+			if last == Left && ref < 3 {
+				ref++
+			}
+			if last == Right && ref > 0 {
+				ref--
+			}
+			want := Right
+			if ref >= 2 {
+				want = Left
+			}
+			if b.Predict(pc) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{Right}
+	if s.Predict(0x123) != Right {
+		t.Fatal("static right wrong")
+	}
+	s.Update(0x123, Left) // no-op
+	if s.Predict(0x123) != Right {
+		t.Fatal("static mutated")
+	}
+	if s.Name() != "static-right" || (Static{Left}).Name() != "static-left" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestHighAccuracyOnStableWorkload(t *testing.T) {
+	// 90% of static instructions have a stable last-arriving side
+	// (Table 3); the bimodal predictor should track them closely.
+	b := NewBimodal(1024)
+	r := rand.New(rand.NewSource(3))
+	stable := make(map[uint64]Side)
+	var acc Accuracy
+	for i := 0; i < 30000; i++ {
+		pc := uint64(0x1000 + 8*r.Intn(256))
+		side, ok := stable[pc]
+		if !ok {
+			side = Side(r.Intn(2))
+			stable[pc] = side
+		}
+		actual := side
+		if r.Float64() < 0.1 { // occasional order flip
+			actual = side.Opposite()
+		}
+		acc.Observe(b.Predict(pc), actual, false)
+		b.Update(pc, actual)
+	}
+	if got := acc.CorrectFrac(); got < 0.82 {
+		t.Fatalf("accuracy on 90%%-stable workload = %v, want >= 0.82", got)
+	}
+}
+
+func TestAccuracyBookkeeping(t *testing.T) {
+	var a Accuracy
+	a.Observe(Left, Left, false)
+	a.Observe(Left, Right, false)
+	a.Observe(Right, Right, true) // simultaneous: neither correct nor incorrect
+	if a.Correct != 1 || a.Incorrect != 1 || a.Simultaneous != 1 {
+		t.Fatalf("%+v", a)
+	}
+	if a.Total() != 3 {
+		t.Fatalf("Total = %d", a.Total())
+	}
+	if a.CorrectFrac() != 1.0/3.0 {
+		t.Fatalf("CorrectFrac = %v", a.CorrectFrac())
+	}
+	if a.SimultaneousFrac() != 1.0/3.0 {
+		t.Fatalf("SimultaneousFrac = %v", a.SimultaneousFrac())
+	}
+	var empty Accuracy
+	if empty.CorrectFrac() != 0 || empty.SimultaneousFrac() != 0 {
+		t.Fatal("idle accuracy not zero")
+	}
+}
+
+func TestBimodalName(t *testing.T) {
+	if NewBimodal(1024).Name() != "bimodal-1024" {
+		t.Fatal("name wrong")
+	}
+}

@@ -1,0 +1,217 @@
+// Package stats provides the measurement primitives used throughout the
+// half-price architecture simulator: counters, ratios, histograms and
+// formatted result tables. Every experiment in internal/experiments reports
+// through these types so that tables and figures render uniformly.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	name string
+	n    uint64
+}
+
+// NewCounter returns a named counter starting at zero.
+func NewCounter(name string) *Counter { return &Counter{name: name} }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta to the counter. Negative deltas are a programming error
+// and panic, since counters are monotone.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Name returns the counter's name.
+func (c *Counter) Name() string { return c.name }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio expresses a part-over-whole measurement, such as "fraction of
+// dynamic instructions with two source operands".
+type Ratio struct {
+	Part, Whole uint64
+}
+
+// Observe adds one observation; hit says whether it falls in the numerator.
+func (r *Ratio) Observe(hit bool) {
+	r.Whole++
+	if hit {
+		r.Part++
+	}
+}
+
+// Value returns Part/Whole, or 0 when nothing was observed.
+func (r Ratio) Value() float64 {
+	if r.Whole == 0 {
+		return 0
+	}
+	return float64(r.Part) / float64(r.Whole)
+}
+
+// Percent returns the ratio scaled to percent.
+func (r Ratio) Percent() float64 { return r.Value() * 100 }
+
+// Histogram is an integer-bucketed histogram with a configurable overflow
+// bucket, used for distributions like wakeup slack (0, 1, 2, 3+ cycles).
+type Histogram struct {
+	name    string
+	buckets []uint64 // bucket i counts observations of value i
+	over    uint64   // observations >= len(buckets)
+	total   uint64
+	sum     float64
+}
+
+// NewHistogram returns a histogram with explicit buckets for values
+// 0..maxExact-1 and a single overflow bucket for everything at or above
+// maxExact.
+func NewHistogram(name string, maxExact int) *Histogram {
+	if maxExact < 1 {
+		maxExact = 1
+	}
+	return &Histogram{name: name, buckets: make([]uint64, maxExact)}
+}
+
+// Observe records one observation of value v. Negative values are clamped
+// to zero.
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v < len(h.buckets) {
+		h.buckets[v]++
+	} else {
+		h.over++
+	}
+	h.total++
+	h.sum += float64(v)
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations of exactly v, or of the overflow
+// bucket when v >= the exact range.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v < len(h.buckets) {
+		return h.buckets[v]
+	}
+	return h.over
+}
+
+// Fraction returns the fraction of observations with value exactly v
+// (or in the overflow bucket when v is at the exact-range boundary).
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// OverflowFraction returns the fraction of observations at or above the
+// exact range.
+func (h *Histogram) OverflowFraction() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.over) / float64(h.total)
+}
+
+// Mean returns the arithmetic mean of all observed values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Name returns the histogram's name.
+func (h *Histogram) Name() string { return h.name }
+
+// GeoMean returns the geometric mean of xs; it is the conventional way to
+// average normalised IPC across benchmarks. Non-positive inputs panic.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the minimum of xs; it panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using
+// nearest-rank on a sorted copy. It panics on empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}

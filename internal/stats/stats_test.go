@@ -1,0 +1,222 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter("commits")
+	if c.Name() != "commits" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.Value() != 0 {
+		t.Fatalf("fresh counter = %d, want 0", c.Value())
+	}
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("Value = %d, want 10", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after Reset = %d, want 0", c.Value())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatalf("empty ratio = %v, want 0", r.Value())
+	}
+	for i := 0; i < 100; i++ {
+		r.Observe(i < 25)
+	}
+	if got := r.Value(); got != 0.25 {
+		t.Fatalf("Value = %v, want 0.25", got)
+	}
+	if got := r.Percent(); got != 25 {
+		t.Fatalf("Percent = %v, want 25", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram("slack", 3) // exact buckets 0,1,2 and an overflow
+	for _, v := range []int{0, 0, 1, 2, 3, 7, -5} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d, want 7", h.Total())
+	}
+	// -5 clamps to 0.
+	if got := h.Count(0); got != 3 {
+		t.Fatalf("Count(0) = %d, want 3", got)
+	}
+	if got := h.Count(1); got != 1 {
+		t.Fatalf("Count(1) = %d, want 1", got)
+	}
+	if got := h.Count(2); got != 1 {
+		t.Fatalf("Count(2) = %d, want 1", got)
+	}
+	// Both 3 and 7 land in overflow; Count for any v >= maxExact reports it.
+	if got := h.Count(3); got != 2 {
+		t.Fatalf("Count(3) = %d, want 2 (overflow)", got)
+	}
+	if got := h.Count(99); got != 2 {
+		t.Fatalf("Count(99) = %d, want 2 (overflow)", got)
+	}
+	if got := h.OverflowFraction(); math.Abs(got-2.0/7.0) > 1e-12 {
+		t.Fatalf("OverflowFraction = %v", got)
+	}
+	if got := h.Fraction(0); math.Abs(got-3.0/7.0) > 1e-12 {
+		t.Fatalf("Fraction(0) = %v", got)
+	}
+}
+
+func TestHistogramZeroConfig(t *testing.T) {
+	h := NewHistogram("degenerate", 0) // clamped to one bucket
+	h.Observe(0)
+	h.Observe(5)
+	if h.Count(0) != 1 || h.Count(1) != 1 {
+		t.Fatalf("counts = %d,%d", h.Count(0), h.Count(1))
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram("m", 10)
+	for _, v := range []int{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	if got := h.Mean(); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	empty := NewHistogram("e", 4)
+	if empty.Mean() != 0 {
+		t.Fatalf("empty Mean = %v", empty.Mean())
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GeoMean with non-positive input did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if Min(xs) != 1 {
+		t.Fatalf("Min = %v", Min(xs))
+	}
+	if Max(xs) != 3 {
+		t.Fatalf("Max = %v", Max(xs))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {20, 1}, {50, 3}, {100, 5}, {-3, 1}, {120, 5}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+// Property: a histogram never loses observations — bucket counts plus
+// overflow always equal the total.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		h := NewHistogram("q", 8)
+		for _, v := range vals {
+			h.Observe(int(v))
+		}
+		var sum uint64
+		for i := 0; i < 8; i++ {
+			sum += h.Count(i)
+		}
+		sum += h.Count(8)
+		return sum == h.Total() && h.Total() == uint64(len(vals))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GeoMean lies between Min and Max for positive inputs.
+func TestGeoMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1 // strictly positive
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table 2: Benchmarks", "bench", "IPC")
+	tb.AddRow("bzip", "1.74")
+	tb.AddRowf("mcf", 0.71)
+	s := tb.String()
+	for _, want := range []string{"Table 2", "bench", "bzip", "0.710"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	if cols := tb.Columns(); len(cols) != 2 || cols[0] != "bench" {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableAddRowfTypes(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c", "d")
+	tb.AddRowf("s", 7, int64(-2), uint64(3))
+	row := tb.Rows()[0]
+	want := []string{"s", "7", "-2", "3"}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("cell %d = %q, want %q", i, row[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders experiment results as fixed-width text, one row per
+// benchmark, matching the layout of the paper's tables. The zero value is
+// not usable; construct with NewTable.
+type Table struct {
+	title   string
+	columns []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{title: title, columns: columns}
+}
+
+// AddRow appends a row. The number of cells must equal the number of
+// columns; mismatches panic because they are always programming errors in
+// the experiment harness.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.columns) {
+		panic(fmt.Sprintf("stats: table %q row has %d cells, want %d", t.title, len(cells), len(t.columns)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatting each value with the matching verb:
+// strings pass through, float64 renders %.3f, integers render %d.
+func (t *Table) AddRowf(values ...interface{}) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case string:
+			cells[i] = x
+		case float64:
+			cells[i] = fmt.Sprintf("%.3f", x)
+		case int:
+			cells[i] = fmt.Sprintf("%d", x)
+		case int64:
+			cells[i] = fmt.Sprintf("%d", x)
+		case uint64:
+			cells[i] = fmt.Sprintf("%d", x)
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Title returns the table's title.
+func (t *Table) Title() string { return t.title }
+
+// Columns returns a copy of the column headers.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// Rows returns the raw row cells (not copied; callers must not mutate).
+func (t *Table) Rows() [][]string { return t.rows }
+
+// Render writes the table to w as aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.columns)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package timing
+
+// Energy models for the half-price structures, in the style of
+// activity-based processor power estimators (Wattch): per-event dynamic
+// energy proportional to switched capacitance, with the same geometry
+// scaling as the delay models. The paper argues its techniques reduce
+// *complexity*; these models quantify the energy half of that claim so
+// experiments can report joules alongside picoseconds.
+//
+// Units are arbitrary-but-consistent "capacitance units" per event
+// (1 unit = 1 fF switched at nominal voltage); only ratios between
+// configurations are meaningful, exactly like the delay models.
+
+// WakeupEnergyPerBroadcast returns the energy of one tag broadcast on the
+// wakeup bus: the driver charging every comparator input and the wire.
+// Sequential wakeup halves the comparator load on the fast bus; the slow
+// bus still re-broadcasts, but against an unloaded latch row, modelled by
+// the slowBusFraction of a comparator load.
+func WakeupEnergyPerBroadcast(p SchedulerParams) float64 {
+	p.validate()
+	return float64(p.Entries)*float64(p.ComparatorsPerEntry)*schedCompFF +
+		float64(p.Entries)*schedWireFFPer
+}
+
+// slowBusFraction is the relative switched capacitance of the slow-bus
+// re-broadcast (latches instead of full comparators on the fast loop).
+const slowBusFraction = 0.6
+
+// SequentialWakeupEnergyPerBroadcast returns the total broadcast energy
+// of the sequential scheme: the fast bus (one comparator per entry) plus
+// the slow re-broadcast.
+func SequentialWakeupEnergyPerBroadcast(entries, width int) float64 {
+	fast := WakeupEnergyPerBroadcast(SequentialWakeupScheduler(entries, width))
+	slow := slowBusFraction * fast
+	return fast + slow
+}
+
+// WakeupEnergySavings returns the fractional broadcast-energy change of
+// sequential wakeup versus the conventional two-comparator bus. It can be
+// negative in principle (the slow bus is extra activity), but the halved
+// fast-bus comparator load dominates for realistic geometries.
+func WakeupEnergySavings(entries, width int) float64 {
+	conv := WakeupEnergyPerBroadcast(ConventionalScheduler(entries, width))
+	seq := SequentialWakeupEnergyPerBroadcast(entries, width)
+	return (conv - seq) / conv
+}
+
+// RegfileEnergyPerRead returns the energy of one register-file read:
+// wordline plus bitline swing across the port-scaled array. Fewer ports
+// mean physically smaller cells, so each access switches less wire.
+func RegfileEnergyPerRead(p RegfileParams) float64 {
+	pitch := p.CellPitch()
+	return float64(p.Entries) * pitch * pitch / rfRefEntries
+}
+
+// RegfileEnergySavings returns the per-read energy reduction of the
+// half-read-ported file versus the conventional one.
+func RegfileEnergySavings(entries, width int) float64 {
+	base := RegfileEnergyPerRead(BaseRegfile(entries, width))
+	half := RegfileEnergyPerRead(HalfPriceRegfile(entries, width))
+	return (base - half) / base
+}
+
+// SequentialAccessEnergyPerInst returns the average register-file read
+// energy per instruction for the sequential-access scheme, given the
+// measured fraction of instructions taking the double read. Double reads
+// access the (smaller) file twice; everything else reads at most once.
+func SequentialAccessEnergyPerInst(entries, width int, doubleReadFrac, avgReadsPerInst float64) float64 {
+	perRead := RegfileEnergyPerRead(HalfPriceRegfile(entries, width))
+	return perRead * (avgReadsPerInst + doubleReadFrac)
+}

@@ -1,0 +1,75 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWakeupEnergyHalvedComparators(t *testing.T) {
+	conv := WakeupEnergyPerBroadcast(ConventionalScheduler(64, 4))
+	fast := WakeupEnergyPerBroadcast(SequentialWakeupScheduler(64, 4))
+	if fast >= conv {
+		t.Fatalf("fast bus energy %v not below conventional %v", fast, conv)
+	}
+	// One comparator per entry vs two: the comparator component halves.
+	wire := 64.0 * schedWireFFPer
+	if got, want := conv-wire, 2*(fast-wire); got != want {
+		t.Fatalf("comparator energy: conv %v, want exactly 2x fast %v", got, want)
+	}
+}
+
+func TestWakeupEnergySavingsPositive(t *testing.T) {
+	s := WakeupEnergySavings(64, 4)
+	if s <= 0 || s >= 1 {
+		t.Fatalf("savings = %v, want (0,1)", s)
+	}
+	// With the slow re-broadcast charged, savings are less than the raw
+	// comparator halving.
+	raw := 1 - WakeupEnergyPerBroadcast(SequentialWakeupScheduler(64, 4))/
+		WakeupEnergyPerBroadcast(ConventionalScheduler(64, 4))
+	if s >= raw {
+		t.Fatalf("savings %v should be below the raw fast-bus ratio %v (slow bus costs energy)", s, raw)
+	}
+}
+
+func TestRegfileEnergyScalesWithPorts(t *testing.T) {
+	base := RegfileEnergyPerRead(BaseRegfile(160, 8))
+	half := RegfileEnergyPerRead(HalfPriceRegfile(160, 8))
+	if half >= base {
+		t.Fatalf("16-port read energy %v not below 24-port %v", half, base)
+	}
+	s := RegfileEnergySavings(160, 8)
+	if s < 0.3 || s > 0.7 {
+		t.Fatalf("per-read savings %v implausible for a quadratic-area model", s)
+	}
+}
+
+func TestSequentialAccessEnergyBreakEven(t *testing.T) {
+	// Even charging every instruction's occasional double read, the
+	// smaller array wins: with the paper's ~4% double-read rate and ~1
+	// read per instruction, sequential access beats the big file.
+	bigPerRead := RegfileEnergyPerRead(BaseRegfile(160, 8))
+	bigPerInst := bigPerRead * 1.0
+	seqPerInst := SequentialAccessEnergyPerInst(160, 8, 0.04, 1.0)
+	if seqPerInst >= bigPerInst {
+		t.Fatalf("sequential access energy %v not below conventional %v", seqPerInst, bigPerInst)
+	}
+}
+
+// Property: energies are positive and monotone in geometry.
+func TestEnergyMonotonicityProperty(t *testing.T) {
+	f := func(e8, p4 uint8) bool {
+		entries := 16 + int(e8)%200
+		ports := 2 + int(p4)%24
+		a := RegfileParams{Entries: entries, ReadPorts: ports, WritePorts: 2}
+		b := RegfileParams{Entries: entries, ReadPorts: ports + 2, WritePorts: 2}
+		w1 := WakeupEnergyPerBroadcast(SchedulerParams{Entries: entries, Width: 4, ComparatorsPerEntry: 1})
+		w2 := WakeupEnergyPerBroadcast(SchedulerParams{Entries: entries, Width: 4, ComparatorsPerEntry: 2})
+		return RegfileEnergyPerRead(a) > 0 &&
+			RegfileEnergyPerRead(b) > RegfileEnergyPerRead(a) &&
+			w2 > w1 && w1 > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

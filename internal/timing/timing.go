@@ -1,0 +1,173 @@
+// Package timing provides the analytical circuit-delay models behind the
+// paper's two headline complexity claims:
+//
+//   - §3.3: a 4-wide, 64-entry scheduler with sequential wakeup drops from
+//     466 ps to 374 ps (24.6% faster), because decoupling one comparator
+//     per entry halves the tag-comparator load on the wakeup bus.
+//   - §4: a 160-entry register file at 0.18µ drops from 1.71 ns to 1.36 ns
+//     (20.5% faster) when read ports fall from 24 to 16 on an 8-wide
+//     machine, because cell area grows quadratically with port count and
+//     wordline/bitline RC follows.
+//
+// The models are Palacharla-style structural decompositions (tag drive +
+// match + select; decode + wordline + bitline + sense) with coefficients
+// calibrated to the paper's quoted points. They exist to reproduce the
+// *scaling* — which configuration is faster and by roughly what factor —
+// not absolute silicon timing.
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// SchedulerParams describes one wakeup/select macro.
+type SchedulerParams struct {
+	Entries             int // issue queue entries on the wakeup bus
+	Width               int // issue width (tag buses / select tree root)
+	ComparatorsPerEntry int // 2 conventional, 1 sequential-wakeup fast bus
+}
+
+// Wakeup-bus delay coefficients (picoseconds; 0.18µ-era, calibrated to the
+// paper's 466 ps / 374 ps pair for a 64-entry, 4-wide scheduler).
+const (
+	schedIntrinsic  = 78.0  // driver intrinsic delay
+	schedPsPerFF    = 0.5   // ps per fF of bus load
+	schedCompFF     = 2.875 // comparator input capacitance, fF
+	schedWireFFPer  = 1.0   // wire capacitance per entry, fF
+	schedMatchDelay = 60.0  // tag comparator match delay
+	schedSelBase    = 40.0  // select root delay
+	schedSelPerLog2 = 12.0  // per arbitration-tree level
+)
+
+// Validate panics on nonsensical parameters.
+func (p SchedulerParams) validate() {
+	if p.Entries <= 0 || p.Width <= 0 || p.ComparatorsPerEntry <= 0 {
+		panic(fmt.Sprintf("timing: invalid scheduler params %+v", p))
+	}
+}
+
+// TagDriveDelay returns the wakeup-bus drive delay in picoseconds: the
+// broadcast driver working against every connected comparator plus the
+// bus wire.
+func (p SchedulerParams) TagDriveDelay() float64 {
+	p.validate()
+	cap := float64(p.Entries)*float64(p.ComparatorsPerEntry)*schedCompFF +
+		float64(p.Entries)*schedWireFFPer
+	return schedIntrinsic + schedPsPerFF*cap
+}
+
+// SelectDelay returns the selection-tree delay in picoseconds.
+func (p SchedulerParams) SelectDelay() float64 {
+	p.validate()
+	return schedSelBase + schedSelPerLog2*math.Log2(float64(p.Entries))
+}
+
+// Delay returns the atomic wakeup+select loop delay in picoseconds.
+func (p SchedulerParams) Delay() float64 {
+	return p.TagDriveDelay() + schedMatchDelay + p.SelectDelay()
+}
+
+// ConventionalScheduler returns the baseline: two comparators per entry on
+// the full-speed wakeup bus.
+func ConventionalScheduler(entries, width int) SchedulerParams {
+	return SchedulerParams{Entries: entries, Width: width, ComparatorsPerEntry: 2}
+}
+
+// SequentialWakeupScheduler returns the half-price fast-bus loop: one
+// comparator per entry (the slow bus is off the critical loop, §3.3).
+func SequentialWakeupScheduler(entries, width int) SchedulerParams {
+	return SchedulerParams{Entries: entries, Width: width, ComparatorsPerEntry: 1}
+}
+
+// SchedulerSpeedup returns the fractional critical-loop speedup of
+// sequential wakeup over the conventional scheduler for the same geometry:
+// (Tconv - Tseq) / Tseq.
+func SchedulerSpeedup(entries, width int) float64 {
+	conv := ConventionalScheduler(entries, width).Delay()
+	seq := SequentialWakeupScheduler(entries, width).Delay()
+	return (conv - seq) / seq
+}
+
+// PipelinedSchedulerStageDelay returns the per-stage delay of a
+// two-stage (non-atomic) wakeup/select scheduler: the clock only has to
+// cover the slower of the wakeup phase (tag drive + match, with the full
+// two-comparator load) and the select phase. The machine clocks faster
+// than even sequential wakeup — but loses back-to-back dependent issue,
+// the trade the paper's §3 related-work discussion turns on.
+func PipelinedSchedulerStageDelay(entries, width int) float64 {
+	p := ConventionalScheduler(entries, width)
+	wake := p.TagDriveDelay() + schedMatchDelay
+	sel := p.SelectDelay()
+	return math.Max(wake, sel)
+}
+
+// RegfileParams describes one register file macro.
+type RegfileParams struct {
+	Entries    int // physical registers
+	ReadPorts  int
+	WritePorts int
+}
+
+// Register file delay coefficients (nanoseconds; calibrated to the paper's
+// CACTI 3.0 points: 160 entries, 0.18µ — 24 ports 1.71 ns, 16 ports
+// 1.36 ns).
+const (
+	rfFixed      = 0.925  // decode + sense + output, weak port dependence
+	rfK          = 0.0556 // RC coefficient of the cell array
+	rfPortGrowth = 0.12   // per-port linear growth of cell pitch
+	rfRefEntries = 160.0
+)
+
+func (p RegfileParams) validate() {
+	if p.Entries <= 0 || p.ReadPorts <= 0 || p.WritePorts < 0 {
+		panic(fmt.Sprintf("timing: invalid regfile params %+v", p))
+	}
+}
+
+// ports returns the total port count driving cell pitch.
+func (p RegfileParams) ports() int { return p.ReadPorts + p.WritePorts }
+
+// CellPitch returns the relative cell edge length: each port adds a
+// wordline and bitline pair, growing the cell linearly per dimension.
+func (p RegfileParams) CellPitch() float64 {
+	p.validate()
+	return 1 + rfPortGrowth*float64(p.ports()-1)
+}
+
+// AccessTime returns the read access time in nanoseconds: a fixed decode/
+// sense component plus wire RC that scales with the square of the array
+// edge (quadratic in cell pitch, linear in entries).
+func (p RegfileParams) AccessTime() float64 {
+	pitch := p.CellPitch()
+	return rfFixed + rfK*(float64(p.Entries)/rfRefEntries)*pitch*pitch
+}
+
+// RelativeArea returns the array area relative to a single-ported file of
+// the same entry count: quadratic in ports (the paper's §4 motivation).
+func (p RegfileParams) RelativeArea() float64 {
+	pitch := p.CellPitch()
+	one := 1.0 // pitch of a 1-port cell
+	return pitch * pitch / (one * one)
+}
+
+// BaseRegfile returns the conventional file for a machine of the given
+// issue width: two read ports and one write port per slot.
+func BaseRegfile(entries, width int) RegfileParams {
+	return RegfileParams{Entries: entries, ReadPorts: 2 * width, WritePorts: width}
+}
+
+// HalfPriceRegfile returns the sequential-access file: one read port per
+// slot (§4.3).
+func HalfPriceRegfile(entries, width int) RegfileParams {
+	return RegfileParams{Entries: entries, ReadPorts: width, WritePorts: width}
+}
+
+// RegfileSpeedup returns the fractional access-time reduction of the
+// half-read-ported file versus the conventional one:
+// (Tbase - Thalf) / Tbase.
+func RegfileSpeedup(entries, width int) float64 {
+	base := BaseRegfile(entries, width).AccessTime()
+	half := HalfPriceRegfile(entries, width).AccessTime()
+	return (base - half) / base
+}

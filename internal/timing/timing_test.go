@@ -1,0 +1,123 @@
+package timing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func near(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+// The paper's §3.3 claim: a 4-wide 64-entry scheduler improves from 466 ps
+// to 374 ps with sequential wakeup — a 24.6% speedup.
+func TestSchedulerPaperClaim(t *testing.T) {
+	conv := ConventionalScheduler(64, 4).Delay()
+	seq := SequentialWakeupScheduler(64, 4).Delay()
+	if !near(conv, 466, 1) {
+		t.Fatalf("conventional delay = %.1f ps, paper 466", conv)
+	}
+	if !near(seq, 374, 1) {
+		t.Fatalf("sequential delay = %.1f ps, paper 374", seq)
+	}
+	if sp := SchedulerSpeedup(64, 4); !near(sp, 0.246, 0.003) {
+		t.Fatalf("speedup = %.3f, paper 0.246", sp)
+	}
+}
+
+// The paper's §4 claim: a 160-entry register file improves from 1.71 ns
+// (24 ports) to 1.36 ns (16 ports) — a 20.5% drop.
+func TestRegfilePaperClaim(t *testing.T) {
+	base := BaseRegfile(160, 8).AccessTime()
+	half := HalfPriceRegfile(160, 8).AccessTime()
+	if !near(base, 1.71, 0.02) {
+		t.Fatalf("24-port access = %.3f ns, paper 1.71", base)
+	}
+	if !near(half, 1.36, 0.02) {
+		t.Fatalf("16-port access = %.3f ns, paper 1.36", half)
+	}
+	if sp := RegfileSpeedup(160, 8); !near(sp, 0.205, 0.01) {
+		t.Fatalf("speedup = %.3f, paper 0.205", sp)
+	}
+}
+
+func TestBasePortCounts(t *testing.T) {
+	b := BaseRegfile(160, 8)
+	if b.ReadPorts != 16 || b.WritePorts != 8 || b.ports() != 24 {
+		t.Fatalf("base ports %+v", b)
+	}
+	h := HalfPriceRegfile(160, 8)
+	if h.ReadPorts != 8 || h.ports() != 16 {
+		t.Fatalf("half ports %+v", h)
+	}
+}
+
+// Property: delay is strictly monotone in entries and comparator count.
+func TestSchedulerMonotonicityProperty(t *testing.T) {
+	f := func(e8 uint8, w2 uint8) bool {
+		entries := 8 + int(e8)%120
+		width := 1 + int(w2)%8
+		small := SchedulerParams{Entries: entries, Width: width, ComparatorsPerEntry: 1}
+		big := SchedulerParams{Entries: entries + 8, Width: width, ComparatorsPerEntry: 1}
+		two := SchedulerParams{Entries: entries, Width: width, ComparatorsPerEntry: 2}
+		return big.Delay() > small.Delay() && two.Delay() > small.Delay()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: register file access time grows with entries and ports; area
+// grows quadratically with port count.
+func TestRegfileMonotonicityProperty(t *testing.T) {
+	f := func(e8 uint8, p4 uint8) bool {
+		entries := 32 + int(e8)%256
+		ports := 2 + int(p4)%30
+		a := RegfileParams{Entries: entries, ReadPorts: ports, WritePorts: 4}
+		b := RegfileParams{Entries: entries * 2, ReadPorts: ports, WritePorts: 4}
+		c := RegfileParams{Entries: entries, ReadPorts: ports + 4, WritePorts: 4}
+		return b.AccessTime() > a.AccessTime() &&
+			c.AccessTime() > a.AccessTime() &&
+			c.RelativeArea() > a.RelativeArea()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaQuadraticInPorts(t *testing.T) {
+	// Doubling pitch growth should quadruple relative area in the limit;
+	// check the exact quadratic relation pitch^2.
+	p := RegfileParams{Entries: 160, ReadPorts: 11, WritePorts: 1} // 12 ports
+	pitch := p.CellPitch()
+	if !near(p.RelativeArea(), pitch*pitch, 1e-12) {
+		t.Fatalf("area %.4f != pitch^2 %.4f", p.RelativeArea(), pitch*pitch)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { SchedulerParams{Entries: 0, Width: 4, ComparatorsPerEntry: 2}.Delay() },
+		func() { SchedulerParams{Entries: 64, Width: 0, ComparatorsPerEntry: 2}.Delay() },
+		func() { RegfileParams{Entries: 0, ReadPorts: 8}.AccessTime() },
+		func() { RegfileParams{Entries: 160, ReadPorts: 0}.AccessTime() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid params did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDelayComponentsPositive(t *testing.T) {
+	p := ConventionalScheduler(64, 4)
+	if p.TagDriveDelay() <= 0 || p.SelectDelay() <= 0 {
+		t.Fatal("component delays must be positive")
+	}
+	if p.Delay() != p.TagDriveDelay()+schedMatchDelay+p.SelectDelay() {
+		t.Fatal("Delay must be the sum of its components")
+	}
+}

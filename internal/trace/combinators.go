@@ -1,0 +1,102 @@
+package trace
+
+// Stream combinators: small adapters for composing instruction streams.
+
+// Limit bounds a stream to at most n instructions.
+type Limit struct {
+	S Stream
+	N uint64
+	n uint64
+}
+
+// NewLimit wraps s.
+func NewLimit(s Stream, n uint64) *Limit { return &Limit{S: s, N: n} }
+
+// Next forwards until the budget is spent.
+func (l *Limit) Next() (DynInst, bool) {
+	if l.n >= l.N {
+		return DynInst{}, false
+	}
+	d, ok := l.S.Next()
+	if !ok {
+		return DynInst{}, false
+	}
+	l.n++
+	return d, true
+}
+
+// Tee forwards a stream while appending every instruction to a sink —
+// record-while-simulating.
+type Tee struct {
+	S    Stream
+	Sink func(DynInst)
+}
+
+// NewTee wraps s; sink observes every instruction that flows through.
+func NewTee(s Stream, sink func(DynInst)) *Tee { return &Tee{S: s, Sink: sink} }
+
+// Next forwards one instruction through the sink.
+func (t *Tee) Next() (DynInst, bool) {
+	d, ok := t.S.Next()
+	if ok && t.Sink != nil {
+		t.Sink(d)
+	}
+	return d, ok
+}
+
+// Skip discards the first n instructions of a stream (fast-forward), then
+// renumbers the remainder from zero so downstream consumers see a clean
+// sequence.
+type Skip struct {
+	S       Stream
+	N       uint64
+	skipped bool
+	seq     uint64
+}
+
+// NewSkip wraps s.
+func NewSkip(s Stream, n uint64) *Skip { return &Skip{S: s, N: n} }
+
+// Next discards the prefix on first use, then forwards.
+func (k *Skip) Next() (DynInst, bool) {
+	if !k.skipped {
+		for i := uint64(0); i < k.N; i++ {
+			if _, ok := k.S.Next(); !ok {
+				break
+			}
+		}
+		k.skipped = true
+	}
+	d, ok := k.S.Next()
+	if !ok {
+		return DynInst{}, false
+	}
+	d.Seq = k.seq
+	k.seq++
+	return d, true
+}
+
+// Concat chains streams end to end, renumbering sequence numbers into one
+// monotone space.
+type Concat struct {
+	Streams []Stream
+	idx     int
+	seq     uint64
+}
+
+// NewConcat chains the streams.
+func NewConcat(streams ...Stream) *Concat { return &Concat{Streams: streams} }
+
+// Next forwards from the current stream, advancing on exhaustion.
+func (c *Concat) Next() (DynInst, bool) {
+	for c.idx < len(c.Streams) {
+		d, ok := c.Streams[c.idx].Next()
+		if ok {
+			d.Seq = c.seq
+			c.seq++
+			return d, true
+		}
+		c.idx++
+	}
+	return DynInst{}, false
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"testing"
+)
+
+func seqStream(n int) *SliceStream {
+	insts := make([]DynInst, n)
+	for i := range insts {
+		insts[i] = DynInst{Seq: uint64(i), PC: 0x1000 + uint64(i)*8}
+	}
+	return NewSliceStream(insts)
+}
+
+func TestLimit(t *testing.T) {
+	got := Collect(NewLimit(seqStream(100), 7), 0)
+	if len(got) != 7 {
+		t.Fatalf("limit gave %d", len(got))
+	}
+	// Limit larger than the stream: pass everything.
+	if got := Collect(NewLimit(seqStream(3), 10), 0); len(got) != 3 {
+		t.Fatalf("oversized limit gave %d", len(got))
+	}
+}
+
+func TestTee(t *testing.T) {
+	var seen []uint64
+	tee := NewTee(seqStream(5), func(d DynInst) { seen = append(seen, d.Seq) })
+	got := Collect(tee, 0)
+	if len(got) != 5 || len(seen) != 5 {
+		t.Fatalf("forwarded %d, observed %d", len(got), len(seen))
+	}
+	for i, s := range seen {
+		if s != uint64(i) {
+			t.Fatalf("sink order broken at %d", i)
+		}
+	}
+	// nil sink is allowed.
+	if got := Collect(NewTee(seqStream(2), nil), 0); len(got) != 2 {
+		t.Fatal("nil sink broke forwarding")
+	}
+}
+
+func TestSkip(t *testing.T) {
+	got := Collect(NewSkip(seqStream(10), 4), 0)
+	if len(got) != 6 {
+		t.Fatalf("skip gave %d", len(got))
+	}
+	if got[0].PC != 0x1000+4*8 {
+		t.Fatalf("first PC = %#x", got[0].PC)
+	}
+	if got[0].Seq != 0 || got[5].Seq != 5 {
+		t.Fatal("skip did not renumber")
+	}
+	// Skipping past the end yields an empty stream.
+	if got := Collect(NewSkip(seqStream(3), 10), 0); len(got) != 0 {
+		t.Fatalf("over-skip gave %d", len(got))
+	}
+}
+
+func TestConcat(t *testing.T) {
+	got := Collect(NewConcat(seqStream(3), seqStream(2)), 0)
+	if len(got) != 5 {
+		t.Fatalf("concat gave %d", len(got))
+	}
+	for i, d := range got {
+		if d.Seq != uint64(i) {
+			t.Fatalf("concat seq %d at %d", d.Seq, i)
+		}
+	}
+	if got := Collect(NewConcat(), 0); len(got) != 0 {
+		t.Fatal("empty concat produced output")
+	}
+}
+
+// Tee + WriteFile: record while another consumer drains, then replay.
+func TestTeeRecordsReplayableTrace(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	var recorded []DynInst
+	tee := NewTee(NewSynthetic(p, 2000), func(d DynInst) { recorded = append(recorded, d) })
+	direct := Collect(tee, 0)
+	if len(recorded) != len(direct) {
+		t.Fatalf("recorded %d, forwarded %d", len(recorded), len(direct))
+	}
+	for i := range direct {
+		if recorded[i] != direct[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"halfprice/internal/isa"
+)
+
+// Binary trace files let a dynamic instruction stream be recorded once
+// (e.g. from a slow functional execution) and replayed many times through
+// different machine configurations — the classic trace-driven workflow.
+//
+// Format (little-endian varints):
+//
+//	magic  "HPTRACE1" (8 bytes)
+//	count  uvarint — number of records
+//	per record:
+//	  word    uvarint — the isa.Encode instruction word
+//	  pcDelta varint  — PC minus previous record's NextPC (0 = sequential)
+//	  flags   byte    — bit0 taken, bit1 has EffAddr, bit2 has NextPC delta
+//	  [addr]  uvarint — EffAddr, when bit1
+//	  [next]  varint  — NextPC minus (PC + InstBytes), when bit2
+//
+// Sequential code encodes to ~10 bytes per instruction.
+
+var traceMagic = [8]byte{'H', 'P', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+const (
+	flagTaken   = 1 << 0
+	flagHasAddr = 1 << 1
+	flagHasNext = 1 << 2
+)
+
+// WriteFile drains the stream to w in trace-file format and returns the
+// number of records written. The stream is consumed.
+func WriteFile(w io.Writer, s Stream) (uint64, error) {
+	// Buffer the records first: the header needs the count.
+	var recs []DynInst
+	for {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, d)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return 0, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(recs))); err != nil {
+		return 0, err
+	}
+	prevNext := uint64(0)
+	first := true
+	for _, d := range recs {
+		if err := putUvarint(isa.Encode(d.Inst)); err != nil {
+			return 0, err
+		}
+		delta := int64(d.PC) - int64(prevNext)
+		if first {
+			delta = int64(d.PC)
+			first = false
+		}
+		if err := putVarint(delta); err != nil {
+			return 0, err
+		}
+		flags := byte(0)
+		if d.Taken {
+			flags |= flagTaken
+		}
+		if d.EffAddr != 0 {
+			flags |= flagHasAddr
+		}
+		nextDelta := int64(d.NextPC) - int64(d.PC+isa.InstBytes)
+		if nextDelta != 0 {
+			flags |= flagHasNext
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return 0, err
+		}
+		if flags&flagHasAddr != 0 {
+			if err := putUvarint(d.EffAddr); err != nil {
+				return 0, err
+			}
+		}
+		if flags&flagHasNext != 0 {
+			if err := putVarint(nextDelta); err != nil {
+				return 0, err
+			}
+		}
+		prevNext = d.NextPC
+	}
+	return uint64(len(recs)), bw.Flush()
+}
+
+// FileStream replays a recorded trace.
+type FileStream struct {
+	r        *bufio.Reader
+	remain   uint64
+	seq      uint64
+	prevNext uint64
+	err      error
+}
+
+// OpenFile validates the header and returns a stream over r.
+func OpenFile(r io.Reader) (*FileStream, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
+	}
+	return &FileStream{r: br, remain: count}, nil
+}
+
+// Len returns the number of records left to read.
+func (f *FileStream) Len() uint64 { return f.remain }
+
+// Err returns the decoding error that ended the stream, if any.
+func (f *FileStream) Err() error { return f.err }
+
+// Next decodes one record.
+func (f *FileStream) Next() (DynInst, bool) {
+	if f.remain == 0 || f.err != nil {
+		return DynInst{}, false
+	}
+	fail := func(stage string, err error) (DynInst, bool) {
+		f.err = fmt.Errorf("%w: record %d %s: %v", ErrBadTrace, f.seq, stage, err)
+		return DynInst{}, false
+	}
+	word, err := binary.ReadUvarint(f.r)
+	if err != nil {
+		return fail("word", err)
+	}
+	in, err := isa.Decode(word)
+	if err != nil {
+		return fail("inst", err)
+	}
+	pcDelta, err := binary.ReadVarint(f.r)
+	if err != nil {
+		return fail("pc", err)
+	}
+	flags, err := f.r.ReadByte()
+	if err != nil {
+		return fail("flags", err)
+	}
+	d := DynInst{Seq: f.seq, Inst: in}
+	d.PC = uint64(int64(f.prevNext) + pcDelta)
+	d.NextPC = d.PC + isa.InstBytes
+	d.Taken = flags&flagTaken != 0
+	if flags&flagHasAddr != 0 {
+		addr, err := binary.ReadUvarint(f.r)
+		if err != nil {
+			return fail("addr", err)
+		}
+		d.EffAddr = addr
+	}
+	if flags&flagHasNext != 0 {
+		nd, err := binary.ReadVarint(f.r)
+		if err != nil {
+			return fail("next", err)
+		}
+		d.NextPC = uint64(int64(d.NextPC) + nd)
+	}
+	f.prevNext = d.NextPC
+	f.seq++
+	f.remain--
+	return d, true
+}

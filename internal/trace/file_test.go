@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/vm"
+)
+
+func TestTraceFileRoundTripSynthetic(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	orig := Collect(NewSynthetic(p, 30000), 0)
+
+	var buf bytes.Buffer
+	n, err := WriteFile(&buf, NewSliceStream(orig))
+	if err != nil || n != 30000 {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	t.Logf("trace size: %d bytes (%.1f bytes/inst)", buf.Len(), float64(buf.Len())/30000)
+	if float64(buf.Len())/30000 > 16 {
+		t.Fatalf("trace encoding too fat: %.1f bytes/inst", float64(buf.Len())/30000)
+	}
+
+	fs, err := OpenFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Len() != 30000 {
+		t.Fatalf("Len = %d", fs.Len())
+	}
+	got := Collect(fs, 0)
+	if fs.Err() != nil {
+		t.Fatal(fs.Err())
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("replayed %d of %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestTraceFileRoundTripVM(t *testing.T) {
+	src := `
+	ldi r1, 50
+	ldi r16, 0x4000
+loop:
+	stq r1, 0(r16)
+	ldq r2, 0(r16)
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`
+	orig := Collect(NewVMStream(vm.New(asm.MustAssemble(src)), 0), 0)
+	var buf bytes.Buffer
+	if _, err := WriteFile(&buf, NewSliceStream(orig)); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := OpenFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(fs, 0)
+	for i := range orig {
+		if got[i] != orig[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestTraceFileRejectsGarbage(t *testing.T) {
+	if _, err := OpenFile(bytes.NewReader([]byte("notatrace!!!"))); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	if _, err := OpenFile(bytes.NewReader(nil)); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("empty file error = %v", err)
+	}
+	// Truncated body: header fine, records cut off.
+	p, _ := ProfileByName("gzip")
+	var buf bytes.Buffer
+	if _, err := WriteFile(&buf, NewSynthetic(p, 100)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	fs, err := OpenFile(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Collect(fs, 0)
+	if fs.Err() == nil {
+		t.Fatalf("truncated trace replayed %d records without error", len(got))
+	}
+	if !errors.Is(fs.Err(), ErrBadTrace) {
+		t.Fatalf("error type = %v", fs.Err())
+	}
+}
+
+func TestTraceFileEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	n, err := WriteFile(&buf, NewSliceStream(nil))
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	fs, err := OpenFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fs.Next(); ok {
+		t.Fatal("empty trace produced a record")
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+// Profile parameterises the synthetic workload generator for one
+// benchmark. The generator first builds a static program skeleton (loop
+// regions of basic blocks with fixed per-site registers, branch biases and
+// address generators), then walks it dynamically. Program-level properties
+// (2-source-format fraction, dependence tightness, operand order bias,
+// branch predictability, cache behaviour) are knobs; everything the paper
+// measures inside the core (ready-at-insert, wakeup slack, bypass capture,
+// port demand, IPC) emerges from the walk through the pipeline.
+type Profile struct {
+	Name string
+	Seed uint64
+
+	// Static code shape. Larger NumLoops spreads the instruction
+	// footprint and pressures IL1 (gcc); small tight loops stay resident
+	// (gzip, bzip).
+	NumLoops      int
+	BlocksPerLoop [2]int // min, max body blocks per loop
+	BlockLen      [2]int // min, max non-terminator instructions per block
+	NumFuncs      int    // shared call targets exercising the RAS
+
+	// Instruction mix, as fractions of non-terminator slots.
+	LoadFrac  float64
+	StoreFrac float64
+	NopFrac   float64 // alignment nops (2-source-format, write r31)
+	FpFrac    float64 // fraction of ALU slots that are floating point
+	MulFrac   float64 // of ALU slots
+	DivFrac   float64 // of ALU slots
+
+	// Operand shape of ALU slots.
+	TwoSrcFrac  float64 // R-format (two register fields) vs I-format
+	ZeroRegFrac float64 // of R-format: one source is r31/f31
+	IdentFrac   float64 // of R-format: both sources identical
+	// LeftLastBias is the probability that the tighter (later-arriving)
+	// dependence is placed in the left operand slot, steering Table 3's
+	// left/right last-arriving split.
+	LeftLastBias float64
+
+	// Dependence tightness: probability a source names one of the
+	// DepWindow most recently written registers (pending at insert)
+	// rather than a long-lived loop-invariant register (ready at insert).
+	NearDepFrac float64
+	DepWindow   int
+	// SecondNearFrac is the probability that the *second* operand of a
+	// 2-source instruction is also a tight dependence. This directly
+	// steers Figure 4's 0-ready-at-insert fraction (paper: 4–16%);
+	// most real 2-source instructions pair a fresh value with a
+	// long-lived one (base pointer, accumulator, constant-ish operand).
+	SecondNearFrac float64
+	// RaceFrac is the fraction of 2-pending sites built as a race
+	// between a load and an ALU chain of similar depth, so the
+	// last-arriving side genuinely varies between dynamic instances.
+	// This sets Table 3's wakeup-order stability (paper: 81–98% same)
+	// and thereby the operand-predictor miss rate and tag-elimination
+	// fault rate.
+	RaceFrac float64
+	// PtrChaseFrac is the fraction of loads whose base address register
+	// is the destination of the previous load site — serial chains in the
+	// style of mcf/parser list traversal.
+	PtrChaseFrac float64
+
+	// Control behaviour.
+	LoopBias   float64 // back-edge taken probability (mean trip count 1/(1-p))
+	IfFrac     float64 // fraction of non-latch blocks ending in a forward if
+	HardIfFrac float64 // of ifs: data-dependent, bias drawn near 0.5-0.7
+	CallFrac   float64 // fraction of non-latch blocks ending in a call
+
+	// Memory behaviour. Hot references stay in a DL1-resident region;
+	// cold references wander a ColdSetBytes region and miss.
+	HotSetBytes  uint64
+	ColdSetBytes uint64
+	ColdFrac     float64 // fraction of memory sites addressing the cold set
+	StrideFrac   float64 // fraction of memory sites striding (vs random)
+}
+
+// Validate panics on out-of-range parameters; profiles are static data, so
+// a bad one is a programming error.
+func (p Profile) validate() {
+	checkFrac := func(v float64, name string) {
+		if v < 0 || v > 1 {
+			panic("trace: profile " + p.Name + ": " + name + " out of [0,1]")
+		}
+	}
+	checkFrac(p.LoadFrac, "LoadFrac")
+	checkFrac(p.StoreFrac, "StoreFrac")
+	checkFrac(p.NopFrac, "NopFrac")
+	checkFrac(p.FpFrac, "FpFrac")
+	checkFrac(p.TwoSrcFrac, "TwoSrcFrac")
+	checkFrac(p.ZeroRegFrac, "ZeroRegFrac")
+	checkFrac(p.IdentFrac, "IdentFrac")
+	checkFrac(p.LeftLastBias, "LeftLastBias")
+	checkFrac(p.NearDepFrac, "NearDepFrac")
+	checkFrac(p.SecondNearFrac, "SecondNearFrac")
+	checkFrac(p.RaceFrac, "RaceFrac")
+	checkFrac(p.PtrChaseFrac, "PtrChaseFrac")
+	checkFrac(p.LoopBias, "LoopBias")
+	checkFrac(p.IfFrac, "IfFrac")
+	checkFrac(p.HardIfFrac, "HardIfFrac")
+	checkFrac(p.CallFrac, "CallFrac")
+	checkFrac(p.ColdFrac, "ColdFrac")
+	checkFrac(p.StrideFrac, "StrideFrac")
+	if p.LoadFrac+p.StoreFrac+p.NopFrac > 0.9 {
+		panic("trace: profile " + p.Name + ": memory+nop mix leaves no ALU slots")
+	}
+	if p.NumLoops <= 0 || p.BlockLen[0] <= 0 || p.BlockLen[1] < p.BlockLen[0] ||
+		p.BlocksPerLoop[0] <= 0 || p.BlocksPerLoop[1] < p.BlocksPerLoop[0] {
+		panic("trace: profile " + p.Name + ": bad code shape")
+	}
+	if p.DepWindow <= 0 {
+		panic("trace: profile " + p.Name + ": DepWindow must be positive")
+	}
+	if p.HotSetBytes == 0 || p.ColdSetBytes == 0 {
+		panic("trace: profile " + p.Name + ": working sets must be non-zero")
+	}
+}

@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Profiles serialise to JSON so users can define custom workloads in
+// files and feed them to the tools (cmd/halfprice -profile).
+
+// MarshalProfile writes p as indented JSON.
+func MarshalProfile(w io.Writer, p Profile) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// UnmarshalProfile reads a profile from JSON and validates it. Fields not
+// present keep their zero values, so most users start from a calibrated
+// profile (MarshalProfile of ProfileByName) and edit.
+func UnmarshalProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("trace: bad profile JSON: %w", err)
+	}
+	if p.Name == "" {
+		p.Name = "custom"
+	}
+	if err := p.check(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// check is the error-returning form of validate, for data from files.
+func (p Profile) check() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("trace: invalid profile: %v", r)
+		}
+	}()
+	p.validate()
+	return nil
+}

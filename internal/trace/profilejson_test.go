@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	orig, _ := ProfileByName("crafty")
+	var buf bytes.Buffer
+	if err := MarshalProfile(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", orig, back)
+	}
+}
+
+func TestProfileJSONValidates(t *testing.T) {
+	// LoadFrac out of range must be rejected, not deferred to a panic in
+	// the generator.
+	bad := `{"Name":"x","LoadFrac":2.5}`
+	if _, err := UnmarshalProfile(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+	// Unknown fields are rejected (typo protection).
+	typo := `{"Name":"x","LodaFrac":0.2}`
+	if _, err := UnmarshalProfile(strings.NewReader(typo)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Garbage.
+	if _, err := UnmarshalProfile(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestProfileJSONDefaultsName(t *testing.T) {
+	// A minimal valid profile built from a calibrated one with the name
+	// removed gets a default.
+	p, _ := ProfileByName("gzip")
+	p.Name = ""
+	var buf bytes.Buffer
+	if err := MarshalProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "custom" {
+		t.Fatalf("default name = %q", back.Name)
+	}
+	// And it must actually generate.
+	if got := Collect(NewSynthetic(back, 1000), 0); len(got) != 1000 {
+		t.Fatalf("custom profile generated %d", len(got))
+	}
+}

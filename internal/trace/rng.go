@@ -1,0 +1,48 @@
+package trace
+
+// rng is a deterministic xorshift64* generator. The synthetic workloads
+// must be exactly reproducible across runs and platforms, so we avoid
+// math/rand's unversioned algorithm guarantees and keep our own.
+type rng struct {
+	state uint64
+}
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		panic("trace: intn on non-positive bound")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// chance reports true with probability p.
+func (r *rng) chance(p float64) bool { return r.float() < p }
+
+// rangeInt returns a uniform integer in [lo, hi].
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}

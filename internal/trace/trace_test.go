@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/isa"
+	"halfprice/internal/vm"
+)
+
+func TestSliceStream(t *testing.T) {
+	insts := []DynInst{{Seq: 0}, {Seq: 1}}
+	s := NewSliceStream(insts)
+	d, ok := s.Next()
+	if !ok || d.Seq != 0 {
+		t.Fatal("first")
+	}
+	d, ok = s.Next()
+	if !ok || d.Seq != 1 {
+		t.Fatal("second")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+}
+
+func TestVMStream(t *testing.T) {
+	m := vm.New(asm.MustAssemble("ldi r1, 1\nldi r2, 2\nadd r3, r1, r2\nhalt"))
+	s := NewVMStream(m, 0)
+	got := Collect(s, 0)
+	if len(got) != 4 {
+		t.Fatalf("%d insts", len(got))
+	}
+	if got[2].Inst.Op != isa.OpADD {
+		t.Fatalf("inst 2 = %v", got[2].Inst)
+	}
+	if s.Err() != nil {
+		t.Fatalf("err = %v", s.Err())
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream past halt")
+	}
+}
+
+func TestVMStreamMaxAndTrap(t *testing.T) {
+	m := vm.New(asm.MustAssemble("loop: b loop"))
+	s := NewVMStream(m, 10)
+	if got := Collect(s, 0); len(got) != 10 {
+		t.Fatalf("max ignored: %d", len(got))
+	}
+	bad := vm.New(asm.MustAssemble("nop")) // falls off text
+	s2 := NewVMStream(bad, 0)
+	got := Collect(s2, 0)
+	if len(got) != 1 || s2.Err() == nil {
+		t.Fatalf("trap stream: %d insts, err=%v", len(got), s2.Err())
+	}
+}
+
+func TestCollectMax(t *testing.T) {
+	s := NewSliceStream(make([]DynInst, 100))
+	if got := Collect(s, 7); len(got) != 7 {
+		t.Fatalf("%d", len(got))
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := newRng(42), newRng(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	if newRng(0).next() == 0 {
+		t.Fatal("zero seed must still work")
+	}
+	r := newRng(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.float(); f < 0 || f >= 1 {
+			t.Fatalf("float out of range: %v", f)
+		}
+		if v := r.rangeInt(3, 5); v < 3 || v > 5 {
+			t.Fatalf("rangeInt out of range: %v", v)
+		}
+	}
+	if r.rangeInt(5, 5) != 5 || r.rangeInt(9, 2) != 9 {
+		t.Fatal("degenerate rangeInt")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("intn(0) did not panic")
+			}
+		}()
+		r.intn(0)
+	}()
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	p, _ := ProfileByName("gzip")
+	a := Collect(NewSynthetic(p, 5000), 0)
+	b := Collect(NewSynthetic(p, 5000), 0)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSyntheticControlFlowConsistency(t *testing.T) {
+	for _, p := range Profiles() {
+		insts := Collect(NewSynthetic(p, 20000), 0)
+		if len(insts) != 20000 {
+			t.Fatalf("%s: stream ended early (%d)", p.Name, len(insts))
+		}
+		for i := 0; i < len(insts)-1; i++ {
+			d := insts[i]
+			// The stream's NextPC must match where it actually went.
+			if insts[i+1].PC != d.NextPC {
+				t.Fatalf("%s @%d: NextPC=%#x but next PC=%#x", p.Name, i, d.NextPC, insts[i+1].PC)
+			}
+			// Non-control instructions fall through.
+			if !d.Inst.Op.IsBranch() && d.NextPC != d.PC+isa.InstBytes {
+				t.Fatalf("%s @%d: non-branch %v jumped", p.Name, i, d.Inst)
+			}
+			// Taken direct branches agree with their encoded displacement.
+			if d.Taken && d.Inst.Op != isa.OpJMP {
+				want, ok := asm.BranchTarget(d.Inst, d.PC)
+				if !ok || want != d.NextPC {
+					t.Fatalf("%s @%d: encoded target %#x (ok=%v) != NextPC %#x", p.Name, i, want, ok, d.NextPC)
+				}
+			}
+			// Not-taken conditionals fall through.
+			if d.Inst.Op.IsCondBranch() && !d.Taken && d.NextPC != d.PC+isa.InstBytes {
+				t.Fatalf("%s @%d: not-taken branch jumped", p.Name, i)
+			}
+			// Memory operations carry addresses.
+			if (d.Inst.Op.IsLoad() || d.Inst.Op.IsStore()) && d.EffAddr == 0 {
+				t.Fatalf("%s @%d: memory op without address", p.Name, i)
+			}
+			if d.Seq != uint64(i) {
+				t.Fatalf("%s @%d: Seq=%d", p.Name, i, d.Seq)
+			}
+		}
+	}
+}
+
+// The calibrated profiles must land inside the paper's characterisation
+// ranges: 18-36% 2-source format (Figure 2) and 6-23% unique 2-source
+// (Figure 3), with nops, zero-register and identical categories present.
+func TestSyntheticOperandMixInPaperRange(t *testing.T) {
+	for _, p := range Profiles() {
+		insts := Collect(NewSynthetic(p, 200000), 0)
+		var fmt2, uniq2, store, nop2 int
+		for _, d := range insts {
+			switch isa.Classify(d.Inst) {
+			case isa.ClassStoreInst:
+				store++
+			case isa.ClassNop2Src:
+				fmt2++
+				nop2++
+			case isa.ClassZeroReg, isa.ClassIdentical:
+				fmt2++
+			case isa.Class2Source:
+				fmt2++
+				uniq2++
+			}
+		}
+		n := float64(len(insts))
+		fmtFrac, uniqFrac, storeFrac := float64(fmt2)/n, float64(uniq2)/n, float64(store)/n
+		if fmtFrac < 0.15 || fmtFrac > 0.40 {
+			t.Errorf("%s: 2-source-format fraction %.3f outside [0.15,0.40]", p.Name, fmtFrac)
+		}
+		if uniqFrac < 0.06 || uniqFrac > 0.25 {
+			t.Errorf("%s: unique 2-source fraction %.3f outside [0.06,0.25]", p.Name, uniqFrac)
+		}
+		if storeFrac < 0.03 || storeFrac > 0.25 {
+			t.Errorf("%s: store fraction %.3f implausible", p.Name, storeFrac)
+		}
+		if nop2 == 0 {
+			t.Errorf("%s: no 2-source-format nops generated", p.Name)
+		}
+	}
+}
+
+func TestSyntheticCodeFootprintScales(t *testing.T) {
+	gzipP, _ := ProfileByName("gzip")
+	gccP, _ := ProfileByName("gcc")
+	gz, gc := NewSynthetic(gzipP, 1), NewSynthetic(gccP, 1)
+	if gz.StaticInsts() >= gc.StaticInsts() {
+		t.Fatalf("gzip footprint %d >= gcc footprint %d", gz.StaticInsts(), gc.StaticInsts())
+	}
+	if gc.NumBlocks() < 100 {
+		t.Fatalf("gcc blocks = %d", gc.NumBlocks())
+	}
+}
+
+func TestProfilesComplete(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != len(BenchmarkNames) {
+		t.Fatalf("%d profiles, %d names", len(ps), len(BenchmarkNames))
+	}
+	for i, p := range ps {
+		if p.Name != BenchmarkNames[i] {
+			t.Fatalf("profile %d = %s, want %s", i, p.Name, BenchmarkNames[i])
+		}
+		if _, ok := BaseIPCPaper[p.Name]; !ok {
+			t.Fatalf("no paper IPC for %s", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("unknown profile found")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p, _ := ProfileByName("bzip")
+	bad := p
+	bad.LoadFrac = 1.5
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("invalid profile accepted")
+			}
+		}()
+		NewSynthetic(bad, 10)
+	}()
+	bad2 := p
+	bad2.DepWindow = 0
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero DepWindow accepted")
+			}
+		}()
+		NewSynthetic(bad2, 10)
+	}()
+}
+
+func TestSyntheticPCReuse(t *testing.T) {
+	// Loops must re-execute the same static PCs: the operand predictor
+	// and Table 3's order-stability measurement depend on it.
+	p, _ := ProfileByName("gzip")
+	insts := Collect(NewSynthetic(p, 50000), 0)
+	seen := map[uint64]int{}
+	for _, d := range insts {
+		seen[d.PC]++
+	}
+	reused := 0
+	for _, c := range seen {
+		if c > 10 {
+			reused++
+		}
+	}
+	if reused < len(seen)/4 {
+		t.Fatalf("only %d/%d static PCs re-executed >10 times", reused, len(seen))
+	}
+}
+
+func TestFromExec(t *testing.T) {
+	e := vm.Exec{Seq: 3, PC: 0x1000, NextPC: 0x1008, EffAddr: 0x99, Taken: true}
+	d := FromExec(e)
+	if d.Seq != 3 || d.PC != 0x1000 || d.NextPC != 0x1008 || d.EffAddr != 0x99 || !d.Taken {
+		t.Fatalf("%+v", d)
+	}
+}

@@ -1,0 +1,33 @@
+package uarch
+
+import (
+	"os"
+	"testing"
+
+	"halfprice/internal/trace"
+)
+
+// TestCalibrationReport prints the calibration dashboard comparing every
+// synthetic profile against the paper's characterisation. It runs only
+// when HALFPRICE_CALIB=1, since it is a tuning tool, not an assertion.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("HALFPRICE_CALIB") == "" {
+		t.Skip("set HALFPRICE_CALIB=1 to print the calibration dashboard")
+	}
+	n := uint64(300000)
+	for _, p := range trace.Profiles() {
+		cfg := Config4Wide()
+		sim := New(cfg, trace.NewSynthetic(p, n))
+		st := sim.Run()
+		cfg8 := Config8Wide()
+		sim8 := New(cfg8, trace.NewSynthetic(p, n))
+		st8 := sim8.Run()
+		paper := trace.BaseIPCPaper[p.Name]
+		t.Logf("%-7s IPC %.2f/%.2f (paper %.2f/%.2f)  mr %.3f  2srcF %.2f 2src %.2f  0rdy %.2f  sim %.3f  2port %.3f  same %.2f  left %.2f  dl1m %.3f",
+			p.Name, st.IPC(), st8.IPC(), paper[0], paper[1],
+			st.MispredictRate(), st.Frac2SourceFormat(), st.Frac2Source(),
+			st.FracTwoPending(), st.FracSimultaneous(), st.FracTwoPortNeed(),
+			st.OrderSameFrac(), st.LastLeftFrac(),
+			sim.Hierarchy().DL1.Stats.MissRate())
+	}
+}

@@ -1,0 +1,181 @@
+package uarch
+
+import (
+	"halfprice/internal/isa"
+	"halfprice/internal/opred"
+)
+
+// commit retires up to Width completed instructions in program order.
+// Retirement waits until an instruction can no longer be replayed: every
+// load issued before it must have verified its hit/miss.
+func (s *Simulator) commit(c int64) {
+	for n := 0; n < s.cfg.Width && len(s.rob) > 0; n++ {
+		u := s.rob[0]
+		if u.state != stateDone {
+			return
+		}
+		if !s.replaySafe(u, c) {
+			return
+		}
+		if u.isStore() {
+			// Split store: the data move must have its value, and the
+			// cache write happens now, at commit (paper §2.3).
+			if u.dataProducer != nil && u.dataProducer.state != stateDone && u.dataProducer.state != stateCommitted {
+				return
+			}
+			s.hier.StoreLatency(u.d.EffAddr)
+		}
+		u.state = stateCommitted
+		s.trace(c, EvCommit, u.seq, u.d.Inst)
+		s.rob = s.rob[1:]
+		if u.isLoad() || u.isStore() {
+			s.unlinkLSQ(u)
+		}
+		s.recordCommit(u)
+		if s.cfg.MaxInsts > 0 && s.st.Committed+s.st.WarmupDiscarded >= s.cfg.MaxInsts {
+			return
+		}
+	}
+}
+
+// classifyCycle buckets a cycle for the CPI stack by its commit outcome.
+func (s *Simulator) classifyCycle(committed uint64, c int64) CycleClass {
+	switch {
+	case committed >= uint64(s.cfg.Width):
+		return CycleFullCommit
+	case committed > 0:
+		return CyclePartialCommit
+	case len(s.rob) == 0:
+		return CycleFrontEnd
+	case s.rob[0].state != stateDone:
+		return CycleExecution
+	default:
+		return CycleReplayWait
+	}
+}
+
+// replaySafe reports whether u is beyond every outstanding speculative
+// scheduling shadow.
+func (s *Simulator) replaySafe(u *uop, c int64) bool {
+	for _, l := range s.specLoads {
+		if l != u && l.issueCycle < u.issueCycle && l.verifyCycle > c {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Simulator) unlinkLSQ(u *uop) {
+	for i, v := range s.lsq {
+		if v == u {
+			s.lsq = append(s.lsq[:i], s.lsq[i+1:]...)
+			return
+		}
+	}
+}
+
+// recordCommit gathers the per-instruction statistics behind the paper's
+// characterisation figures and trains the operand predictor.
+func (s *Simulator) recordCommit(u *uop) {
+	s.st.Committed++
+	if s.hot != nil {
+		s.hot.note(u.d.PC, u.d.Inst, s.hot.commits)
+	}
+	if s.onCommit != nil {
+		s.onCommit(u)
+	}
+	class := isa.Classify(u.d.Inst)
+	s.st.ClassCounts[class]++
+	if !u.is2Source {
+		return
+	}
+	s.st.ReadyAtInsert[u.readyAtInsert]++
+
+	// Final wakeup times of the two operands under base (fast-bus)
+	// timing; operands ready at insert never woke.
+	wake := func(i int) (int64, bool) {
+		if !u.pendingAtInsert[i] {
+			return 0, false
+		}
+		return u.src[i].resultCycle, true
+	}
+	w0, p0 := wake(0)
+	w1, p1 := wake(1)
+
+	// Figure 6 / Table 3 / Figure 7: 2-pending-source instructions.
+	if p0 && p1 {
+		slack := w0 - w1
+		if slack < 0 {
+			slack = -slack
+		}
+		s.st.WakeupSlack.Observe(int(slack))
+		switch {
+		case w0 == w1:
+			if u.hasPred {
+				s.st.OpPredSimultaneous++
+			}
+		default:
+			last := opred.Right
+			if w0 > w1 {
+				last = opred.Left
+			}
+			if prev, ok := s.lastSidePC[u.d.PC]; ok {
+				if prev == last {
+					s.st.OrderSame++
+				} else {
+					s.st.OrderDiff++
+				}
+			}
+			s.lastSidePC[u.d.PC] = last
+			if last == opred.Left {
+				s.st.LastLeft++
+			} else {
+				s.st.LastRight++
+			}
+			if u.hasPred {
+				if u.predicted == last {
+					s.st.OpPredCorrect++
+				} else {
+					s.st.OpPredIncorrect++
+				}
+			}
+		}
+	}
+
+	// Train the predictor with any observable last-arriving tag: for a
+	// single pending operand the pending side arrived last by definition.
+	var last opred.Side
+	train := false
+	switch {
+	case p0 && p1 && w0 != w1:
+		train = true
+		if w0 > w1 {
+			last = opred.Left
+		} else {
+			last = opred.Right
+		}
+	case p0 && !p1:
+		train, last = true, opred.Left
+	case p1 && !p0:
+		train, last = true, opred.Right
+	}
+	if train && s.cfg.Wakeup != WakeupConventional {
+		s.op.Update(u.d.PC, last)
+	}
+
+	// Figure 10: where did the source values come from?
+	bypass := false
+	for i := 0; i < 2; i++ {
+		if u.src[i] != nil && u.issueCycle == u.src[i].resultCycle {
+			bypass = true
+		}
+	}
+	switch {
+	case bypass:
+		s.st.RegBackToBack++
+	case u.readyAtInsert == 2:
+		s.st.RegTwoReady++
+	default:
+		s.st.RegNonBackToBack++
+	}
+}

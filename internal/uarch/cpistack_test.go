@@ -1,0 +1,71 @@
+package uarch
+
+import (
+	"testing"
+
+	"halfprice/internal/trace"
+)
+
+func TestCPIStackConservation(t *testing.T) {
+	p, _ := trace.ProfileByName("twolf")
+	st := New(Config4Wide(), trace.NewSynthetic(p, 30000)).Run()
+	var sum uint64
+	for _, n := range st.CycleClasses {
+		sum += n
+	}
+	if sum != st.Cycles {
+		t.Fatalf("cycle classes sum %d != cycles %d", sum, st.Cycles)
+	}
+	fracs := 0.0
+	for c := CycleClass(0); c < CycleClass(NumCycleClasses); c++ {
+		f := st.CycleFrac(c)
+		if f < 0 || f > 1 {
+			t.Fatalf("%v fraction %v", c, f)
+		}
+		fracs += f
+	}
+	if fracs < 0.999 || fracs > 1.001 {
+		t.Fatalf("fractions sum to %v", fracs)
+	}
+}
+
+func TestCPIStackShapes(t *testing.T) {
+	// mcf (memory-bound) stalls on execution (long loads at the window
+	// head) far more than gzip (tight loops).
+	mcfP, _ := trace.ProfileByName("mcf")
+	gzP, _ := trace.ProfileByName("gzip")
+	mcf := New(Config4Wide(), trace.NewSynthetic(mcfP, 40000)).Run()
+	gz := New(Config4Wide(), trace.NewSynthetic(gzP, 40000)).Run()
+	if mcf.CycleFrac(CycleExecution) <= gz.CycleFrac(CycleExecution) {
+		t.Fatalf("mcf execution-stall %.3f should exceed gzip's %.3f",
+			mcf.CycleFrac(CycleExecution), gz.CycleFrac(CycleExecution))
+	}
+	// A mispredict-heavy benchmark starves the front end measurably.
+	gccP, _ := trace.ProfileByName("gcc")
+	gcc := New(Config4Wide(), trace.NewSynthetic(gccP, 40000)).Run()
+	if gcc.CycleFrac(CycleFrontEnd) < 0.05 {
+		t.Fatalf("gcc front-end stall fraction %.3f implausibly low", gcc.CycleFrac(CycleFrontEnd))
+	}
+}
+
+func TestCycleClassStrings(t *testing.T) {
+	want := map[CycleClass]string{
+		CycleFullCommit:    "full-commit",
+		CyclePartialCommit: "partial-commit",
+		CycleFrontEnd:      "front-end",
+		CycleExecution:     "execution",
+		CycleReplayWait:    "replay-wait",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+	if CycleClass(99).String() != "unknown" {
+		t.Error("out-of-range class string")
+	}
+	var zero Stats
+	if zero.CycleFrac(CycleFullCommit) != 0 {
+		t.Error("idle CycleFrac != 0")
+	}
+}

@@ -1,0 +1,177 @@
+package uarch
+
+import (
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/trace"
+	"halfprice/internal/vm"
+)
+
+// These tests replay the paper's two worked examples cycle by cycle.
+
+// issueCycles runs src and returns each instruction's final issue cycle,
+// indexed by dynamic sequence number, plus the stats.
+func issueCycles(t *testing.T, cfg Config, src string) (map[uint64]int64, *Stats) {
+	t.Helper()
+	sim := New(cfg, trace.NewVMStream(vm.New(asm.MustAssemble(src)), 0))
+	cycles := make(map[uint64]int64)
+	sim.onCommit = func(u *uop) { cycles[u.seq] = u.issueCycle }
+	st := sim.Run()
+	return cycles, st
+}
+
+// Figure 9: sequential wakeup with the last-arriving operand on the fast
+// bus issues with no penalty; putting the last-arriving operand on the
+// slow bus (a misprediction) delays issue exactly one cycle.
+//
+// Construction: p1 -> p2 is a dependent chain, so p2's result is the
+// last-arriving operand of the consumer. The static-right predictor
+// always puts the *right* operand on the fast bus, so ordering the
+// consumer's fields chooses correct vs. incorrect placement.
+func TestFigure9SequentialWakeupExample(t *testing.T) {
+	cfg := Config4Wide()
+	cfg.Wakeup = WakeupSequential
+	cfg.OpPred = OpPredStaticRight
+
+	// Correct placement: last-arriving r2 in the right (fast) field.
+	correct := `
+	addi r1, r20, 1
+	addi r2, r1, 1
+	add r3, r1, r2
+	halt
+`
+	// Misplaced: last-arriving r2 in the left (slow) field.
+	misplaced := `
+	addi r1, r20, 1
+	addi r2, r1, 1
+	add r3, r2, r1
+	halt
+`
+	okCycles, okStats := issueCycles(t, cfg, correct)
+	badCycles, badStats := issueCycles(t, cfg, misplaced)
+
+	// The producer chain is identical in both programs.
+	if okCycles[0] != badCycles[0] || okCycles[1] != badCycles[1] {
+		t.Fatalf("producer schedules diverged: %v vs %v", okCycles, badCycles)
+	}
+	// Correct placement: back-to-back with the last producer.
+	if okCycles[2] != okCycles[1]+1 {
+		t.Fatalf("correct placement: consumer issued at %d, producer at %d (want +1)",
+			okCycles[2], okCycles[1])
+	}
+	// Misplaced: the slow bus delivers the tag one cycle late.
+	if badCycles[2] != okCycles[2]+1 {
+		t.Fatalf("misplaced operand: consumer at %d, want exactly %d (+1 penalty)",
+			badCycles[2], okCycles[2]+1)
+	}
+	if okStats.SeqWakeupDelays != 0 {
+		t.Fatalf("correct placement recorded %d slow-bus delays", okStats.SeqWakeupDelays)
+	}
+	if badStats.SeqWakeupDelays != 1 {
+		t.Fatalf("misplacement recorded %d slow-bus delays, want 1", badStats.SeqWakeupDelays)
+	}
+	// No recovery of any kind: the paper's core contrast with tag
+	// elimination.
+	if badStats.ReplaySquashes != 0 || badStats.TagElimSquashes != 0 {
+		t.Fatal("sequential wakeup must never trigger scheduling recovery")
+	}
+}
+
+// Figure 12: an ADD with both operands ready at insert sequentially
+// accesses the register file (1 extra cycle + its issue slot blocked for
+// one cycle); the dependent SUB issues back-to-back off ADD's delayed
+// completion and reads the bypass, so it needs no double access; a
+// single-source XOR follows for free.
+func TestFigure12SequentialRegAccessExample(t *testing.T) {
+	// r1, r2 are produced long before ADD dispatches (padding bundles in
+	// between), so ADD is "2 ready at insert".
+	src := `
+	addi r1, r20, 3
+	addi r2, r20, 4
+	addi r21, r20, 1
+	addi r22, r20, 1
+	addi r23, r20, 1
+	addi r24, r20, 1
+	addi r21, r21, 1
+	addi r22, r22, 1
+	addi r23, r23, 1
+	addi r24, r24, 1
+	addi r21, r21, 1
+	addi r22, r22, 1
+	add r3, r1, r2          # seq 12: ADD, both sources ready at insert
+	sub r4, r3, r20         # seq 13: SUB, wakes off ADD, bypass capture
+	xori r5, r4, 1          # seq 14: single-source XOR
+	halt
+`
+	base := Config4Wide()
+	baseCycles, _ := issueCycles(t, base, src)
+
+	cfg := Config4Wide()
+	cfg.Regfile = RFSequential
+	cycles, st := issueCycles(t, cfg, src)
+
+	if st.SeqRegAccesses != 1 {
+		t.Fatalf("sequential register accesses = %d, want exactly 1 (the ADD)", st.SeqRegAccesses)
+	}
+	const add, sub, xor = 12, 13, 14
+	// ADD issues when it did on the base machine (the penalty is in its
+	// latency, not its issue time).
+	if cycles[add] != baseCycles[add] {
+		t.Fatalf("ADD issue moved: %d vs base %d", cycles[add], baseCycles[add])
+	}
+	// SUB is awakened one cycle later than base (ADD's +1 latency), and
+	// issues the cycle it wakes: back-to-back, value off the bypass.
+	if cycles[sub] != baseCycles[sub]+1 {
+		t.Fatalf("SUB issued at %d, want base+1 = %d", cycles[sub], baseCycles[sub]+1)
+	}
+	if cycles[sub] != cycles[add]+2 {
+		t.Fatalf("SUB at %d, ADD at %d: want ADD + 1 (latency) + 1 (seq access)",
+			cycles[sub], cycles[add])
+	}
+	// XOR follows back-to-back off SUB.
+	if cycles[xor] != cycles[sub]+1 {
+		t.Fatalf("XOR at %d, SUB at %d", cycles[xor], cycles[sub])
+	}
+	// SUB must NOT have taken a second sequential access: its now-bit
+	// showed the bypass capture (the paper's key detection rule).
+	if st.RegBackToBack == 0 {
+		t.Fatal("SUB's bypass capture not recorded")
+	}
+}
+
+// The combined scheme's negative interference (paper §5.3): an operand
+// misprediction under sequential wakeup forces the instruction to
+// sequentially access the register file too — 2 cycles + 1 slot total.
+func TestCombinedPenaltyExample(t *testing.T) {
+	misplaced := `
+	addi r1, r20, 1
+	addi r2, r1, 1
+	add r3, r2, r1
+	sub r4, r3, r20
+	halt
+`
+	seqW := Config4Wide()
+	seqW.Wakeup = WakeupSequential
+	seqW.OpPred = OpPredStaticRight
+	wOnly, _ := issueCycles(t, seqW, misplaced)
+
+	comb := seqW
+	comb.Regfile = RFSequential
+	both, st := issueCycles(t, comb, misplaced)
+
+	// Wakeup-only: consumer pays 1 cycle (slow bus). Combined: the
+	// delayed issue clears the fast-side now-bit, forcing a sequential
+	// register access — the dependent SUB sees ADD's result one more
+	// cycle later.
+	if both[2] != wOnly[2] {
+		t.Fatalf("ADD issue time should not change: %d vs %d", both[2], wOnly[2])
+	}
+	if st.SeqRegAccesses == 0 {
+		t.Fatal("combined scheme did not force the sequential access")
+	}
+	if both[3] != wOnly[3]+1 {
+		t.Fatalf("SUB at %d, want wakeup-only %d + 1 (the +1 latency of ADD's double read)",
+			both[3], wOnly[3])
+	}
+}

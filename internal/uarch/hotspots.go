@@ -1,0 +1,119 @@
+package uarch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"halfprice/internal/isa"
+)
+
+// HotSpots is an optional per-PC profile: which static instructions
+// commit, replay, and take sequential register accesses most often. It
+// answers "where do the half-price penalties actually land" for a
+// workload, and doubles as a debugging tool for the synthetic generator.
+type HotSpots struct {
+	insts    map[uint64]isa.Inst
+	commits  map[uint64]uint64
+	squashes map[uint64]uint64
+	seqRF    map[uint64]uint64
+	slowBus  map[uint64]uint64
+}
+
+// EnableHotSpots attaches a per-PC profiler (call before Run) and returns
+// it. Profiling costs a few map updates per event.
+func (s *Simulator) EnableHotSpots() *HotSpots {
+	h := &HotSpots{
+		insts:    make(map[uint64]isa.Inst),
+		commits:  make(map[uint64]uint64),
+		squashes: make(map[uint64]uint64),
+		seqRF:    make(map[uint64]uint64),
+		slowBus:  make(map[uint64]uint64),
+	}
+	s.hot = h
+	return h
+}
+
+func (h *HotSpots) note(pc uint64, in isa.Inst, m map[uint64]uint64) {
+	if h == nil {
+		return
+	}
+	h.insts[pc] = in
+	m[pc]++
+}
+
+// Counter kinds for Top.
+const (
+	HotCommits  = "commits"
+	HotSquashes = "squashes"
+	HotSeqRF    = "seq-rf"
+	HotSlowBus  = "slow-bus"
+)
+
+// HotSpot is one ranked static instruction.
+type HotSpot struct {
+	PC    uint64
+	Inst  isa.Inst
+	Count uint64
+}
+
+func (h *HotSpots) table(kind string) map[uint64]uint64 {
+	switch kind {
+	case HotCommits:
+		return h.commits
+	case HotSquashes:
+		return h.squashes
+	case HotSeqRF:
+		return h.seqRF
+	case HotSlowBus:
+		return h.slowBus
+	}
+	return nil
+}
+
+// Top returns the n hottest PCs for the given counter kind, descending.
+func (h *HotSpots) Top(kind string, n int) []HotSpot {
+	m := h.table(kind)
+	if m == nil {
+		return nil
+	}
+	out := make([]HotSpot, 0, len(m))
+	for pc, c := range m {
+		out = append(out, HotSpot{PC: pc, Inst: h.insts[pc], Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Total returns the event total for a counter kind.
+func (h *HotSpots) Total(kind string) uint64 {
+	var t uint64
+	for _, c := range h.table(kind) {
+		t += c
+	}
+	return t
+}
+
+// Report writes the top-n table for each counter kind with any events.
+func (h *HotSpots) Report(w io.Writer, n int) error {
+	for _, kind := range []string{HotCommits, HotSquashes, HotSeqRF, HotSlowBus} {
+		total := h.Total(kind)
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "top %s (total %d):\n", kind, total)
+		for _, hs := range h.Top(kind, n) {
+			fmt.Fprintf(w, "  %#08x  %8d  %5.1f%%  %v\n",
+				hs.PC, hs.Count, 100*float64(hs.Count)/float64(total), hs.Inst)
+		}
+	}
+	return nil
+}

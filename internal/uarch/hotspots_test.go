@@ -1,0 +1,60 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"halfprice/internal/isa"
+	"halfprice/internal/trace"
+)
+
+func TestHotSpotsProfile(t *testing.T) {
+	p, _ := trace.ProfileByName("mcf")
+	cfg := Config4Wide()
+	cfg.Wakeup = WakeupSequential
+	cfg.Regfile = RFSequential
+	sim := New(cfg, trace.NewSynthetic(p, 40000))
+	hot := sim.EnableHotSpots()
+	st := sim.Run()
+
+	if hot.Total(HotCommits) != st.Committed {
+		t.Fatalf("hot commits %d != committed %d", hot.Total(HotCommits), st.Committed)
+	}
+	if hot.Total(HotSquashes) != st.ReplaySquashes+st.TagElimSquashes {
+		t.Fatalf("hot squashes %d != stats %d", hot.Total(HotSquashes), st.ReplaySquashes)
+	}
+	if hot.Total(HotSeqRF) != st.SeqRegAccesses {
+		t.Fatalf("hot seq-rf %d != stats %d", hot.Total(HotSeqRF), st.SeqRegAccesses)
+	}
+	top := hot.Top(HotCommits, 5)
+	if len(top) != 5 {
+		t.Fatalf("Top returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatal("Top not descending")
+		}
+	}
+	if top[0].Inst.Op == 0 {
+		t.Fatal("hot spot lost its instruction")
+	}
+	if hot.Top("nonsense", 5) != nil {
+		t.Fatal("unknown kind returned rows")
+	}
+
+	var b strings.Builder
+	if err := hot.Report(&b, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"top commits", "top squashes", "top seq-rf", "%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHotSpotsNilSafe(t *testing.T) {
+	var h *HotSpots
+	h.note(0x1000, isa.Nop(), nil) // must not panic when profiling is off
+}

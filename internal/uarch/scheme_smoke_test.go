@@ -1,0 +1,71 @@
+package uarch
+
+import (
+	"os"
+	"testing"
+
+	"halfprice/internal/trace"
+)
+
+// TestSchemeDashboard prints normalised IPC for every scheme combination
+// (HALFPRICE_SCHEMES=1): the pre-run of Figures 14-16.
+func TestSchemeDashboard(t *testing.T) {
+	if os.Getenv("HALFPRICE_SCHEMES") == "" {
+		t.Skip("set HALFPRICE_SCHEMES=1")
+	}
+	n := uint64(300000)
+	run := func(cfg Config, p trace.Profile) float64 {
+		sim := New(cfg, trace.NewSynthetic(p, n))
+		st := sim.Run()
+		if os.Getenv("HALFPRICE_SCHEMES") == "2" {
+			t.Logf("    %v/%v: seqWdel=%d teMiss=%d teSquash=%d seqRF=%d replay=%d xbarDefer=%d",
+				cfg.Wakeup, cfg.Regfile, st.SeqWakeupDelays, st.TagElimMispreds,
+				st.TagElimSquashes, st.SeqRegAccesses, st.ReplaySquashes, st.CrossbarDeferrals)
+		}
+		return st.IPC()
+	}
+	for _, width := range []int{4, 8} {
+		for _, p := range trace.Profiles() {
+			mk := func() Config {
+				if width == 8 {
+					return Config8Wide()
+				}
+				return Config4Wide()
+			}
+			base := run(mk(), p)
+
+			c := mk()
+			c.Wakeup = WakeupSequential
+			sw := run(c, p)
+
+			c = mk()
+			c.Wakeup = WakeupSequential
+			c.OpPred = OpPredStaticRight
+			swNoPred := run(c, p)
+
+			c = mk()
+			c.Wakeup = WakeupTagElim
+			te := run(c, p)
+
+			c = mk()
+			c.Regfile = RFSequential
+			srf := run(c, p)
+
+			c = mk()
+			c.Regfile = RFExtraStage
+			ext := run(c, p)
+
+			c = mk()
+			c.Regfile = RFHalfCrossbar
+			xbar := run(c, p)
+
+			c = mk()
+			c.Wakeup = WakeupSequential
+			c.Regfile = RFSequential
+			comb := run(c, p)
+
+			t.Logf("%d-wide %-7s base %.3f | seqW %.3f noPred %.3f tagE %.3f | seqRF %.3f extra %.3f xbar %.3f | comb %.3f",
+				width, p.Name, base, sw/base, swNoPred/base, te/base, srf/base, ext/base, xbar/base, comb/base)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"halfprice/internal/trace"
+)
+
+// runScheme simulates n synthetic instructions of profile name under a
+// mutated 4-wide config.
+func runScheme(t *testing.T, name string, n uint64, mutate func(*Config)) *Stats {
+	t.Helper()
+	p, ok := trace.ProfileByName(name)
+	if !ok {
+		t.Fatalf("unknown profile %s", name)
+	}
+	cfg := Config4Wide()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg, trace.NewSynthetic(p, n)).Run()
+}
+
+func TestSequentialWakeupNeverIssuesEarly(t *testing.T) {
+	// Correctness invariant the paper stresses (§3.3): sequential wakeup
+	// never issues an instruction before all its operands are ready, so
+	// it needs no recovery. Every committed instruction's final issue
+	// must be at or after both producers' results.
+	p, _ := trace.ProfileByName("crafty")
+	cfg := Config4Wide()
+	cfg.Wakeup = WakeupSequential
+	sim := New(cfg, trace.NewSynthetic(p, 50000))
+	violations := 0
+	sim.onCommit = func(u *uop) {
+		for i := 0; i < u.nsrc; i++ {
+			if u.src[i] != nil && u.issueCycle < u.src[i].resultCycle {
+				violations++
+			}
+		}
+	}
+	sim.Run()
+	if violations > 0 {
+		t.Fatalf("%d issues before operand readiness", violations)
+	}
+}
+
+func TestSequentialWakeupCostsLittle(t *testing.T) {
+	for _, bench := range []string{"crafty", "gzip", "vpr"} {
+		base := runScheme(t, bench, 100000, nil)
+		sw := runScheme(t, bench, 100000, func(c *Config) { c.Wakeup = WakeupSequential })
+		ratio := sw.IPC() / base.IPC()
+		if ratio < 0.98 {
+			t.Errorf("%s: sequential wakeup lost %.1f%% (paper: ~0.4%%)", bench, 100*(1-ratio))
+		}
+		if ratio > 1.005 {
+			t.Errorf("%s: sequential wakeup gained %.3f, impossible", bench, ratio)
+		}
+	}
+}
+
+func TestSequentialWakeupWithoutPredictorWorse(t *testing.T) {
+	// The static-right configuration must lose more than the predicted
+	// one (paper: 1.6% vs 0.4% average), but still only a few percent.
+	var sumPred, sumStatic, n float64
+	for _, bench := range []string{"gzip", "vpr", "bzip", "perl"} {
+		base := runScheme(t, bench, 100000, nil)
+		pred := runScheme(t, bench, 100000, func(c *Config) { c.Wakeup = WakeupSequential })
+		static := runScheme(t, bench, 100000, func(c *Config) {
+			c.Wakeup = WakeupSequential
+			c.OpPred = OpPredStaticRight
+		})
+		sumPred += pred.IPC() / base.IPC()
+		sumStatic += static.IPC() / base.IPC()
+		n++
+	}
+	if sumStatic/n > sumPred/n {
+		t.Fatalf("static placement (%.4f) outperformed predictor (%.4f) on average", sumStatic/n, sumPred/n)
+	}
+	if sumStatic/n < 0.95 {
+		t.Fatalf("no-predictor degradation %.1f%% too large (paper: ~1.6%%)", 100*(1-sumStatic/n))
+	}
+}
+
+func TestTagEliminationFaultsAndRecovers(t *testing.T) {
+	st := runScheme(t, "gcc", 100000, func(c *Config) { c.Wakeup = WakeupTagElim })
+	if st.TagElimMispreds == 0 {
+		t.Fatal("tag elimination never faulted on gcc (expected scoreboard mispredictions)")
+	}
+	base := runScheme(t, "gcc", 100000, nil)
+	if st.IPC() > base.IPC()*1.005 {
+		t.Fatalf("tag elimination faster than base: %v vs %v", st.IPC(), base.IPC())
+	}
+	if st.Committed != base.Committed {
+		t.Fatalf("tag elimination lost instructions: %d vs %d", st.Committed, base.Committed)
+	}
+}
+
+func TestSequentialRegAccessEvents(t *testing.T) {
+	st := runScheme(t, "crafty", 100000, func(c *Config) { c.Regfile = RFSequential })
+	if st.SeqRegAccesses == 0 {
+		t.Fatal("no sequential register accesses recorded")
+	}
+	// Events should roughly match the two-port-need population: every
+	// 2-source instruction that issues without a same-cycle wakeup.
+	if st.SeqRegAccesses > st.Committed/5 {
+		t.Fatalf("implausibly many sequential accesses: %d of %d", st.SeqRegAccesses, st.Committed)
+	}
+	base := runScheme(t, "crafty", 100000, nil)
+	if st.IPC() > base.IPC()*1.005 {
+		t.Fatalf("half the read ports cannot beat base: %v vs %v", st.IPC(), base.IPC())
+	}
+}
+
+func TestCrossbarNearBase(t *testing.T) {
+	base := runScheme(t, "vortex", 100000, nil)
+	xb := runScheme(t, "vortex", 100000, func(c *Config) { c.Regfile = RFHalfCrossbar })
+	ratio := xb.IPC() / base.IPC()
+	if ratio < 0.99 {
+		t.Fatalf("crossbar ratio %.4f, paper finds it near base", ratio)
+	}
+}
+
+func TestCombinedSchemeWorseThanParts(t *testing.T) {
+	base := runScheme(t, "crafty", 100000, nil)
+	sw := runScheme(t, "crafty", 100000, func(c *Config) { c.Wakeup = WakeupSequential })
+	comb := runScheme(t, "crafty", 100000, func(c *Config) {
+		c.Wakeup = WakeupSequential
+		c.Regfile = RFSequential
+	})
+	if comb.IPC() > sw.IPC()*1.003 {
+		t.Fatalf("combined (%.4f) should not beat sequential wakeup alone (%.4f)", comb.IPC(), sw.IPC())
+	}
+	if comb.IPC()/base.IPC() < 0.93 {
+		t.Fatalf("combined degradation %.1f%% too large (paper: avg 2.2%%, worst 4.8%%)",
+			100*(1-comb.IPC()/base.IPC()))
+	}
+	if comb.SeqRegAccesses == 0 || comb.SeqWakeupDelays == 0 {
+		t.Fatalf("combined scheme events missing: %d seqRF, %d seqW delays",
+			comb.SeqRegAccesses, comb.SeqWakeupDelays)
+	}
+}
+
+// Property: for random profile/scheme combinations, the pipeline commits
+// exactly the requested instruction count and every half-price scheme
+// stays within a few percent of base (never above it by more than noise).
+func TestSchemeIPCEnvelopeProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	names := trace.BenchmarkNames
+	f := func(pick uint8, wk uint8, rf uint8) bool {
+		p, _ := trace.ProfileByName(names[int(pick)%len(names)])
+		const n = 20000
+		base := New(Config4Wide(), trace.NewSynthetic(p, n)).Run()
+		cfg := Config4Wide()
+		cfg.Wakeup = WakeupScheme(wk % 3)
+		cfg.Regfile = RegfileScheme(rf % 2) // two-port or sequential
+		st := New(cfg, trace.NewSynthetic(p, n)).Run()
+		if st.Committed != n || base.Committed != n {
+			return false
+		}
+		ratio := st.IPC() / base.IPC()
+		return ratio > 0.90 && ratio < 1.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperandPredictorAccuracyInPipeline(t *testing.T) {
+	// Figure 7: with a 1k-entry bimodal predictor the accuracy on
+	// 2-pending-source instructions should be high (paper ~85-95%).
+	st := runScheme(t, "perl", 150000, func(c *Config) { c.Wakeup = WakeupSequential })
+	if acc := st.OpPredAccuracy(); acc < 0.7 {
+		t.Fatalf("perl operand prediction accuracy %.3f too low", acc)
+	}
+	total := st.OpPredCorrect + st.OpPredIncorrect + st.OpPredSimultaneous
+	if total == 0 {
+		t.Fatal("no operand predictions recorded")
+	}
+}
+
+func TestWakeupSlackDistribution(t *testing.T) {
+	// Figure 6 shape: most 2-pending instructions have >= 1 cycle slack.
+	st := runScheme(t, "eon", 150000, nil)
+	if st.WakeupSlack.Total() == 0 {
+		t.Fatal("no wakeup slack observations")
+	}
+	if sim := st.FracSimultaneous(); sim > 0.12 {
+		t.Fatalf("simultaneous fraction %.3f, paper <3%%", sim)
+	}
+}
+
+func TestReadyAtInsertShape(t *testing.T) {
+	// Figure 4 shape: 0-ready is the minority of 2-source instructions.
+	for _, bench := range []string{"gzip", "crafty", "vortex"} {
+		st := runScheme(t, bench, 100000, nil)
+		if st.Num2Source() == 0 {
+			t.Fatalf("%s: no 2-source instructions", bench)
+		}
+		if f := st.FracTwoPending(); f > 0.4 {
+			t.Errorf("%s: 0-ready fraction %.3f too high (paper 4-16%%)", bench, f)
+		}
+	}
+}
+
+func TestTwoPortNeedUnderSix(t *testing.T) {
+	// Figure 10: <4% of instructions need two register read ports (we
+	// allow a small margin).
+	for _, bench := range []string{"gzip", "gcc", "vortex"} {
+		st := runScheme(t, bench, 100000, nil)
+		if f := st.FracTwoPortNeed(); f > 0.06 {
+			t.Errorf("%s: two-port need %.3f, paper <4%%", bench, f)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package uarch
+
+import (
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/trace"
+	"halfprice/internal/vm"
+)
+
+// runProgram simulates an assembly program to completion on cfg.
+func runProgram(t *testing.T, cfg Config, src string) *Stats {
+	t.Helper()
+	m := vm.New(asm.MustAssemble(src))
+	sim := New(cfg, trace.NewVMStream(m, 2_000_000))
+	return sim.Run()
+}
+
+func TestSmokeTinyProgram(t *testing.T) {
+	st := runProgram(t, Config4Wide(), `
+	ldi r1, 100
+	ldi r2, 0
+loop:
+	add r2, r2, r1
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`)
+	if st.Committed != 3+3*100 {
+		t.Fatalf("committed = %d, want %d", st.Committed, 3+3*100)
+	}
+	if st.IPC() <= 0.1 || st.IPC() > 4 {
+		t.Fatalf("IPC = %v", st.IPC())
+	}
+}
+
+func TestSmokeSynthetic(t *testing.T) {
+	p, _ := trace.ProfileByName("gzip")
+	sim := New(Config4Wide(), trace.NewSynthetic(p, 50000))
+	st := sim.Run()
+	if st.Committed != 50000 {
+		t.Fatalf("committed = %d", st.Committed)
+	}
+	t.Logf("gzip 4-wide IPC = %.3f (paper 1.84), mispredict rate %.3f, 2src %.3f, 2srcfmt %.3f",
+		st.IPC(), st.MispredictRate(), st.Frac2Source(), st.Frac2SourceFormat())
+	t.Logf("readyAtInsert %v twoPending %.3f simWake %.3f twoPort %.3f",
+		st.ReadyAtInsert, st.FracTwoPending(), st.FracSimultaneous(), st.FracTwoPortNeed())
+	if ipc := st.IPC(); ipc < 0.3 || ipc > 4 {
+		t.Fatalf("implausible IPC %v", ipc)
+	}
+}

@@ -1,0 +1,216 @@
+package uarch
+
+import "halfprice/internal/stats"
+
+// Stats aggregates everything the paper's tables and figures need from
+// one simulation run.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+	Fetched   uint64
+	Issued    uint64 // includes re-issues after replay
+	// WarmupDiscarded counts committed instructions whose statistics
+	// were dropped by Config.WarmupInsts.
+	WarmupDiscarded uint64
+
+	// Operand-class census of committed instructions (Figures 2 and 3).
+	ClassCounts [6]uint64 // indexed by isa.OperandClass
+
+	// Figure 4: committed 2-source instructions by number of operands
+	// ready when inserted into the scheduler (index = ready count 0..2).
+	ReadyAtInsert [3]uint64
+
+	// Figure 6: wakeup slack of 2-pending-source instructions, in cycles
+	// (buckets 0,1,2 and 3+).
+	WakeupSlack *stats.Histogram
+
+	// Table 3: operand wakeup order of 2-pending-source instructions.
+	OrderSame uint64 // same last-arriving side as previous instance at this PC
+	OrderDiff uint64
+	LastLeft  uint64 // left operand arrived last (simultaneous excluded)
+	LastRight uint64
+
+	// Figure 7: last-arriving operand predictor outcomes.
+	OpPredCorrect      uint64
+	OpPredIncorrect    uint64
+	OpPredSimultaneous uint64
+
+	// Figure 10: register-access characterisation of committed 2-source
+	// instructions.
+	RegBackToBack    uint64 // at least one operand captured off the bypass
+	RegTwoReady      uint64 // both operands ready at insert -> two port reads
+	RegNonBackToBack uint64 // issued late -> two port reads
+
+	// Scheduler-scheme events.
+	SeqWakeupDelays   uint64 // issues delayed by the slow bus
+	TagElimMispreds   uint64 // tag-elimination scoreboard faults
+	SeqRegAccesses    uint64 // sequential register-file double reads
+	ReplaySquashes    uint64 // instructions pulled back by load-miss replay
+	TagElimSquashes   uint64 // instructions pulled back by TE faults
+	CrossbarDeferrals uint64 // issues deferred by crossbar port arbitration
+
+	// Front end.
+	BranchMispredicts uint64
+	CondBranches      uint64
+	FetchStallCycles  uint64
+
+	// §6 extension events.
+	RenameStalls    uint64 // dispatch groups cut short by rename ports
+	BypassConflicts uint64 // issues deferred by the half bypass network
+
+	// CPI stack: every cycle classified by its commit outcome.
+	CycleClasses [NumCycleClasses]uint64
+}
+
+// CycleClass labels one cycle of the CPI stack.
+type CycleClass uint8
+
+const (
+	// CycleFullCommit: the full commit width retired.
+	CycleFullCommit CycleClass = iota
+	// CyclePartialCommit: some but not all slots retired.
+	CyclePartialCommit
+	// CycleFrontEnd: nothing retired because the window was empty — the
+	// front end (fetch stalls, redirects, dispatch backpressure) starved
+	// the core.
+	CycleFrontEnd
+	// CycleExecution: nothing retired because the oldest instruction was
+	// still waiting to issue or executing.
+	CycleExecution
+	// CycleReplayWait: the oldest instruction was done but could not
+	// retire yet (unverified loads ahead of it, or store data pending).
+	CycleReplayWait
+	numCycleClasses
+)
+
+// NumCycleClasses is the number of CPI-stack categories.
+const NumCycleClasses = int(numCycleClasses)
+
+// String names the cycle class.
+func (c CycleClass) String() string {
+	switch c {
+	case CycleFullCommit:
+		return "full-commit"
+	case CyclePartialCommit:
+		return "partial-commit"
+	case CycleFrontEnd:
+		return "front-end"
+	case CycleExecution:
+		return "execution"
+	case CycleReplayWait:
+		return "replay-wait"
+	}
+	return "unknown"
+}
+
+// CycleFrac returns the fraction of cycles in the given class.
+func (s *Stats) CycleFrac(c CycleClass) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.CycleClasses[c]) / float64(s.Cycles)
+}
+
+// NewStats returns an initialised Stats.
+func NewStats() *Stats {
+	return &Stats{WakeupSlack: stats.NewHistogram("wakeup-slack", 3)}
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Frac2SourceFormat returns the Figure 2 fraction: committed instructions
+// whose format carries two register sources (stores excluded, counted in
+// their own category).
+func (s *Stats) Frac2SourceFormat() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	n := s.ClassCounts[2] + s.ClassCounts[3] + s.ClassCounts[4] + s.ClassCounts[5]
+	return float64(n) / float64(s.Committed)
+}
+
+// FracStores returns the committed store fraction.
+func (s *Stats) FracStores() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.ClassCounts[0]) / float64(s.Committed)
+}
+
+// Frac2Source returns the Figure 3 bottom bar: instructions with two
+// unique non-zero source operands.
+func (s *Stats) Frac2Source() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.ClassCounts[5]) / float64(s.Committed)
+}
+
+// Num2Source returns the committed 2-source instruction count.
+func (s *Stats) Num2Source() uint64 { return s.ClassCounts[5] }
+
+// FracTwoPending returns the Figure 4 bottom bar: the fraction of
+// 2-source instructions with zero ready operands at insert.
+func (s *Stats) FracTwoPending() float64 {
+	n := s.Num2Source()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.ReadyAtInsert[0]) / float64(n)
+}
+
+// FracSimultaneous returns the Figure 6 zero-slack fraction among
+// 2-pending-source instructions.
+func (s *Stats) FracSimultaneous() float64 { return s.WakeupSlack.Fraction(0) }
+
+// OrderSameFrac returns Table 3's wakeup-order stability.
+func (s *Stats) OrderSameFrac() float64 {
+	t := s.OrderSame + s.OrderDiff
+	if t == 0 {
+		return 0
+	}
+	return float64(s.OrderSame) / float64(t)
+}
+
+// LastLeftFrac returns Table 3's left-last-arriving fraction.
+func (s *Stats) LastLeftFrac() float64 {
+	t := s.LastLeft + s.LastRight
+	if t == 0 {
+		return 0
+	}
+	return float64(s.LastLeft) / float64(t)
+}
+
+// OpPredAccuracy returns Figure 7's correct fraction (simultaneous
+// wakeups in the denominator, as in the paper's stacked bars).
+func (s *Stats) OpPredAccuracy() float64 {
+	t := s.OpPredCorrect + s.OpPredIncorrect + s.OpPredSimultaneous
+	if t == 0 {
+		return 0
+	}
+	return float64(s.OpPredCorrect) / float64(t)
+}
+
+// FracTwoPortNeed returns Figure 10's "two register read ports needed"
+// fraction of all committed instructions (2-ready + non-back-to-back).
+func (s *Stats) FracTwoPortNeed() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.RegTwoReady+s.RegNonBackToBack) / float64(s.Committed)
+}
+
+// MispredictRate returns mispredicted conditional branches per committed
+// conditional branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.BranchMispredicts) / float64(s.CondBranches)
+}

@@ -1,0 +1,179 @@
+package uarch
+
+import (
+	"math/rand"
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/trace"
+	"halfprice/internal/vm"
+)
+
+// Stress and failure-injection tests: shrink every structure to its
+// minimum, thrash the caches, end streams mid-flight, and fuzz scheme
+// combinations. The invariant under all of it: every instruction commits
+// exactly once, in order, and the simulator terminates.
+
+func tinyConfig() Config {
+	cfg := Config4Wide()
+	cfg.Width = 1
+	cfg.WindowSize = 4
+	cfg.LSQSize = 2
+	cfg.IntALU = 1
+	cfg.IntMulDiv = 1
+	cfg.FpALU = 1
+	cfg.FpMulDiv = 1
+	cfg.MemPorts = 1
+	return cfg
+}
+
+func TestTinyMachineStillCorrect(t *testing.T) {
+	for _, p := range []string{"gzip", "mcf"} {
+		prof, _ := trace.ProfileByName(p)
+		st := New(tinyConfig(), trace.NewSynthetic(prof, 8000)).Run()
+		if st.Committed != 8000 {
+			t.Fatalf("%s on tiny machine committed %d", p, st.Committed)
+		}
+		if st.IPC() > 1 {
+			t.Fatalf("%s: 1-wide machine cannot exceed IPC 1 (%v)", p, st.IPC())
+		}
+	}
+}
+
+func TestTinyMachineAllSchemes(t *testing.T) {
+	prof, _ := trace.ProfileByName("crafty")
+	for _, wk := range []WakeupScheme{WakeupConventional, WakeupSequential, WakeupTagElim} {
+		for _, rf := range []RegfileScheme{RFTwoPort, RFSequential, RFExtraStage, RFHalfCrossbar} {
+			cfg := tinyConfig()
+			cfg.Wakeup = wk
+			cfg.Regfile = rf
+			st := New(cfg, trace.NewSynthetic(prof, 4000)).Run()
+			if st.Committed != 4000 {
+				t.Fatalf("%v/%v: committed %d", wk, rf, st.Committed)
+			}
+		}
+	}
+}
+
+func TestLSQPressure(t *testing.T) {
+	// A store+load storm with LSQ of 2: dispatch must back-pressure, not
+	// deadlock or drop.
+	cfg := tinyConfig()
+	src := `
+	ldi r16, 0x3000
+	ldi r1, 400
+loop:
+	stq r1, 0(r16)
+	ldq r2, 0(r16)
+	stq r2, 8(r16)
+	ldq r3, 8(r16)
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`
+	st := New(cfg, trace.NewVMStream(vm.New(asm.MustAssemble(src)), 0)).Run()
+	if st.Committed != 3+6*400 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+}
+
+func TestStreamEndsMidFlight(t *testing.T) {
+	// MaxInsts cuts the stream mid-loop; the pipeline must drain cleanly.
+	prof, _ := trace.ProfileByName("gcc")
+	st := New(Config4Wide(), trace.NewSynthetic(prof, 1234)).Run()
+	if st.Committed != 1234 {
+		t.Fatalf("committed %d, want 1234", st.Committed)
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	st := New(Config4Wide(), trace.NewSliceStream(nil)).Run()
+	// One cycle is spent discovering the stream is empty.
+	if st.Committed != 0 || st.Cycles > 1 {
+		t.Fatalf("empty stream: %d insts, %d cycles", st.Committed, st.Cycles)
+	}
+}
+
+func TestMaxInstsCutoff(t *testing.T) {
+	cfg := Config4Wide()
+	cfg.MaxInsts = 500
+	prof, _ := trace.ProfileByName("gzip")
+	st := New(cfg, trace.NewSynthetic(prof, 100000)).Run()
+	if st.Committed < 500 || st.Committed > 500+uint64(cfg.Width) {
+		t.Fatalf("MaxInsts cutoff at %d", st.Committed)
+	}
+}
+
+func TestIL1Thrash(t *testing.T) {
+	// Shrink IL1 to 1KB so the gcc footprint thrashes it: fetch stalls
+	// must appear and everything must still commit.
+	cfg := Config4Wide()
+	cfg.Mem.IL1.SizeKB = 1
+	prof, _ := trace.ProfileByName("gcc")
+	sim := New(cfg, trace.NewSynthetic(prof, 20000))
+	st := sim.Run()
+	if st.Committed != 20000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	if sim.Hierarchy().IL1.Stats.Misses == 0 {
+		t.Fatal("1KB IL1 never missed on gcc")
+	}
+	big := New(Config4Wide(), trace.NewSynthetic(prof, 20000)).Run()
+	if st.IPC() >= big.IPC() {
+		t.Fatalf("thrashed IL1 IPC %v not below normal %v", st.IPC(), big.IPC())
+	}
+}
+
+func TestOperandPredictorAliasingStress(t *testing.T) {
+	// A 1-entry... smallest legal predictor (1 entry is power of two):
+	// every 2-source instruction aliases to one counter. Must stay
+	// correct, just slower.
+	cfg := Config4Wide()
+	cfg.Wakeup = WakeupSequential
+	cfg.OpPredEntries = 1
+	prof, _ := trace.ProfileByName("vpr")
+	st := New(cfg, trace.NewSynthetic(prof, 30000)).Run()
+	if st.Committed != 30000 {
+		t.Fatalf("committed %d", st.Committed)
+	}
+	cfg2 := cfg
+	cfg2.OpPredEntries = 1024
+	st2 := New(cfg2, trace.NewSynthetic(prof, 30000)).Run()
+	if st.OpPredAccuracy() > st2.OpPredAccuracy()+0.02 {
+		t.Fatalf("1-entry predictor accuracy %.3f beats 1k-entry %.3f", st.OpPredAccuracy(), st2.OpPredAccuracy())
+	}
+}
+
+// Fuzz-style sweep: random scheme combinations on random benchmarks must
+// always commit everything and never beat base by more than noise.
+func TestRandomSchemeFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz sweep")
+	}
+	r := rand.New(rand.NewSource(99))
+	names := trace.BenchmarkNames
+	const n = 10000
+	for trial := 0; trial < 20; trial++ {
+		bench := names[r.Intn(len(names))]
+		prof, _ := trace.ProfileByName(bench)
+		cfg := Config4Wide()
+		if r.Intn(2) == 1 {
+			cfg = Config8Wide()
+		}
+		cfg.Wakeup = WakeupScheme(r.Intn(3))
+		cfg.Regfile = RegfileScheme(r.Intn(4))
+		cfg.Recovery = RecoveryScheme(r.Intn(2))
+		cfg.Rename = RenameScheme(r.Intn(2))
+		cfg.Bypass = BypassScheme(r.Intn(2))
+		cfg.Select = SelectPolicy(r.Intn(3))
+		cfg.OpPred = OperandPredictor(r.Intn(3))
+		cfg.SlowBusDelay = r.Intn(3)
+		st := New(cfg, trace.NewSynthetic(prof, n)).Run()
+		if st.Committed != n {
+			t.Fatalf("trial %d (%s %+v): committed %d", trial, bench, cfg, st.Committed)
+		}
+		if st.IPC() <= 0 || float64(st.IPC()) > float64(cfg.Width) {
+			t.Fatalf("trial %d: IPC %v out of range", trial, st.IPC())
+		}
+	}
+}

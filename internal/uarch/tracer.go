@@ -1,0 +1,186 @@
+package uarch
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"halfprice/internal/isa"
+)
+
+// Event is one pipeline event class for tracing.
+type Event uint8
+
+const (
+	// EvFetch: the instruction entered the front end.
+	EvFetch Event = iota
+	// EvDispatch: renamed and inserted into the window.
+	EvDispatch
+	// EvIssue: selected by the scheduler.
+	EvIssue
+	// EvComplete: result available (Done).
+	EvComplete
+	// EvCommit: retired.
+	EvCommit
+	// EvSquash: pulled back into the issue queue by replay.
+	EvSquash
+	// EvTEFault: tag-elimination scoreboard misprediction.
+	EvTEFault
+	numEvents
+)
+
+// String names the event.
+func (e Event) String() string {
+	switch e {
+	case EvFetch:
+		return "FETCH"
+	case EvDispatch:
+		return "DISP"
+	case EvIssue:
+		return "ISSUE"
+	case EvComplete:
+		return "DONE"
+	case EvCommit:
+		return "COMMIT"
+	case EvSquash:
+		return "SQUASH"
+	case EvTEFault:
+		return "TEFAULT"
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Tracer observes pipeline events. Implementations must be cheap: the
+// simulator calls Trace on every event of every instruction.
+type Tracer interface {
+	Trace(cycle int64, ev Event, seq uint64, in isa.Inst)
+}
+
+// SetTracer attaches a tracer (nil detaches). Call before Run.
+func (s *Simulator) SetTracer(t Tracer) { s.tracer = t }
+
+func (s *Simulator) trace(cycle int64, ev Event, seq uint64, in isa.Inst) {
+	if s.tracer != nil {
+		s.tracer.Trace(cycle, ev, seq, in)
+	}
+}
+
+// TextTracer writes one line per event, optionally bounded to the first
+// Limit events (0 = unlimited).
+type TextTracer struct {
+	W     io.Writer
+	Limit int
+	n     int
+}
+
+// Trace implements Tracer.
+func (t *TextTracer) Trace(cycle int64, ev Event, seq uint64, in isa.Inst) {
+	if t.Limit > 0 && t.n >= t.Limit {
+		return
+	}
+	t.n++
+	fmt.Fprintf(t.W, "%8d %-7s seq=%-6d %v\n", cycle, ev, seq, in)
+}
+
+// Pipeview collects per-instruction stage timelines and renders them as a
+// SimpleScalar-ptrace-style chart: one row per instruction, one column
+// per cycle, letters marking the cycle each stage happened
+// (F fetch, D dispatch, I issue, E complete, C commit, x squash).
+type Pipeview struct {
+	// MaxInsts bounds the chart (0 = 64).
+	MaxInsts int
+	rows     map[uint64]*pipeRow
+	order    []uint64
+}
+
+type pipeRow struct {
+	in     isa.Inst
+	events []struct {
+		cycle int64
+		ev    Event
+	}
+}
+
+// NewPipeview returns a collector for the first maxInsts instructions.
+func NewPipeview(maxInsts int) *Pipeview {
+	if maxInsts <= 0 {
+		maxInsts = 64
+	}
+	return &Pipeview{MaxInsts: maxInsts, rows: make(map[uint64]*pipeRow)}
+}
+
+// Trace implements Tracer.
+func (p *Pipeview) Trace(cycle int64, ev Event, seq uint64, in isa.Inst) {
+	row, ok := p.rows[seq]
+	if !ok {
+		if len(p.order) >= p.MaxInsts {
+			return
+		}
+		row = &pipeRow{in: in}
+		p.rows[seq] = row
+		p.order = append(p.order, seq)
+	}
+	row.events = append(row.events, struct {
+		cycle int64
+		ev    Event
+	}{cycle, ev})
+}
+
+var pipeMark = map[Event]byte{
+	EvFetch:    'F',
+	EvDispatch: 'D',
+	EvIssue:    'I',
+	EvComplete: 'E',
+	EvCommit:   'C',
+	EvSquash:   'x',
+	EvTEFault:  '!',
+}
+
+// Render writes the chart. Cycles are rebased to the first traced event.
+func (p *Pipeview) Render(w io.Writer) error {
+	if len(p.order) == 0 {
+		_, err := io.WriteString(w, "(no instructions traced)\n")
+		return err
+	}
+	minC, maxC := int64(1)<<62, int64(-1)
+	for _, seq := range p.order {
+		for _, e := range p.rows[seq].events {
+			if e.cycle < minC {
+				minC = e.cycle
+			}
+			if e.cycle > maxC {
+				maxC = e.cycle
+			}
+		}
+	}
+	width := int(maxC-minC) + 1
+	if width > 500 {
+		width = 500 // keep the chart printable; later events clamp
+	}
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+	var b strings.Builder
+	for _, seq := range p.order {
+		row := p.rows[seq]
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = '.'
+		}
+		for _, e := range row.events {
+			pos := int(e.cycle - minC)
+			if pos >= width {
+				pos = width - 1
+			}
+			mark := pipeMark[e.ev]
+			// Later marks overwrite earlier ones at the same cycle
+			// except commit, which always shows.
+			if line[pos] == 'C' && mark != 'C' {
+				continue
+			}
+			line[pos] = mark
+		}
+		fmt.Fprintf(&b, "%6d %-24s %s\n", seq, row.in.String(), line)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

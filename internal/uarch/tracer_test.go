@@ -1,0 +1,129 @@
+package uarch
+
+import (
+	"strings"
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/isa"
+	"halfprice/internal/trace"
+	"halfprice/internal/vm"
+)
+
+func TestEventStrings(t *testing.T) {
+	want := map[Event]string{
+		EvFetch: "FETCH", EvDispatch: "DISP", EvIssue: "ISSUE",
+		EvComplete: "DONE", EvCommit: "COMMIT", EvSquash: "SQUASH",
+		EvTEFault: "TEFAULT",
+	}
+	for ev, s := range want {
+		if ev.String() != s {
+			t.Errorf("%d.String() = %q, want %q", ev, ev.String(), s)
+		}
+	}
+}
+
+func TestTextTracerEmitsLifecycle(t *testing.T) {
+	var b strings.Builder
+	sim := New(Config4Wide(), trace.NewVMStream(vm.New(asm.MustAssemble(`
+	ldi r1, 3
+	addi r2, r1, 1
+	halt
+`)), 0))
+	sim.SetTracer(&TextTracer{W: &b})
+	sim.Run()
+	out := b.String()
+	for _, want := range []string{"FETCH", "DISP", "ISSUE", "DONE", "COMMIT", "ldi r1, 3", "addi r2, r1, 1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Every instruction commits exactly once.
+	if n := strings.Count(out, "COMMIT"); n != 3 {
+		t.Fatalf("%d commits traced, want 3", n)
+	}
+}
+
+func TestTextTracerLimit(t *testing.T) {
+	var b strings.Builder
+	sim := New(Config4Wide(), trace.NewVMStream(vm.New(asm.MustAssemble("nop\nnop\nnop\nhalt")), 0))
+	sim.SetTracer(&TextTracer{W: &b, Limit: 5})
+	sim.Run()
+	if n := strings.Count(b.String(), "\n"); n != 5 {
+		t.Fatalf("limit ignored: %d lines", n)
+	}
+}
+
+func TestTracerSquashEvents(t *testing.T) {
+	// A load-miss-heavy workload must emit SQUASH events.
+	p, _ := trace.ProfileByName("mcf")
+	sim := New(Config4Wide(), trace.NewSynthetic(p, 20000))
+	counts := map[Event]int{}
+	sim.SetTracer(eventCounter{counts})
+	sim.Run()
+	if counts[EvSquash] == 0 {
+		t.Fatal("no squash events traced on mcf")
+	}
+	if counts[EvCommit] != 20000 {
+		t.Fatalf("commit events = %d", counts[EvCommit])
+	}
+	if counts[EvIssue] < counts[EvCommit] {
+		t.Fatal("fewer issues than commits")
+	}
+}
+
+type eventCounter struct{ m map[Event]int }
+
+func (e eventCounter) Trace(_ int64, ev Event, _ uint64, _ isa.Inst) { e.m[ev]++ }
+
+func TestPipeviewRendersTimeline(t *testing.T) {
+	pv := NewPipeview(16)
+	sim := New(Config4Wide(), trace.NewVMStream(vm.New(asm.MustAssemble(`
+	ldi r1, 5
+	addi r2, r1, 1
+	add r3, r2, r1
+	halt
+`)), 0))
+	sim.SetTracer(pv)
+	sim.Run()
+	var b strings.Builder
+	if err := pv.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d rows:\n%s", len(lines), out)
+	}
+	for _, mark := range []string{"F", "D", "I", "E", "C"} {
+		if !strings.Contains(lines[0], mark) {
+			t.Fatalf("row missing %s:\n%s", mark, out)
+		}
+	}
+	// The dependent add must commit at or after its producer.
+	if strings.Index(lines[2], "C") < strings.Index(lines[1], "C") {
+		t.Fatalf("dependent committed before producer:\n%s", out)
+	}
+}
+
+func TestPipeviewBounds(t *testing.T) {
+	pv := NewPipeview(2)
+	sim := New(Config4Wide(), trace.NewVMStream(vm.New(asm.MustAssemble("nop\nnop\nnop\nnop\nhalt")), 0))
+	sim.SetTracer(pv)
+	sim.Run()
+	var b strings.Builder
+	if err := pv.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "\n"); n != 2 {
+		t.Fatalf("MaxInsts ignored: %d rows", n)
+	}
+	empty := NewPipeview(0)
+	var e strings.Builder
+	if err := empty.Render(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "no instructions") {
+		t.Fatal("empty pipeview render wrong")
+	}
+}

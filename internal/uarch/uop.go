@@ -1,0 +1,110 @@
+package uarch
+
+import (
+	"halfprice/internal/isa"
+	"halfprice/internal/opred"
+	"halfprice/internal/trace"
+)
+
+// notReady is the "infinitely far in the future" cycle.
+const notReady = int64(1) << 60
+
+type uopState uint8
+
+const (
+	// stateWaiting: in the issue queue, not (or no longer) issued.
+	stateWaiting uopState = iota
+	// stateIssued: selected; executing speculatively until verified.
+	stateIssued
+	// stateDone: result produced and stable.
+	stateDone
+	// stateCommitted: retired.
+	stateCommitted
+)
+
+// uop is one in-flight instruction occupying an RUU entry from dispatch to
+// commit.
+type uop struct {
+	seq   uint64
+	d     trace.DynInst
+	class isa.ExecClass
+
+	// Scheduling sources. Stores schedule on the base register only (the
+	// split agen+move of §2.3); the data register is tracked separately
+	// and gates commit, not issue.
+	nsrc         int
+	srcReg       [2]isa.Reg
+	src          [2]*uop // producer in the window; nil = architectural value
+	dataProducer *uop
+
+	state         uopState
+	dispatchCycle int64
+	issueCycle    int64
+	// resultCycle is when the result is available to consumers: an
+	// instruction issuing exactly then captures the value off the bypass.
+	// For loads it is speculative (assumed DL1 hit) until verifyCycle.
+	resultCycle int64
+	// Loads: the true availability and the cycle hit/miss is known.
+	actualResultCycle int64
+	verifyCycle       int64
+	missed            bool
+	forwarded         bool
+	addrKnownCycle    int64
+	// The cache access persists across replays (MSHR semantics): a
+	// squashed load's miss keeps progressing; on re-issue the data
+	// arrives at memDataAt, not after a fresh full-latency access.
+	memAccessDone bool
+	memDataAt     int64
+
+	// Wakeup-scheme bookkeeping.
+	predicted    opred.Side // operand predicted to arrive last
+	fastSide     opred.Side // sequential: fast-bus side; tag-elim: watched side
+	hasPred      bool
+	teScoreboard bool // tag elimination: post-fault precise mode
+	seqRegAccess bool // issued as a sequential (double) register access
+
+	// Dispatch-time census for Figures 4/10.
+	readyAtInsert   int
+	pendingAtInsert [2]bool
+	is2Source       bool
+}
+
+func (u *uop) isLoad() bool   { return u.class == isa.ClassLoad }
+func (u *uop) isStore() bool  { return u.class == isa.ClassStore }
+func (u *uop) isBranch() bool { return u.class == isa.ClassBranch }
+
+// resultAvail returns the cycle u's result becomes available to consumers
+// (notReady while it has not issued or was squashed back to waiting).
+func (u *uop) resultAvail() int64 {
+	switch u.state {
+	case stateIssued, stateDone, stateCommitted:
+		return u.resultCycle
+	default:
+		return notReady
+	}
+}
+
+// srcAvail returns the cycle operand i's value is available, with base
+// (fast-bus) timing.
+func (u *uop) srcAvail(i int) int64 {
+	p := u.src[i]
+	if p == nil {
+		return 0 // architectural value, ready since before dispatch
+	}
+	return p.resultAvail()
+}
+
+// wokenAfterInsert reports whether operand i's tag is (or will be)
+// delivered by the wakeup bus rather than the dispatch-time scoreboard
+// read.
+func (u *uop) wokenAfterInsert(i int) bool {
+	return u.srcAvail(i) > u.dispatchCycle
+}
+
+// sideIndex maps an operand side to its source index.
+func sideIndex(s opred.Side) int {
+	if s == opred.Left {
+		return 0
+	}
+	return 1
+}

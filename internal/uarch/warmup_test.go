@@ -1,0 +1,64 @@
+package uarch
+
+import (
+	"testing"
+
+	"halfprice/internal/trace"
+)
+
+func TestWarmupDiscardsTransient(t *testing.T) {
+	p, _ := trace.ProfileByName("gcc") // big footprint: long cold start
+	cold := New(Config4Wide(), trace.NewSynthetic(p, 60000)).Run()
+
+	cfg := Config4Wide()
+	cfg.WarmupInsts = 30000
+	warm := New(cfg, trace.NewSynthetic(p, 60000)).Run()
+
+	if warm.WarmupDiscarded < 30000 {
+		t.Fatalf("discarded %d, want >= 30000", warm.WarmupDiscarded)
+	}
+	if warm.Committed+warm.WarmupDiscarded != 60000 {
+		t.Fatalf("measured %d + discarded %d != 60000", warm.Committed, warm.WarmupDiscarded)
+	}
+	// The warmed measurement must beat the cold-start-included one on a
+	// cold-start-dominated benchmark.
+	if warm.IPC() <= cold.IPC() {
+		t.Fatalf("warmed IPC %.3f not above cold-inclusive %.3f", warm.IPC(), cold.IPC())
+	}
+}
+
+func TestWarmupWithMaxInsts(t *testing.T) {
+	p, _ := trace.ProfileByName("gzip")
+	cfg := Config4Wide()
+	cfg.WarmupInsts = 5000
+	cfg.MaxInsts = 8000 // total including warmup
+	st := New(cfg, trace.NewSynthetic(p, 100000)).Run()
+	total := st.Committed + st.WarmupDiscarded
+	if total < 8000 || total > 8000+uint64(cfg.Width) {
+		t.Fatalf("total committed %d, want ~8000", total)
+	}
+	if st.WarmupDiscarded < 5000 {
+		t.Fatalf("discarded %d", st.WarmupDiscarded)
+	}
+}
+
+func TestWarmupKeepsMicroarchState(t *testing.T) {
+	// After warmup the caches are hot: the measured portion's DL1 miss
+	// rate should not exceed the cold full run's.
+	p, _ := trace.ProfileByName("gzip")
+	cfg := Config4Wide()
+	cfg.WarmupInsts = 20000
+	sim := New(cfg, trace.NewSynthetic(p, 60000))
+	st := sim.Run()
+	if st.Committed == 0 {
+		t.Fatal("nothing measured after warmup")
+	}
+	// Branch predictor state survived: measured mispredict rate should
+	// be no worse than a cold run's.
+	coldSim := New(Config4Wide(), trace.NewSynthetic(p, 60000))
+	cold := coldSim.Run()
+	if st.MispredictRate() > cold.MispredictRate()*1.2+0.01 {
+		t.Fatalf("warm mispredict rate %.3f worse than cold %.3f — predictor state lost?",
+			st.MispredictRate(), cold.MispredictRate())
+	}
+}

@@ -1,0 +1,279 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/isa"
+)
+
+// Exec is the architectural record of one executed instruction — exactly
+// the oracle information the timing pipeline needs: where it was, what it
+// was, where control went, and (for memory operations) the effective
+// address.
+type Exec struct {
+	Seq     uint64 // dynamic instruction number, starting at 0
+	PC      uint64
+	Inst    isa.Inst
+	NextPC  uint64
+	EffAddr uint64 // loads and stores only
+	Taken   bool   // conditional branches: outcome; unconditional: true
+}
+
+// Trap describes an architectural fault (bad PC, divide by zero).
+type Trap struct {
+	PC  uint64
+	Msg string
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("vm: trap at %#x: %s", t.PC, t.Msg) }
+
+// ErrHalted is returned by Step once the machine has executed HALT.
+var ErrHalted = errors.New("vm: machine halted")
+
+// Machine is the architectural state of one HPA64 program.
+type Machine struct {
+	Mem    *Memory
+	Regs   [isa.NumArchRegs]uint64
+	PC     uint64
+	Halted bool
+	Output bytes.Buffer
+
+	prog *asm.Program
+	seq  uint64
+}
+
+// New loads the program (data segment into memory, SP and PC initialised)
+// and returns a machine ready to Step.
+func New(p *asm.Program) *Machine {
+	m := &Machine{Mem: NewMemory(), prog: p, PC: p.Entry()}
+	m.Mem.StoreBytes(asm.DataBase, p.Data)
+	// Mirror the text segment into memory so the program image is complete
+	// (nothing in the workloads reads it, but a real loader would).
+	for i, in := range p.Insts {
+		m.Mem.Write(p.PCOf(i), isa.Encode(in), 8)
+	}
+	m.Regs[isa.RegSP] = asm.StackTop
+	return m
+}
+
+// Program returns the loaded program.
+func (m *Machine) Program() *asm.Program { return m.prog }
+
+// InstCount returns the number of instructions executed so far.
+func (m *Machine) InstCount() uint64 { return m.seq }
+
+func (m *Machine) reg(r isa.Reg) uint64 {
+	if r.IsZero() || !r.Valid() {
+		return 0
+	}
+	return m.Regs[r]
+}
+
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	if r.IsZero() || !r.Valid() {
+		return
+	}
+	m.Regs[r] = v
+}
+
+func (m *Machine) freg(r isa.Reg) float64 { return math.Float64frombits(m.reg(r)) }
+
+func (m *Machine) setFreg(r isa.Reg, v float64) { m.setReg(r, math.Float64bits(v)) }
+
+// Step executes one instruction and returns its execution record.
+func (m *Machine) Step() (Exec, error) {
+	if m.Halted {
+		return Exec{}, ErrHalted
+	}
+	idx := m.prog.IndexOf(m.PC)
+	if idx < 0 {
+		return Exec{}, &Trap{PC: m.PC, Msg: "PC outside text segment"}
+	}
+	in := m.prog.Insts[idx]
+	rec := Exec{Seq: m.seq, PC: m.PC, Inst: in, NextPC: m.PC + isa.InstBytes}
+	m.seq++
+
+	a, b := m.reg(in.Ra), m.reg(in.Rb)
+	switch in.Op {
+	case isa.OpADD:
+		m.setReg(in.Rd, a+b)
+	case isa.OpSUB:
+		m.setReg(in.Rd, a-b)
+	case isa.OpMUL:
+		m.setReg(in.Rd, uint64(int64(a)*int64(b)))
+	case isa.OpDIV:
+		if b == 0 {
+			return Exec{}, &Trap{PC: rec.PC, Msg: "integer divide by zero"}
+		}
+		m.setReg(in.Rd, uint64(int64(a)/int64(b)))
+	case isa.OpREM:
+		if b == 0 {
+			return Exec{}, &Trap{PC: rec.PC, Msg: "integer remainder by zero"}
+		}
+		m.setReg(in.Rd, uint64(int64(a)%int64(b)))
+	case isa.OpAND:
+		m.setReg(in.Rd, a&b)
+	case isa.OpOR:
+		m.setReg(in.Rd, a|b)
+	case isa.OpXOR:
+		m.setReg(in.Rd, a^b)
+	case isa.OpANDNOT:
+		m.setReg(in.Rd, a&^b)
+	case isa.OpSLL:
+		m.setReg(in.Rd, a<<(b&63))
+	case isa.OpSRL:
+		m.setReg(in.Rd, a>>(b&63))
+	case isa.OpSRA:
+		m.setReg(in.Rd, uint64(int64(a)>>(b&63)))
+	case isa.OpCMPEQ:
+		m.setReg(in.Rd, boolBit(a == b))
+	case isa.OpCMPLT:
+		m.setReg(in.Rd, boolBit(int64(a) < int64(b)))
+	case isa.OpCMPLE:
+		m.setReg(in.Rd, boolBit(int64(a) <= int64(b)))
+	case isa.OpCMPULT:
+		m.setReg(in.Rd, boolBit(a < b))
+
+	case isa.OpADDI:
+		m.setReg(in.Rd, a+uint64(in.Imm))
+	case isa.OpANDI:
+		m.setReg(in.Rd, a&uint64(in.Imm))
+	case isa.OpORI:
+		m.setReg(in.Rd, a|uint64(in.Imm))
+	case isa.OpXORI:
+		m.setReg(in.Rd, a^uint64(in.Imm))
+	case isa.OpSLLI:
+		m.setReg(in.Rd, a<<(uint64(in.Imm)&63))
+	case isa.OpSRLI:
+		m.setReg(in.Rd, a>>(uint64(in.Imm)&63))
+	case isa.OpSRAI:
+		m.setReg(in.Rd, uint64(int64(a)>>(uint64(in.Imm)&63)))
+	case isa.OpCMPEQI:
+		m.setReg(in.Rd, boolBit(int64(a) == in.Imm))
+	case isa.OpCMPLTI:
+		m.setReg(in.Rd, boolBit(int64(a) < in.Imm))
+	case isa.OpCMPLEI:
+		m.setReg(in.Rd, boolBit(int64(a) <= in.Imm))
+
+	case isa.OpLDI:
+		m.setReg(in.Rd, uint64(in.Imm))
+	case isa.OpLDIH:
+		m.setReg(in.Rd, a+uint64(in.Imm)<<32)
+
+	case isa.OpFADD:
+		m.setFreg(in.Rd, m.freg(in.Ra)+m.freg(in.Rb))
+	case isa.OpFSUB:
+		m.setFreg(in.Rd, m.freg(in.Ra)-m.freg(in.Rb))
+	case isa.OpFMUL:
+		m.setFreg(in.Rd, m.freg(in.Ra)*m.freg(in.Rb))
+	case isa.OpFDIV:
+		m.setFreg(in.Rd, m.freg(in.Ra)/m.freg(in.Rb))
+	case isa.OpFCMPEQ:
+		m.setReg(in.Rd, boolBit(m.freg(in.Ra) == m.freg(in.Rb)))
+	case isa.OpFCMPLT:
+		m.setReg(in.Rd, boolBit(m.freg(in.Ra) < m.freg(in.Rb)))
+	case isa.OpFCMPLE:
+		m.setReg(in.Rd, boolBit(m.freg(in.Ra) <= m.freg(in.Rb)))
+	case isa.OpFMOV:
+		m.setReg(in.Rd, a)
+	case isa.OpFNEG:
+		m.setFreg(in.Rd, -m.freg(in.Ra))
+	case isa.OpFABS:
+		m.setFreg(in.Rd, math.Abs(m.freg(in.Ra)))
+	case isa.OpFSQRT:
+		m.setFreg(in.Rd, math.Sqrt(m.freg(in.Ra)))
+	case isa.OpITOF:
+		m.setFreg(in.Rd, float64(int64(a)))
+	case isa.OpFTOI:
+		m.setReg(in.Rd, uint64(int64(m.freg(in.Ra))))
+
+	case isa.OpLDQ:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.setReg(in.Rd, m.Mem.Read(rec.EffAddr, 8))
+	case isa.OpLDL:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.setReg(in.Rd, uint64(int64(int32(m.Mem.Read(rec.EffAddr, 4)))))
+	case isa.OpLDBU:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.setReg(in.Rd, m.Mem.Read(rec.EffAddr, 1))
+	case isa.OpLDF:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.setReg(in.Rd, m.Mem.Read(rec.EffAddr, 8))
+	case isa.OpSTQ, isa.OpSTF:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.Mem.Write(rec.EffAddr, m.reg(in.Rd), 8)
+	case isa.OpSTL:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.Mem.Write(rec.EffAddr, m.reg(in.Rd), 4)
+	case isa.OpSTB:
+		rec.EffAddr = a + uint64(in.Imm)
+		m.Mem.Write(rec.EffAddr, m.reg(in.Rd), 1)
+
+	case isa.OpBEQZ, isa.OpBNEZ, isa.OpBLTZ, isa.OpBGEZ, isa.OpBGTZ, isa.OpBLEZ:
+		rec.Taken = condTaken(in.Op, int64(a))
+		if rec.Taken {
+			rec.NextPC, _ = asm.BranchTarget(in, rec.PC)
+		}
+	case isa.OpBR:
+		rec.Taken = true
+		m.setReg(in.Rd, rec.PC+isa.InstBytes)
+		rec.NextPC, _ = asm.BranchTarget(in, rec.PC)
+	case isa.OpJMP:
+		rec.Taken = true
+		ret := rec.PC + isa.InstBytes
+		rec.NextPC = a
+		m.setReg(in.Rd, ret)
+
+	case isa.OpPUTC:
+		m.Output.WriteByte(byte(a))
+	case isa.OpHALT:
+		m.Halted = true
+		rec.NextPC = rec.PC
+	default:
+		return Exec{}, &Trap{PC: rec.PC, Msg: fmt.Sprintf("unimplemented opcode %v", in.Op)}
+	}
+	m.PC = rec.NextPC
+	return rec, nil
+}
+
+func condTaken(op isa.Opcode, v int64) bool {
+	switch op {
+	case isa.OpBEQZ:
+		return v == 0
+	case isa.OpBNEZ:
+		return v != 0
+	case isa.OpBLTZ:
+		return v < 0
+	case isa.OpBGEZ:
+		return v >= 0
+	case isa.OpBGTZ:
+		return v > 0
+	case isa.OpBLEZ:
+		return v <= 0
+	}
+	return false
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes until HALT, a trap, or maxInsts instructions. It returns
+// the number of instructions executed. Reaching maxInsts is not an error;
+// callers distinguish it via Halted.
+func (m *Machine) Run(maxInsts uint64) (uint64, error) {
+	start := m.seq
+	for !m.Halted && m.seq-start < maxInsts {
+		if _, err := m.Step(); err != nil {
+			return m.seq - start, err
+		}
+	}
+	return m.seq - start, nil
+}

@@ -1,0 +1,82 @@
+// Package vm implements the HPA64 functional simulator. It executes
+// assembled programs architecturally (registers, sparse memory, control
+// flow) and produces per-instruction execution records. The timing
+// pipeline in internal/uarch replays these records as its oracle: the
+// functional machine runs ahead, the timing machine charges cycles.
+package vm
+
+import "fmt"
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Memory is a sparse, little-endian, byte-addressable 64-bit memory.
+// Pages materialise zero-filled on first touch, so programs may use any
+// address without explicit mapping.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil && create {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint64) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint64, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read returns size bytes (1, 4 or 8) starting at addr, little-endian.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes (1, 4 or 8) of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, v uint64, size int) {
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// StoreBytes copies buf into memory starting at addr.
+func (m *Memory) StoreBytes(addr uint64, buf []byte) {
+	for i, b := range buf {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// Pages returns the number of materialised pages (for tests and footprint
+// reporting).
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// String summarises the memory footprint.
+func (m *Memory) String() string {
+	return fmt.Sprintf("Memory{%d pages, %d KiB}", len(m.pages), len(m.pages)*pageSize/1024)
+}

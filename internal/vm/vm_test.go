@@ -1,0 +1,393 @@
+package vm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/isa"
+)
+
+func run(t *testing.T, src string) *Machine {
+	t.Helper()
+	m := New(asm.MustAssemble(src))
+	if _, err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not halt")
+	}
+	return m
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0x5000, 8) != 0 {
+		t.Fatal("untouched memory not zero")
+	}
+	m.Write(0x5000, 0x1122334455667788, 8)
+	if got := m.Read(0x5000, 8); got != 0x1122334455667788 {
+		t.Fatalf("read = %#x", got)
+	}
+	if got := m.Read(0x5000, 4); got != 0x55667788 {
+		t.Fatalf("4-byte read = %#x", got)
+	}
+	if got := m.LoadByte(0x5007); got != 0x11 {
+		t.Fatalf("byte read = %#x", got)
+	}
+	// Cross-page write.
+	m.Write(0x5FFE, 0xAABB, 8)
+	if got := m.Read(0x5FFE, 8); got != 0xAABB {
+		t.Fatalf("cross-page = %#x", got)
+	}
+	if m.Pages() < 2 {
+		t.Fatalf("pages = %d", m.Pages())
+	}
+	if !strings.Contains(m.String(), "pages") {
+		t.Fatal("String() malformed")
+	}
+}
+
+// Property: memory write-then-read returns the written value for any
+// address and any of the three access sizes.
+func TestMemoryRoundTripProperty(t *testing.T) {
+	f := func(addr uint32, v uint64, szSel uint8) bool {
+		size := []int{1, 4, 8}[szSel%3]
+		m := NewMemory()
+		m.Write(uint64(addr), v, size)
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*size) - 1
+		}
+		return m.Read(uint64(addr), size) == v&mask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+	ldi r1, 7
+	ldi r2, 3
+	add r3, r1, r2
+	sub r4, r1, r2
+	mul r5, r1, r2
+	div r6, r1, r2
+	rem r7, r1, r2
+	and r8, r1, r2
+	or  r9, r1, r2
+	xor r10, r1, r2
+	andnot r11, r1, r2
+	sll r12, r1, r2
+	srl r13, r1, r2
+	sra r14, r1, r2
+	cmplt r15, r2, r1
+	cmple r16, r1, r1
+	cmpeq r17, r1, r2
+	cmpult r18, r2, r1
+	halt
+`)
+	want := map[int]uint64{3: 10, 4: 4, 5: 21, 6: 2, 7: 1, 8: 3, 9: 7, 10: 4,
+		11: 4, 12: 56, 13: 0, 14: 0, 15: 1, 16: 1, 17: 0, 18: 1}
+	for r, w := range want {
+		if got := m.Regs[r]; got != w {
+			t.Errorf("r%d = %d, want %d", r, got, w)
+		}
+	}
+}
+
+func TestImmediatesAndShifts(t *testing.T) {
+	m := run(t, `
+	ldi r1, -5
+	addi r2, r1, 10
+	andi r3, r1, 0xF
+	ori r4, r1, 0
+	xori r5, r1, -1
+	slli r6, r2, 4
+	srli r7, r6, 2
+	srai r8, r1, 1
+	cmpeqi r9, r2, 5
+	cmplti r10, r1, 0
+	cmplei r11, r1, -5
+	halt
+`)
+	if int64(m.Regs[2]) != 5 {
+		t.Errorf("addi = %d", int64(m.Regs[2]))
+	}
+	if m.Regs[3] != 0xB {
+		t.Errorf("andi = %#x", m.Regs[3])
+	}
+	if int64(m.Regs[5]) != 4 {
+		t.Errorf("xori = %d", int64(m.Regs[5]))
+	}
+	if m.Regs[6] != 80 || m.Regs[7] != 20 {
+		t.Errorf("shifts = %d, %d", m.Regs[6], m.Regs[7])
+	}
+	if int64(m.Regs[8]) != -3 {
+		t.Errorf("srai = %d", int64(m.Regs[8]))
+	}
+	if m.Regs[9] != 1 || m.Regs[10] != 1 || m.Regs[11] != 1 {
+		t.Errorf("compare-immediates = %d,%d,%d", m.Regs[9], m.Regs[10], m.Regs[11])
+	}
+}
+
+func TestLdih(t *testing.T) {
+	m := run(t, "ldi r1, 1\nldih r2, r1, 2\nhalt")
+	if m.Regs[2] != 1+2<<32 {
+		t.Fatalf("ldih = %#x", m.Regs[2])
+	}
+}
+
+func TestZeroRegisterSemantics(t *testing.T) {
+	m := run(t, `
+	ldi r31, 99       # write discarded
+	add r1, r31, r31  # reads as zero
+	halt
+`)
+	if m.Regs[31] != 0 || m.Regs[1] != 0 {
+		t.Fatalf("zero reg: r31=%d r1=%d", m.Regs[31], m.Regs[1])
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := run(t, `
+	.data
+buf:	.space 64
+	.text
+	ldi r1, buf
+	ldi r2, -2
+	stq r2, 0(r1)
+	ldq r3, 0(r1)
+	stl r2, 16(r1)
+	ldl r4, 16(r1)
+	stb r2, 32(r1)
+	ldbu r5, 32(r1)
+	halt
+`)
+	if int64(m.Regs[3]) != -2 {
+		t.Errorf("ldq = %d", int64(m.Regs[3]))
+	}
+	if int64(m.Regs[4]) != -2 {
+		t.Errorf("ldl sign-extend = %d", int64(m.Regs[4]))
+	}
+	if m.Regs[5] != 0xFE {
+		t.Errorf("ldbu zero-extend = %#x", m.Regs[5])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := run(t, `
+	ldi r1, 9
+	itof f1, r1
+	fsqrt f2, f1
+	ldi r2, 2
+	itof f3, r2
+	fadd f4, f2, f3
+	fsub f5, f2, f3
+	fmul f6, f2, f3
+	fdiv f7, f2, f3
+	fneg f8, f2
+	fabs f9, f8
+	fmov f10, f9
+	fcmplt r3, f3, f2
+	fcmpeq r4, f2, f2
+	fcmple r5, f2, f3
+	ftoi r6, f6
+	halt
+`)
+	f := func(i int) float64 { return math.Float64frombits(m.Regs[32+i]) }
+	if f(2) != 3 {
+		t.Errorf("fsqrt = %v", f(2))
+	}
+	if f(4) != 5 || f(5) != 1 || f(6) != 6 || f(7) != 1.5 {
+		t.Errorf("f arith = %v %v %v %v", f(4), f(5), f(6), f(7))
+	}
+	if f(8) != -3 || f(9) != 3 || f(10) != 3 {
+		t.Errorf("fneg/fabs/fmov = %v %v %v", f(8), f(9), f(10))
+	}
+	if m.Regs[3] != 1 || m.Regs[4] != 1 || m.Regs[5] != 0 {
+		t.Errorf("fcmp = %d %d %d", m.Regs[3], m.Regs[4], m.Regs[5])
+	}
+	if m.Regs[6] != 6 {
+		t.Errorf("ftoi = %d", m.Regs[6])
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 with a countdown loop.
+	m := run(t, `
+	ldi r1, 10
+	ldi r2, 0
+loop:
+	add r2, r2, r1
+	subi r1, r1, 1
+	bnez r1, loop
+	halt
+`)
+	if m.Regs[2] != 55 {
+		t.Fatalf("sum = %d", m.Regs[2])
+	}
+}
+
+func TestAllBranchConditions(t *testing.T) {
+	m := run(t, `
+	ldi r1, -1
+	ldi r10, 0
+	bltz r1, a
+	halt
+a:	blez r1, b
+	halt
+b:	ldi r2, 1
+	bgtz r2, c
+	halt
+c:	bgez r2, d
+	halt
+d:	ldi r3, 0
+	beqz r3, e
+	halt
+e:	bnez r2, f
+	halt
+f:	ldi r10, 42
+	halt
+`)
+	if m.Regs[10] != 42 {
+		t.Fatalf("branch chain did not complete: r10=%d", m.Regs[10])
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	m := run(t, `
+	ldi r16, 5
+	call double
+	mov r1, r0
+	halt
+double:
+	add r0, r16, r16
+	ret
+`)
+	if m.Regs[1] != 10 {
+		t.Fatalf("call/ret result = %d", m.Regs[1])
+	}
+}
+
+func TestIndirectJumpTable(t *testing.T) {
+	m := run(t, `
+	.data
+table:	.quad case0, case1
+	.text
+	ldi r1, table
+	ldi r2, 1          # select case1
+	slli r3, r2, 3
+	add r3, r3, r1
+	ldq r4, 0(r3)
+	jmp r31, (r4)
+case0:
+	ldi r5, 100
+	halt
+case1:
+	ldi r5, 200
+	halt
+`)
+	if m.Regs[5] != 200 {
+		t.Fatalf("jump table picked %d", m.Regs[5])
+	}
+}
+
+func TestPutcOutput(t *testing.T) {
+	m := run(t, `
+	ldi r1, 'H'
+	putc r1
+	ldi r1, 'i'
+	putc r1
+	halt
+`)
+	if got := m.Output.String(); got != "Hi" {
+		t.Fatalf("output = %q", got)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	// Divide by zero.
+	m := New(asm.MustAssemble("ldi r1, 1\nldi r2, 0\ndiv r3, r1, r2\nhalt"))
+	if _, err := m.Run(100); err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Fatalf("div err = %v", err)
+	}
+	// Run off the end of the text segment.
+	m2 := New(asm.MustAssemble("nop"))
+	if _, err := m2.Run(100); err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Fatalf("fall-off err = %v", err)
+	}
+	// Step after halt.
+	m3 := run(t, "halt")
+	if _, err := m3.Step(); err != ErrHalted {
+		t.Fatalf("step-after-halt err = %v", err)
+	}
+}
+
+func TestRunMaxInsts(t *testing.T) {
+	m := New(asm.MustAssemble("loop: b loop"))
+	n, err := m.Run(500)
+	if err != nil || n != 500 || m.Halted {
+		t.Fatalf("n=%d err=%v halted=%v", n, err, m.Halted)
+	}
+}
+
+func TestExecRecords(t *testing.T) {
+	m := New(asm.MustAssemble(`
+	ldi r1, 2
+	beqz r31, skip
+	nop
+skip:
+	stq r1, 64(r31)
+	ldq r2, 64(r31)
+	halt
+`))
+	var recs []Exec
+	for !m.Halted {
+		r, err := m.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Seq != 0 || recs[1].Seq != 1 {
+		t.Fatal("Seq not monotone")
+	}
+	br := recs[1]
+	if !br.Taken || br.NextPC != recs[2].PC {
+		t.Fatalf("branch record %+v; next real PC %#x", br, recs[2].PC)
+	}
+	if recs[2].Inst.Op != isa.OpSTQ || recs[2].EffAddr != 64 {
+		t.Fatalf("store record %+v", recs[2])
+	}
+	if recs[3].EffAddr != 64 {
+		t.Fatalf("load record %+v", recs[3])
+	}
+	if m.Regs[2] != 2 {
+		t.Fatalf("store/load value = %d", m.Regs[2])
+	}
+}
+
+func TestStackUse(t *testing.T) {
+	m := run(t, `
+	subi sp, sp, 16
+	ldi r1, 77
+	stq r1, 0(sp)
+	stq ra, 8(sp)
+	ldq r2, 0(sp)
+	addi sp, sp, 16
+	halt
+`)
+	if m.Regs[2] != 77 {
+		t.Fatalf("stack round-trip = %d", m.Regs[2])
+	}
+	if m.Regs[isa.RegSP] != asm.StackTop {
+		t.Fatalf("sp = %#x", m.Regs[isa.RegSP])
+	}
+}

@@ -1,0 +1,387 @@
+package workloads
+
+// RuntimeLib is a small assembly runtime shared by the library-heavy
+// kernels: memory, string and sorting routines written in the plain
+// calling convention of this repository's programs (args in r16..r19,
+// result in r0, ra holds the return address, sp grows down). Appending it
+// to a program gives realistic call-dominated code: deep call/return
+// chains for the RAS, byte loops for the D-cache, and compare-driven
+// branches.
+const RuntimeLib = `
+# ---- runtime library ----
+
+# memcpy(dst=r16, src=r17, n=r18): byte copy. Clobbers r1-r3.
+memcpy:
+	beqz r18, memcpy_done
+	or r1, r16, r16
+	or r2, r17, r17
+	or r3, r18, r18
+memcpy_loop:
+	ldbu r4, 0(r2)
+	stb r4, 0(r1)
+	addi r1, r1, 1
+	addi r2, r2, 1
+	subi r3, r3, 1
+	bnez r3, memcpy_loop
+memcpy_done:
+	ret
+
+# memset(dst=r16, val=r17, n=r18). Clobbers r1, r3.
+memset:
+	beqz r18, memset_done
+	or r1, r16, r16
+	or r3, r18, r18
+memset_loop:
+	stb r17, 0(r1)
+	addi r1, r1, 1
+	subi r3, r3, 1
+	bnez r3, memset_loop
+memset_done:
+	ret
+
+# strlen(s=r16) -> r0. Clobbers r1, r2.
+strlen:
+	ldi r0, 0
+	or r1, r16, r16
+strlen_loop:
+	ldbu r2, 0(r1)
+	beqz r2, strlen_done
+	addi r0, r0, 1
+	addi r1, r1, 1
+	b strlen_loop
+strlen_done:
+	ret
+
+# strcmp(a=r16, b=r17) -> r0 (0 equal, else difference of first
+# mismatching bytes). Clobbers r1-r4.
+strcmp:
+	or r1, r16, r16
+	or r2, r17, r17
+strcmp_loop:
+	ldbu r3, 0(r1)
+	ldbu r4, 0(r2)
+	sub r0, r3, r4
+	bnez r0, strcmp_done
+	beqz r3, strcmp_done
+	addi r1, r1, 1
+	addi r2, r2, 1
+	b strcmp_loop
+strcmp_done:
+	ret
+
+# sortq(base=r16, n=r17): insertion sort of n quads. Clobbers r1-r8.
+sortq:
+	cmplti r1, r17, 2
+	bnez r1, sortq_done
+	ldi r1, 1              # i
+sortq_outer:
+	slli r2, r1, 3
+	add r2, r2, r16
+	ldq r3, 0(r2)          # key
+	or r4, r1, r1          # j = i
+sortq_inner:
+	beqz r4, sortq_place
+	subi r5, r4, 1
+	slli r6, r5, 3
+	add r6, r6, r16
+	ldq r7, 0(r6)
+	cmple r8, r7, r3
+	bnez r8, sortq_place
+	slli r6, r4, 3
+	add r6, r6, r16
+	stq r7, 0(r6)          # shift right
+	or r4, r5, r5
+	b sortq_inner
+sortq_place:
+	slli r6, r4, 3
+	add r6, r6, r16
+	stq r3, 0(r6)
+	addi r1, r1, 1
+	cmplt r5, r1, r17
+	bnez r5, sortq_outer
+sortq_done:
+	ret
+
+# hash(s=r16) -> r0: djb2 over a NUL-terminated string. Clobbers r1-r3.
+hash:
+	ldi r0, 5381
+	or r1, r16, r16
+hash_loop:
+	ldbu r2, 0(r1)
+	beqz r2, hash_done
+	slli r3, r0, 5
+	add r0, r3, r0
+	add r0, r0, r2
+	addi r1, r1, 1
+	b hash_loop
+hash_done:
+	ret
+`
+
+// ExtraNames lists the additional kernels beyond the Table 2 suite: the
+// library-heavy ones built on RuntimeLib (call-dominated code, deep RAS
+// behaviour, byte-granularity memory loops) plus a dense-FP matrix kernel
+// and a bit-twiddling CRC.
+var ExtraNames = []string{"libsort", "libstring", "libmix", "matrix", "crc"}
+
+func init() {
+	sources["libsort"] = libsortSrc + RuntimeLib
+	sources["libstring"] = libstringSrc + RuntimeLib
+	sources["libmix"] = libmixSrc + RuntimeLib
+	sources["matrix"] = matrixSrc
+	sources["crc"] = crcSrc
+}
+
+// matrix: an 8x8 float matrix multiply, repeated — dense FP multiply/add
+// chains with strided and row-major access, saturating the FP units.
+const matrixSrc = `
+	.data
+ma:	.space 512
+mb:	.space 512
+mc:	.space 512
+	.text
+	# Fill A[i][j] = i+j, B[i][j] = i-j (as floats).
+	ldi r16, ma
+	ldi r17, mb
+	ldi r1, 0              # i
+finit_i:
+	ldi r2, 0              # j
+finit_j:
+	slli r3, r1, 6
+	slli r4, r2, 3
+	add r3, r3, r4         # offset = (i*8+j)*8
+	add r5, r1, r2
+	itof f1, r5
+	add r6, r16, r3
+	stf f1, 0(r6)
+	sub r5, r1, r2
+	itof f2, r5
+	add r6, r17, r3
+	stf f2, 0(r6)
+	addi r2, r2, 1
+	cmplti r7, r2, 8
+	bnez r7, finit_j
+	addi r1, r1, 1
+	cmplti r7, r1, 8
+	bnez r7, finit_i
+
+	ldi r20, 30            # repetitions
+mm_rep:
+	ldi r1, 0              # i
+mm_i:
+	ldi r2, 0              # j
+mm_j:
+	itof f10, r31          # acc = 0
+	ldi r8, 0              # k
+mm_k:
+	slli r3, r1, 6
+	slli r4, r8, 3
+	add r3, r3, r4
+	add r5, r16, r3
+	ldf f1, 0(r5)          # A[i][k]
+	slli r3, r8, 6
+	slli r4, r2, 3
+	add r3, r3, r4
+	ldi r6, mb
+	add r5, r6, r3
+	ldf f2, 0(r5)          # B[k][j]
+	fmul f3, f1, f2
+	fadd f10, f10, f3
+	addi r8, r8, 1
+	cmplti r7, r8, 8
+	bnez r7, mm_k
+	slli r3, r1, 6
+	slli r4, r2, 3
+	add r3, r3, r4
+	ldi r6, mc
+	add r5, r6, r3
+	stf f10, 0(r5)
+	addi r2, r2, 1
+	cmplti r7, r2, 8
+	bnez r7, mm_j
+	addi r1, r1, 1
+	cmplti r7, r1, 8
+	bnez r7, mm_i
+	subi r20, r20, 1
+	bnez r20, mm_rep
+
+	# checksum: C[7][7] as an integer
+	ldi r6, mc
+	ldf f10, 504(r6)
+	ftoi r0, f10
+	halt
+`
+
+// crc: a bitwise CRC-32 (reflected 0xEDB88320) over a buffer, repeated —
+// long serial shift/xor dependence chains with data-dependent branches.
+const crcSrc = `
+	.data
+cbuf:	.asciz "the half-price architecture pays for one operand"
+	.text
+	ldi r20, 80            # passes
+	ldi r0, 0
+	ldi r21, 0xEDB8        # build the polynomial 0xEDB88320
+	slli r21, r21, 16
+	ori r21, r21, 0x8320
+crc_rep:
+	ldi r1, -1
+	srli r1, r1, 32        # crc = 0xFFFFFFFF
+	ldi r16, cbuf
+crc_byte:
+	ldbu r2, 0(r16)
+	beqz r2, crc_done
+	xor r1, r1, r2
+	ldi r3, 8              # bit count
+crc_bit:
+	andi r4, r1, 1
+	srli r1, r1, 1
+	beqz r4, crc_nopoly
+	xor r1, r1, r21
+crc_nopoly:
+	subi r3, r3, 1
+	bnez r3, crc_bit
+	addi r16, r16, 1
+	b crc_byte
+crc_done:
+	add r0, r0, r1
+	subi r20, r20, 1
+	bnez r20, crc_rep
+	halt
+`
+
+// libsort: fill an array with a descending-ish pseudo-random pattern,
+// sort it with the runtime's insertion sort, checksum adjacent order.
+const libsortSrc = `
+	.data
+arr:	.space 768             # 96 quads
+	.text
+	ldi r20, 96
+	ldi r21, arr
+	ldi r1, 0
+lfill:
+	mul r2, r1, r1
+	xori r3, r2, 0x155
+	andi r3, r3, 511
+	slli r4, r1, 3
+	add r4, r4, r21
+	stq r3, 0(r4)
+	addi r1, r1, 1
+	cmplt r5, r1, r20
+	bnez r5, lfill
+
+	or r16, r21, r21
+	or r17, r20, r20
+	call sortq
+
+	# verify: count in-order neighbours into r22
+	ldi r22, 0
+	ldi r1, 0
+	subi r6, r20, 1
+lver:
+	slli r4, r1, 3
+	add r4, r4, r21
+	ldq r7, 0(r4)
+	ldq r8, 8(r4)
+	cmple r9, r7, r8
+	add r22, r22, r9
+	addi r1, r1, 1
+	cmplt r5, r1, r6
+	bnez r5, lver
+	or r0, r22, r22
+	halt
+`
+
+// libstring: strlen/strcmp/hash over a small string table, the inner loop
+// of symbol-table code.
+const libstringSrc = `
+	.data
+s0:	.asciz "register"
+s1:	.asciz "rename"
+s2:	.asciz "wakeup"
+s3:	.asciz "select"
+s4:	.asciz "bypass"
+tab:	.quad s0, s1, s2, s3, s4
+	.text
+	ldi r20, 120           # passes
+	ldi r22, 0             # checksum
+louter:
+	ldi r21, 0             # index
+lstr:
+	slli r1, r21, 3
+	ldi r2, tab
+	add r1, r1, r2
+	ldq r16, 0(r1)
+	stq r16, -8(sp)        # stash the pointer across calls
+	call strlen
+	add r22, r22, r0
+	ldq r16, -8(sp)
+	call hash
+	andi r3, r0, 255
+	add r22, r22, r3
+	ldq r16, -8(sp)
+	ldi r17, s2
+	call strcmp
+	beqz r0, lhit
+	b lnext
+lhit:
+	addi r22, r22, 7
+lnext:
+	addi r21, r21, 1
+	cmplti r4, r21, 5
+	bnez r4, lstr
+	subi r20, r20, 1
+	bnez r20, louter
+	or r0, r22, r22
+	halt
+`
+
+// libmix: copy records with memcpy, clear with memset, sort the ids, then
+// hash a tag string per pass — an object-database composite.
+const libmixSrc = `
+	.data
+srcrec:	.space 256
+dstrec:	.space 256
+ids:	.space 256             # 32 quads
+tag:	.asciz "vortex-object"
+	.text
+	ldi r20, 40            # passes
+	ldi r22, 0
+mouter:
+	# build source record bytes
+	ldi r16, srcrec
+	andi r17, r20, 63
+	ldi r18, 256
+	call memset
+	# copy it
+	ldi r16, dstrec
+	ldi r17, srcrec
+	ldi r18, 256
+	call memcpy
+	# fill and sort ids
+	ldi r1, 0
+	ldi r2, ids
+midfill:
+	mul r3, r1, r20
+	andi r3, r3, 127
+	slli r4, r1, 3
+	add r4, r4, r2
+	stq r3, 0(r4)
+	addi r1, r1, 1
+	cmplti r5, r1, 32
+	bnez r5, midfill
+	ldi r16, ids
+	ldi r17, 32
+	call sortq
+	# checksum median + hashed tag
+	ldi r2, ids
+	ldq r6, 128(r2)
+	add r22, r22, r6
+	ldi r16, tag
+	call hash
+	andi r7, r0, 1023
+	add r22, r22, r7
+	subi r20, r20, 1
+	bnez r20, mouter
+	or r0, r22, r22
+	halt
+`

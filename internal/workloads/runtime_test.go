@@ -1,0 +1,201 @@
+package workloads
+
+import (
+	"testing"
+
+	"halfprice/internal/asm"
+	"halfprice/internal/trace"
+	"halfprice/internal/uarch"
+	"halfprice/internal/vm"
+)
+
+// runLib assembles src+RuntimeLib prefixed with a tiny driver and returns
+// the machine after it halts.
+func runLib(t *testing.T, driver string) *vm.Machine {
+	t.Helper()
+	m := vm.New(asm.MustAssemble(driver + RuntimeLib))
+	if _, err := m.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatal("driver did not halt")
+	}
+	return m
+}
+
+func TestRuntimeMemcpyMemset(t *testing.T) {
+	m := runLib(t, `
+	.data
+a:	.asciz "0123456789"
+b:	.space 16
+	.text
+	ldi r16, b
+	ldi r17, 0x41
+	ldi r18, 12
+	call memset
+	ldi r16, b
+	ldi r17, a
+	ldi r18, 5
+	call memcpy
+	ldi r1, b
+	ldbu r2, 0(r1)      # '0'
+	ldbu r3, 4(r1)      # '4'
+	ldbu r4, 5(r1)      # 'A' from memset
+	halt
+`)
+	if m.Regs[2] != '0' || m.Regs[3] != '4' || m.Regs[4] != 'A' {
+		t.Fatalf("memcpy/memset bytes = %c %c %c", m.Regs[2], m.Regs[3], m.Regs[4])
+	}
+}
+
+func TestRuntimeStrings(t *testing.T) {
+	m := runLib(t, `
+	.data
+x:	.asciz "wakeup"
+y:	.asciz "wakeup"
+z:	.asciz "wakeuq"
+	.text
+	ldi r16, x
+	call strlen
+	or r20, r0, r0
+	ldi r16, x
+	ldi r17, y
+	call strcmp
+	or r21, r0, r0
+	ldi r16, x
+	ldi r17, z
+	call strcmp
+	or r22, r0, r0
+	halt
+`)
+	if m.Regs[20] != 6 {
+		t.Fatalf("strlen = %d", m.Regs[20])
+	}
+	if m.Regs[21] != 0 {
+		t.Fatalf("strcmp equal = %d", int64(m.Regs[21]))
+	}
+	if int64(m.Regs[22]) >= 0 {
+		t.Fatalf("strcmp 'p' vs 'q' = %d, want negative", int64(m.Regs[22]))
+	}
+}
+
+func TestRuntimeSortq(t *testing.T) {
+	m := runLib(t, `
+	.data
+v:	.quad 9, 3, 7, 1, 5, 3, 8, 0
+	.text
+	ldi r16, v
+	ldi r17, 8
+	call sortq
+	ldi r1, v
+	ldq r20, 0(r1)
+	ldq r21, 8(r1)
+	ldq r22, 56(r1)
+	halt
+`)
+	if m.Regs[20] != 0 || m.Regs[21] != 1 || m.Regs[22] != 9 {
+		t.Fatalf("sorted = %d %d .. %d", m.Regs[20], m.Regs[21], m.Regs[22])
+	}
+}
+
+func TestRuntimeHashMatchesGo(t *testing.T) {
+	m := runLib(t, `
+	.data
+s:	.asciz "half"
+	.text
+	ldi r16, s
+	call hash
+	halt
+`)
+	want := uint64(5381)
+	for _, c := range []byte("half") {
+		want = want*33 + uint64(c)
+	}
+	if m.Regs[0] != want {
+		t.Fatalf("hash = %d, want %d", m.Regs[0], want)
+	}
+}
+
+func TestExtraKernelsRun(t *testing.T) {
+	for _, name := range ExtraNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := vm.New(MustProgram(name))
+			n, err := m.Run(5_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.Halted || n < 1000 {
+				t.Fatalf("halted=%v after %d insts", m.Halted, n)
+			}
+			if m.Regs[0] == 0 {
+				t.Fatal("zero checksum")
+			}
+		})
+	}
+}
+
+func TestLibsortVerifiesFullOrder(t *testing.T) {
+	// The kernel's checksum is the count of in-order adjacent pairs
+	// after sorting 96 elements: exactly 95 iff the sort is correct.
+	m := vm.New(MustProgram("libsort"))
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 95 {
+		t.Fatalf("libsort checksum = %d, want 95 (sort broken)", m.Regs[0])
+	}
+}
+
+func TestMatrixChecksum(t *testing.T) {
+	// C[7][7] = sum_k (7+k)(k-7) = sum k^2 - 49*8 = 140 - 392 = -252.
+	m := vm.New(MustProgram("matrix"))
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if int64(m.Regs[0]) != -252 {
+		t.Fatalf("matrix checksum = %d, want -252", int64(m.Regs[0]))
+	}
+}
+
+func TestCRCMatchesGo(t *testing.T) {
+	// Reference bitwise CRC-32 (reflected 0xEDB88320), no final XOR.
+	data := []byte("the half-price architecture pays for one operand")
+	crc := uint64(0xFFFFFFFF)
+	for _, b := range data {
+		crc ^= uint64(b)
+		for i := 0; i < 8; i++ {
+			lsb := crc & 1
+			crc >>= 1
+			if lsb != 0 {
+				crc ^= 0xEDB88320
+			}
+		}
+	}
+	want := crc * 80 // the kernel sums 80 identical passes
+	m := vm.New(MustProgram("crc"))
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != want {
+		t.Fatalf("crc checksum = %#x, want %#x", m.Regs[0], want)
+	}
+}
+
+func TestExtraKernelsOnPipeline(t *testing.T) {
+	for _, name := range ExtraNames {
+		ref := vm.New(MustProgram(name))
+		want, err := ref.Run(5_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := uarch.New(uarch.Config4Wide(), trace.NewVMStream(vm.New(MustProgram(name)), 0)).Run()
+		if st.Committed != want {
+			t.Fatalf("%s: committed %d, want %d", name, st.Committed, want)
+		}
+		// Call-dominated code: the pipeline must still perform sanely.
+		if ipc := st.IPC(); ipc < 0.3 || ipc > 4 {
+			t.Fatalf("%s: IPC %.3f", name, ipc)
+		}
+	}
+}

@@ -1,0 +1,486 @@
+// Package workloads provides twelve hand-written HPA64 assembly kernels,
+// one per SPEC CINT2000 benchmark of the paper's Table 2. Each kernel
+// captures the dominant loop character of its namesake — pointer chasing
+// for mcf, bitboards for crafty, sorting for bzip, recursion for parser —
+// so the execution-driven simulation path (assembler → functional VM →
+// timing pipeline) is exercised end to end with real control flow, real
+// memory addresses and real register dependences.
+//
+// These kernels complement the calibrated synthetic traces
+// (internal/trace): the traces match the paper's measured distributions at
+// scale; the kernels keep the whole stack honest with programs whose
+// architectural results are checked against the functional simulator.
+package workloads
+
+import (
+	"fmt"
+
+	"halfprice/internal/asm"
+)
+
+// Names lists the kernels in the paper's benchmark order.
+var Names = []string{
+	"bzip", "crafty", "eon", "gap", "gcc", "gzip",
+	"mcf", "parser", "perl", "twolf", "vortex", "vpr",
+}
+
+// Source returns the assembly source of the named kernel.
+func Source(name string) (string, bool) {
+	src, ok := sources[name]
+	return src, ok
+}
+
+// MustProgram assembles the named kernel; it panics on unknown names or
+// assembly errors (the sources are embedded and tested).
+func MustProgram(name string) *asm.Program {
+	src, ok := sources[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: unknown kernel %q", name))
+	}
+	return asm.MustAssemble(src)
+}
+
+var sources = map[string]string{
+
+	// bzip: block-sorting compression. Fill a buffer with pseudo-random
+	// keys, bubble-sort it (compare/swap inner loops), then run-length
+	// scan the sorted data — the sort/RLE structure of BWT compressors.
+	"bzip": `
+	.data
+buf:	.space 2048            # 256 quads
+	.text
+	ldi r16, buf
+	ldi r1, 0
+	ldi r2, 256
+fill:
+	mul r3, r1, r1
+	addi r3, r3, 17
+	andi r3, r3, 1023
+	slli r4, r1, 3
+	add r4, r4, r16
+	stq r3, 0(r4)
+	addi r1, r1, 1
+	cmplt r5, r1, r2
+	bnez r5, fill
+
+	ldi r6, 24             # bounded bubble passes
+pass:
+	ldi r1, 0
+	subi r7, r2, 1
+inner:
+	slli r4, r1, 3
+	add r4, r4, r16
+	ldq r8, 0(r4)
+	ldq r9, 8(r4)
+	cmple r10, r8, r9
+	bnez r10, noswap
+	stq r9, 0(r4)
+	stq r8, 8(r4)
+noswap:
+	addi r1, r1, 1
+	cmplt r5, r1, r7
+	bnez r5, inner
+	subi r6, r6, 1
+	bnez r6, pass
+
+	ldi r1, 0              # run-length scan
+	ldi r0, 0
+	subi r7, r2, 1
+rle:
+	slli r4, r1, 3
+	add r4, r4, r16
+	ldq r8, 0(r4)
+	ldq r9, 8(r4)
+	cmpeq r10, r8, r9
+	add r0, r0, r10
+	addi r1, r1, 1
+	cmplt r5, r1, r7
+	bnez r5, rle
+	halt
+`,
+
+	// crafty: chess bitboards. Rotate/munge a 64-bit board and popcount
+	// it (Kernighan loop) — dense logical operations and data-dependent
+	// branch exits.
+	"crafty": `
+	ldi r16, 0x12345
+	ldih r16, r16, 0x9ABC
+	ldi r17, 64
+	ldi r0, 0
+board:
+	or r5, r16, r16
+	ldi r6, 0
+pop:
+	beqz r5, popdone
+	subi r7, r5, 1
+	and r5, r5, r7
+	addi r6, r6, 1
+	b pop
+popdone:
+	add r0, r0, r6
+	slli r8, r16, 1
+	srli r9, r16, 63
+	or r16, r8, r9
+	xori r16, r16, 0x5A5A
+	subi r17, r17, 1
+	bnez r17, board
+	halt
+`,
+
+	// eon: ray tracing. A floating-point distance/normalisation loop:
+	// squares, square roots and divides feeding an accumulator.
+	"eon": `
+	ldi r1, 200
+	ldi r2, 3
+	itof f16, r2
+	ldi r2, 1
+	itof f17, r2
+	itof f20, r31          # acc = 0.0
+ray:
+	fmul f1, f16, f16
+	fmul f2, f17, f17
+	fadd f3, f1, f2
+	fsqrt f4, f3
+	fdiv f5, f1, f4
+	fadd f20, f20, f5
+	fadd f17, f17, f5
+	subi r1, r1, 1
+	bnez r1, ray
+	ftoi r0, f20
+	halt
+`,
+
+	// gap: computer algebra. Modular exponentiation with multiply and
+	// remainder — the long-latency integer arithmetic of group theory.
+	"gap": `
+	ldi r1, 3
+	ldi r2, 1
+	ldi r3, 500
+	ldi r4, 1000003
+	ldi r0, 0
+modexp:
+	mul r2, r2, r1
+	rem r2, r2, r4
+	add r0, r0, r2
+	subi r3, r3, 1
+	bnez r3, modexp
+	halt
+`,
+
+	// gcc: compiler IR walk. A cyclic list of typed nodes dispatched
+	// through a jump table — indirect branches, pointer loads and
+	// per-kind handlers.
+	"gcc": `
+	.data
+n0:	.quad 0, 5, n1
+n1:	.quad 1, 7, n2
+n2:	.quad 2, 11, n3
+n3:	.quad 1, 2, n4
+n4:	.quad 0, 3, n5
+n5:	.quad 2, 9, n6
+n6:	.quad 1, 4, n7
+n7:	.quad 0, 8, n0
+tbl:	.quad k0, k1, k2
+	.text
+	ldi r16, n0
+	ldi r17, tbl
+	ldi r1, 400
+	ldi r0, 0
+walk:
+	ldq r2, 0(r16)
+	ldq r3, 8(r16)
+	slli r4, r2, 3
+	add r4, r4, r17
+	ldq r5, 0(r4)
+	jmp r31, (r5)
+k0:
+	add r0, r0, r3
+	b next
+k1:
+	sub r0, r0, r3
+	b next
+k2:
+	xor r0, r0, r3
+next:
+	ldq r16, 16(r16)
+	subi r1, r1, 1
+	bnez r1, walk
+	halt
+`,
+
+	// gzip: LZ77. Byte-wise longest-match search between the current
+	// position and the window — tight byte loads with data-dependent
+	// exits.
+	"gzip": `
+	.data
+win:	.space 512
+	.text
+	ldi r16, win
+	ldi r1, 0
+	ldi r2, 512
+wfill:
+	andi r3, r1, 7
+	add r4, r16, r1
+	stb r3, 0(r4)
+	addi r1, r1, 1
+	cmplt r5, r1, r2
+	bnez r5, wfill
+
+	ldi r6, 8              # pos
+	ldi r0, 0
+opos:
+	ldi r7, 0              # match length
+match:
+	add r8, r16, r6
+	add r8, r8, r7
+	ldbu r9, 0(r8)
+	subi r10, r8, 8
+	ldbu r11, 0(r10)
+	cmpeq r12, r9, r11
+	beqz r12, mdone
+	addi r7, r7, 1
+	cmplti r12, r7, 32
+	bnez r12, match
+mdone:
+	add r0, r0, r7
+	addi r6, r6, 1
+	cmplti r12, r6, 256
+	bnez r12, opos
+	halt
+`,
+
+	// mcf: network simplex. Build a stride-97 permutation ring of nodes
+	// and chase it, accumulating costs — the serial dependent-load chain
+	// that makes mcf memory bound.
+	"mcf": `
+	.data
+nodes:	.space 4096            # 256 nodes of {cost, next}
+	.text
+	ldi r16, nodes
+	ldi r1, 0
+	ldi r2, 256
+build:
+	slli r3, r1, 4
+	add r3, r3, r16
+	andi r4, r1, 15
+	stq r4, 0(r3)
+	addi r5, r1, 97
+	andi r5, r5, 255
+	slli r5, r5, 4
+	add r5, r5, r16
+	stq r5, 8(r3)
+	addi r1, r1, 1
+	cmplt r6, r1, r2
+	bnez r6, build
+
+	ldi r7, 1000
+	or r8, r16, r16
+	ldi r0, 0
+chase:
+	ldq r9, 0(r8)
+	add r0, r0, r9
+	ldq r8, 8(r8)
+	subi r7, r7, 1
+	bnez r7, chase
+	halt
+`,
+
+	// parser: recursive descent. A binary-tree recursion of depth 10
+	// (2047 calls) through the stack and return-address path — deep
+	// call/return behaviour for the RAS.
+	"parser": `
+	ldi r16, 10
+	call rec
+	halt
+rec:
+	subi sp, sp, 24
+	stq ra, 0(sp)
+	stq r16, 8(sp)
+	beqz r16, base
+	subi r16, r16, 1
+	call rec
+	stq r0, 16(sp)
+	ldq r16, 8(sp)
+	subi r16, r16, 1
+	call rec
+	ldq r2, 16(sp)
+	add r0, r0, r2
+	addi r0, r0, 1
+	b unwind
+base:
+	ldi r0, 1
+unwind:
+	ldq ra, 0(sp)
+	addi sp, sp, 24
+	ret
+`,
+
+	// perl: interpreter dispatch. djb2-hash a string, then dispatch the
+	// hash through a handler table — string byte loads plus indirect
+	// jumps.
+	"perl": `
+	.data
+str:	.asciz "the quick brown fox jumps over the lazy dog"
+htab:	.quad h0, h1, h2, h3
+	.text
+	ldi r1, 60
+	ldi r0, 0
+outer:
+	ldi r16, str
+	ldi r2, 5381
+hash:
+	ldbu r3, 0(r16)
+	beqz r3, hdone
+	slli r4, r2, 5
+	add r2, r4, r2
+	add r2, r2, r3
+	addi r16, r16, 1
+	b hash
+hdone:
+	andi r5, r2, 3
+	slli r5, r5, 3
+	ldi r6, htab
+	add r5, r5, r6
+	ldq r7, 0(r5)
+	jmp r31, (r7)
+h0:
+	addi r0, r0, 1
+	b onext
+h1:
+	addi r0, r0, 2
+	b onext
+h2:
+	addi r0, r0, 3
+	b onext
+h3:
+	addi r0, r0, 4
+onext:
+	subi r1, r1, 1
+	bnez r1, outer
+	halt
+`,
+
+	// twolf: simulated annealing. An xorshift RNG picks two cells; a
+	// data-dependent compare decides whether to swap — the unpredictable
+	// accept/reject branches of placement annealing.
+	"twolf": `
+	.data
+cells:	.space 1024
+	.text
+	ldi r16, cells
+	ldi r1, 0
+cinit:
+	slli r2, r1, 3
+	add r2, r2, r16
+	stq r1, 0(r2)
+	addi r1, r1, 1
+	cmplti r3, r1, 128
+	bnez r3, cinit
+
+	ldi r20, 88172645
+	ldi r4, 800
+	ldi r0, 0
+move:
+	slli r5, r20, 13
+	xor r20, r20, r5
+	srli r5, r20, 7
+	xor r20, r20, r5
+	slli r5, r20, 17
+	xor r20, r20, r5
+	andi r6, r20, 127
+	srli r7, r20, 8
+	andi r7, r7, 127
+	slli r8, r6, 3
+	add r8, r8, r16
+	slli r9, r7, 3
+	add r9, r9, r16
+	ldq r10, 0(r8)
+	ldq r11, 0(r9)
+	sub r12, r10, r11
+	bgez r12, keep
+	stq r11, 0(r8)
+	stq r10, 0(r9)
+	addi r0, r0, 1
+keep:
+	subi r4, r4, 1
+	bnez r4, move
+	halt
+`,
+
+	// vortex: object database. Initialise an array of records, then run
+	// update passes computing and storing a derived field — the
+	// store-heavy object manipulation of an OODB.
+	"vortex": `
+	.data
+recs:	.space 2048            # 64 records of 32 bytes
+	.text
+	ldi r16, recs
+	ldi r1, 0
+vinit:
+	slli r2, r1, 5
+	add r2, r2, r16
+	stq r1, 0(r2)
+	addi r3, r1, 3
+	stq r3, 8(r2)
+	mul r4, r1, r1
+	stq r4, 16(r2)
+	addi r1, r1, 1
+	cmplti r5, r1, 64
+	bnez r5, vinit
+
+	ldi r6, 30
+	ldi r0, 0
+vpass:
+	ldi r1, 0
+vrec:
+	slli r2, r1, 5
+	add r2, r2, r16
+	ldq r3, 8(r2)
+	ldq r4, 16(r2)
+	add r5, r3, r4
+	stq r5, 24(r2)
+	add r0, r0, r5
+	addi r1, r1, 1
+	cmplti r7, r1, 64
+	bnez r7, vrec
+	subi r6, r6, 1
+	bnez r6, vpass
+	halt
+`,
+
+	// vpr: FPGA placement. Random cell pairs, Manhattan distance with
+	// absolute values, squared FP cost accumulation.
+	"vpr": `
+	ldi r1, 300
+	itof f20, r31
+	ldi r20, 123456789
+place:
+	slli r5, r20, 13
+	xor r20, r20, r5
+	srli r5, r20, 7
+	xor r20, r20, r5
+	andi r6, r20, 63
+	srli r7, r20, 6
+	andi r7, r7, 63
+	srli r8, r20, 12
+	andi r8, r8, 63
+	srli r9, r20, 18
+	andi r9, r9, 63
+	sub r10, r6, r8
+	bgez r10, px
+	neg r10, r10
+px:
+	sub r11, r7, r9
+	bgez r11, py
+	neg r11, r11
+py:
+	add r12, r10, r11
+	itof f1, r12
+	fmul f2, f1, f1
+	fadd f20, f20, f2
+	subi r1, r1, 1
+	bnez r1, place
+	ftoi r0, f20
+	halt
+`,
+}

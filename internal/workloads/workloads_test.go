@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"testing"
+
+	"halfprice/internal/trace"
+	"halfprice/internal/uarch"
+	"halfprice/internal/vm"
+)
+
+func TestAllKernelsAssembleAndHalt(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := vm.New(MustProgram(name))
+			n, err := m.Run(5_000_000)
+			if err != nil {
+				t.Fatalf("%s trapped: %v", name, err)
+			}
+			if !m.Halted {
+				t.Fatalf("%s did not halt in %d instructions", name, n)
+			}
+			if n < 500 {
+				t.Fatalf("%s too short (%d instructions) to be a meaningful kernel", name, n)
+			}
+		})
+	}
+}
+
+func TestKernelResultsDeterministic(t *testing.T) {
+	for _, name := range Names {
+		a, b := vm.New(MustProgram(name)), vm.New(MustProgram(name))
+		if _, err := a.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Run(5_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if a.Regs[0] != b.Regs[0] {
+			t.Fatalf("%s: r0 differs across runs", name)
+		}
+		if a.Regs[0] == 0 {
+			t.Fatalf("%s: checksum register r0 is zero (kernel did no work?)", name)
+		}
+	}
+}
+
+// Hand-computed architectural results for kernels whose checksums are easy
+// to derive independently of the simulator.
+func TestKnownChecksums(t *testing.T) {
+	// parser: full binary recursion of depth 10 -> 2^11 - 1 nodes.
+	m := vm.New(MustProgram("parser"))
+	if _, err := m.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 2047 {
+		t.Fatalf("parser checksum = %d, want 2047", m.Regs[0])
+	}
+
+	// gzip: positions 8..255, each matching the capped 32 bytes against
+	// a period-8 window -> 248 * 32.
+	g := vm.New(MustProgram("gzip"))
+	if _, err := g.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if g.Regs[0] != 248*32 {
+		t.Fatalf("gzip checksum = %d, want %d", g.Regs[0], 248*32)
+	}
+
+	// gap: sum of 3^k mod 1000003 for k = 1..500.
+	want := uint64(0)
+	v := uint64(1)
+	for i := 0; i < 500; i++ {
+		v = v * 3 % 1000003
+		want += v
+	}
+	ga := vm.New(MustProgram("gap"))
+	if _, err := ga.Run(5_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if ga.Regs[0] != want {
+		t.Fatalf("gap checksum = %d, want %d", ga.Regs[0], want)
+	}
+}
+
+func TestUnknownKernelPanics(t *testing.T) {
+	if _, ok := Source("linpack"); ok {
+		t.Fatal("unknown kernel found")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustProgram on unknown kernel did not panic")
+		}
+	}()
+	MustProgram("linpack")
+}
+
+// Every kernel must run through the full timing pipeline, committing
+// exactly as many instructions as the functional machine executes, at a
+// plausible IPC.
+func TestKernelsOnPipeline(t *testing.T) {
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref := vm.New(MustProgram(name))
+			wantInsts, err := ref.Run(5_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim := uarch.New(uarch.Config4Wide(), trace.NewVMStream(vm.New(MustProgram(name)), 0))
+			st := sim.Run()
+			if st.Committed != wantInsts {
+				t.Fatalf("pipeline committed %d, functional executed %d", st.Committed, wantInsts)
+			}
+			if ipc := st.IPC(); ipc <= 0.05 || ipc > 4.0 {
+				t.Fatalf("implausible IPC %.3f", ipc)
+			}
+		})
+	}
+}
+
+// The half-price combination must stay close to base on real programs too
+// (the paper's headline: 2.2% average, 4.8% worst case).
+func TestKernelsHalfPriceEnvelope(t *testing.T) {
+	for _, name := range []string{"mcf", "crafty", "perl", "gcc"} {
+		base := uarch.New(uarch.Config4Wide(), trace.NewVMStream(vm.New(MustProgram(name)), 0)).Run()
+		cfg := uarch.Config4Wide()
+		cfg.Wakeup = uarch.WakeupSequential
+		cfg.Regfile = uarch.RFSequential
+		hp := uarch.New(cfg, trace.NewVMStream(vm.New(MustProgram(name)), 0)).Run()
+		ratio := hp.IPC() / base.IPC()
+		if ratio < 0.9 || ratio > 1.01 {
+			t.Errorf("%s: half-price ratio %.4f outside envelope", name, ratio)
+		}
+	}
+}
