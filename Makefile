@@ -1,0 +1,26 @@
+# Development entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; `make check` is the full local equivalent of the CI gate.
+
+GO ?= go
+
+.PHONY: build test race lint fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# lint runs the repo's own static-analysis suite (see internal/analysis)
+# plus go vet. It exits non-zero on any finding.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/hpvet
+
+fmt:
+	gofmt -l -w .
+
+check: build lint race

@@ -189,7 +189,7 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 	cfg := Config4Wide()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		Simulate(cfg, "gzip", 50000)
+		MustSimulate(cfg, "gzip", 50000)
 	}
 	b.ReportMetric(50000, "insts/op")
 }

@@ -103,7 +103,12 @@ func simulate(cfg halfprice.Config, bench string, insts uint64, kernel bool, hot
 		if kernel {
 			return halfprice.SimulateKernel(cfg, bench, insts), ""
 		}
-		return halfprice.Simulate(cfg, bench, insts), ""
+		st, err := halfprice.Simulate(cfg, bench, insts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "halfprice:", err)
+			os.Exit(1)
+		}
+		return st, ""
 	}
 	st, report, err := halfprice.SimulateHot(cfg, bench, insts, kernel, hotN)
 	if err != nil {

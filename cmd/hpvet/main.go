@@ -1,0 +1,120 @@
+// Command hpvet runs the repository's static-analysis suite
+// (internal/analysis) over the module containing the working directory
+// and exits non-zero on findings. It is wired into CI next to go vet.
+//
+// Usage:
+//
+//	go run ./cmd/hpvet [-root dir] [-only a,b] [-json] [-list]
+//
+// Findings print as file:line:col: analyzer: message, with paths
+// relative to the module root. Suppress a finding with an
+// //hp:nolint analyzer -- reason comment on or above its line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"halfprice/internal/analysis"
+)
+
+func main() {
+	var (
+		root     = flag.String("root", "", "module root to analyze (default: nearest go.mod above the working directory)")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		listOnly = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.Select(strings.Split(*only, ","))
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.Run(mod, analyzers)
+
+	if *jsonOut {
+		type finding struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			file := d.Pos.Filename
+			if rel, err := filepath.Rel(mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+			out = append(out, finding{d.Analyzer, file, d.Pos.Line, d.Pos.Column, d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String(mod.Root))
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "hpvet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// directory containing go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("hpvet: no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpvet:", err)
+	os.Exit(2)
+}

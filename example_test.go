@@ -10,12 +10,12 @@ import (
 // The headline experiment in miniature: the half-price machine stays
 // within a few percent of the full-price baseline.
 func ExampleSimulate() {
-	base := halfprice.Simulate(halfprice.Config4Wide(), "crafty", 50000)
+	base := halfprice.MustSimulate(halfprice.Config4Wide(), "crafty", 50000)
 
 	cfg := halfprice.Config4Wide()
 	cfg.Wakeup = halfprice.WakeupSequential
 	cfg.Regfile = halfprice.RFSequential
-	hp := halfprice.Simulate(cfg, "crafty", 50000)
+	hp := halfprice.MustSimulate(cfg, "crafty", 50000)
 
 	fmt.Println("committed:", hp.Committed)
 	fmt.Println("within 5% of base:", hp.IPC() > 0.95*base.IPC())

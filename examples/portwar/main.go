@@ -24,12 +24,12 @@ func main() {
 		{"crossbar", halfprice.RFHalfCrossbar},
 	}
 	for _, bench := range halfprice.Benchmarks() {
-		base := halfprice.Simulate(halfprice.Config4Wide(), bench, insts)
+		base := halfprice.MustSimulate(halfprice.Config4Wide(), bench, insts)
 		row := make([]float64, len(schemes))
 		for i, s := range schemes {
 			cfg := halfprice.Config4Wide()
 			cfg.Regfile = s.rf
-			row[i] = halfprice.Simulate(cfg, bench, insts).IPC() / base.IPC()
+			row[i] = halfprice.MustSimulate(cfg, bench, insts).IPC() / base.IPC()
 		}
 		fmt.Printf("%-8s %10.4f %10.4f %10.4f\n", bench, row[0], row[1], row[2])
 	}

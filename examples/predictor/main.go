@@ -27,7 +27,7 @@ func main() {
 			cfg := halfprice.Config4Wide()
 			cfg.Wakeup = halfprice.WakeupSequential
 			cfg.OpPredEntries = n
-			st := halfprice.Simulate(cfg, bench, insts)
+			st := halfprice.MustSimulate(cfg, bench, insts)
 			fmt.Printf(" %6.1f%%", 100*st.OpPredAccuracy())
 		}
 		fmt.Println()
@@ -36,14 +36,14 @@ func main() {
 	fmt.Println()
 	fmt.Println("Sequential wakeup is insensitive to the predictor (normalised IPC):")
 	for _, bench := range benches {
-		base := halfprice.Simulate(halfprice.Config4Wide(), bench, insts)
+		base := halfprice.MustSimulate(halfprice.Config4Wide(), bench, insts)
 
 		cfg := halfprice.Config4Wide()
 		cfg.Wakeup = halfprice.WakeupSequential
-		withPred := halfprice.Simulate(cfg, bench, insts)
+		withPred := halfprice.MustSimulate(cfg, bench, insts)
 
 		cfg.OpPred = halfprice.OpPredStaticRight
-		noPred := halfprice.Simulate(cfg, bench, insts)
+		noPred := halfprice.MustSimulate(cfg, bench, insts)
 
 		fmt.Printf("  %-8s bimodal %.4f   static-right %.4f\n",
 			bench, withPred.IPC()/base.IPC(), noPred.IPC()/base.IPC())

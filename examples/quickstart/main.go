@@ -13,12 +13,12 @@ func main() {
 	const bench = "crafty"
 	const insts = 300000
 
-	base := halfprice.Simulate(halfprice.Config4Wide(), bench, insts)
+	base := halfprice.MustSimulate(halfprice.Config4Wide(), bench, insts)
 
 	cfg := halfprice.Config4Wide()
 	cfg.Wakeup = halfprice.WakeupSequential // one fast-bus comparator per entry
 	cfg.Regfile = halfprice.RFSequential    // one register read port per slot
-	hp := halfprice.Simulate(cfg, bench, insts)
+	hp := halfprice.MustSimulate(cfg, bench, insts)
 
 	fmt.Printf("%s, 4-wide, %d instructions\n", bench, insts)
 	fmt.Printf("  full-price IPC: %.3f\n", base.IPC())

@@ -28,7 +28,10 @@
 //	cfg := halfprice.Config4Wide()
 //	cfg.Wakeup = halfprice.WakeupSequential
 //	cfg.Regfile = halfprice.RFSequential
-//	st := halfprice.Simulate(cfg, "gzip", 200000)
+//	st, err := halfprice.Simulate(cfg, "gzip", 200000)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Printf("IPC %.2f\n", st.IPC())
 package halfprice
 
@@ -120,13 +123,25 @@ func BenchmarkProfile(name string) (Profile, error) {
 
 // Simulate runs the named benchmark's calibrated synthetic workload for
 // insts dynamic instructions on cfg and returns the measurements. It
-// panics on unknown benchmark names; use BenchmarkProfile to validate.
-func Simulate(cfg Config, benchmark string, insts uint64) *Stats {
+// returns an error on unknown benchmark names; MustSimulate panics
+// instead, for examples and tests with hard-coded names.
+func Simulate(cfg Config, benchmark string, insts uint64) (*Stats, error) {
 	p, ok := trace.ProfileByName(benchmark)
 	if !ok {
-		panic(fmt.Sprintf("halfprice: unknown benchmark %q", benchmark))
+		return nil, fmt.Errorf("halfprice: unknown benchmark %q", benchmark)
 	}
-	return uarch.New(cfg, trace.NewSynthetic(p, insts)).Run()
+	return uarch.New(cfg, trace.NewSynthetic(p, insts)).Run(), nil
+}
+
+// MustSimulate is Simulate but panics on error. It is intended for
+// examples, tests and other contexts where the benchmark name is a
+// literal from Benchmarks.
+func MustSimulate(cfg Config, benchmark string, insts uint64) *Stats {
+	st, err := Simulate(cfg, benchmark, insts)
+	if err != nil {
+		panic(err)
+	}
+	return st
 }
 
 // SimulateProfile runs a custom synthetic workload profile.

@@ -6,7 +6,10 @@ import (
 )
 
 func TestSimulateBenchmark(t *testing.T) {
-	st := Simulate(Config4Wide(), "gzip", 20000)
+	st, err := Simulate(Config4Wide(), "gzip", 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Committed != 20000 {
 		t.Fatalf("committed %d", st.Committed)
 	}
@@ -15,13 +18,19 @@ func TestSimulateBenchmark(t *testing.T) {
 	}
 }
 
-func TestSimulateUnknownBenchmarkPanics(t *testing.T) {
+func TestSimulateUnknownBenchmark(t *testing.T) {
+	if _, err := Simulate(Config4Wide(), "doom", 100); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestMustSimulateUnknownBenchmarkPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Fatal("unknown benchmark accepted")
 		}
 	}()
-	Simulate(Config4Wide(), "doom", 100)
+	MustSimulate(Config4Wide(), "doom", 100)
 }
 
 func TestBenchmarkProfile(t *testing.T) {
@@ -43,11 +52,11 @@ func TestBenchmarkProfile(t *testing.T) {
 func TestHalfPriceHeadline(t *testing.T) {
 	// The paper's core claim through the public API: the half-price
 	// machine performs within a few percent of the full-price one.
-	base := Simulate(Config4Wide(), "crafty", 60000)
+	base := MustSimulate(Config4Wide(), "crafty", 60000)
 	cfg := Config4Wide()
 	cfg.Wakeup = WakeupSequential
 	cfg.Regfile = RFSequential
-	hp := Simulate(cfg, "crafty", 60000)
+	hp := MustSimulate(cfg, "crafty", 60000)
 	ratio := hp.IPC() / base.IPC()
 	if ratio < 0.94 || ratio > 1.01 {
 		t.Fatalf("half-price ratio %.4f outside the paper's envelope", ratio)

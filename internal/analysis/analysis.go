@@ -1,0 +1,185 @@
+// Package analysis is hpvet's engine: a self-contained static-analysis
+// suite over this repository's own source, built only on the standard
+// library's go/ast, go/parser and go/types. It enforces the invariants
+// the Half-Price reproduction depends on — bit-stable simulation,
+// counter integrity from pipeline to exported tables, a single panic
+// policy — as machine-checked rules rather than code-review vigilance.
+//
+// Findings can be suppressed per line with
+//
+//	//hp:nolint analyzer1,analyzer2 -- reason
+//
+// placed at the end of the offending line or on the line directly
+// above. An //hp:nolint with no analyzer list suppresses every
+// analyzer; the optional "-- reason" tail documents why and is
+// strongly encouraged.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a stable analyzer name, a position and a
+// message, rendered as file:line:col: analyzer: message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic with the file path relative to dir
+// (absolute if dir is empty or the file lies outside it).
+func (d Diagnostic) String(dir string) string {
+	file := d.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named rule over a loaded module.
+type Analyzer struct {
+	Name string // stable name used in output and //hp:nolint lists
+	Doc  string // one-line description for -list and the README catalog
+	Run  func(*Module) []Diagnostic
+}
+
+// All returns every analyzer in the suite, sorted by name.
+func All() []*Analyzer {
+	as := []*Analyzer{
+		Determinism(),
+		StatsFlow(),
+		FloatCmp(),
+		PanicPolicy(),
+		ConfigCover(),
+	}
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	return as
+}
+
+// Select returns the named analyzers from All, erroring on unknown names.
+func Select(names []string) ([]*Analyzer, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run executes the analyzers over the module, drops findings suppressed
+// by //hp:nolint comments, and returns the rest sorted by position.
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	sup := collectSuppressions(m)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(m) {
+			if sup.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// suppressions maps file -> line -> analyzers suppressed on that line.
+// The empty-string key means every analyzer.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppressed(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	names := lines[d.Pos.Line]
+	return names != nil && (names[""] || names[d.Analyzer])
+}
+
+// collectSuppressions scans every file's comments for //hp:nolint
+// markers. A marker covers its own line and the line below it, so both
+// end-of-line and line-above placements work.
+func collectSuppressions(m *Module) suppressions {
+	sup := suppressions{}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "hp:nolint")
+					if !ok {
+						continue
+					}
+					markSuppressed(sup, m.Fset.Position(c.Slash), rest)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// markSuppressed records the analyzers named in one hp:nolint comment.
+func markSuppressed(sup suppressions, pos token.Position, rest string) {
+	if reason := strings.Index(rest, "--"); reason >= 0 {
+		rest = rest[:reason]
+	}
+	names := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
+	file := sup[pos.Filename]
+	if file == nil {
+		file = map[int]map[string]bool{}
+		sup[pos.Filename] = file
+	}
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		set := file[line]
+		if set == nil {
+			set = map[string]bool{}
+			file[line] = set
+		}
+		if len(names) == 0 {
+			set[""] = true
+		}
+		for _, n := range names {
+			set[n] = true
+		}
+	}
+}
+
+// inspectFiles walks every file of every package for which keep returns
+// true, giving the callback the owning package.
+func inspectFiles(m *Module, keep func(*Package) bool, visit func(*Package, *ast.File)) {
+	for _, p := range m.SortedPkgs() {
+		if keep != nil && !keep(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			visit(p, f)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata expect.txt goldens")
+
+// TestAnalyzersGolden runs each analyzer over its fixture module under
+// testdata/<name>/ and compares the rendered diagnostics against the
+// expect.txt golden. Every fixture contains positive cases, negative
+// cases and an //hp:nolint suppression; the golden pins down exactly
+// which lines fire.
+func TestAnalyzersGolden(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			m, err := LoadModule(dir)
+			if err != nil {
+				t.Fatalf("loading fixture module: %v", err)
+			}
+			var buf bytes.Buffer
+			for _, d := range Run(m, []*Analyzer{a}) {
+				buf.WriteString(d.String(m.Root))
+				buf.WriteByte('\n')
+			}
+			golden := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create): %v", err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestSuppressionsNeverFire asserts that no reported diagnostic lands on
+// a line carrying (or directly below) an //hp:nolint marker for its
+// analyzer — the goldens above already encode this, but the invariant is
+// worth stating directly.
+func TestSuppressionsNeverFire(t *testing.T) {
+	for _, a := range All() {
+		m, err := LoadModule(filepath.Join("testdata", a.Name))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		sup := collectSuppressions(m)
+		for _, d := range Run(m, []*Analyzer{a}) {
+			if sup.suppressed(d) {
+				t.Errorf("%s: suppressed diagnostic still reported: %s", a.Name, d.String(m.Root))
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	as, err := Select([]string{"determinism", "floatcmp"})
+	if err != nil || len(as) != 2 {
+		t.Fatalf("Select: %v, %d analyzers", err, len(as))
+	}
+	if _, err := Select([]string{"nosuch"}); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+func TestAllSortedAndDocumented(t *testing.T) {
+	var prev string
+	for _, a := range All() {
+		if a.Name <= prev {
+			t.Fatalf("analyzers not sorted: %q after %q", a.Name, prev)
+		}
+		if a.Doc == "" || strings.ContainsRune(a.Name, ' ') {
+			t.Fatalf("analyzer %q missing doc or has malformed name", a.Name)
+		}
+		prev = a.Name
+	}
+}
+
+// TestSelfClean runs the whole suite over this repository itself: the
+// tree must stay hpvet-clean, which is the same gate CI enforces via
+// `go run ./cmd/hpvet`.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds := Run(m, All()); len(ds) > 0 {
+		for _, d := range ds {
+			t.Errorf("%s", d.String(m.Root))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// configPathFunc matches the names of the functions that form the
+// uarch.Config validation/defaulting path: the mustValidate guard, any
+// validate/normalize/default helper, and the Config4Wide/Config8Wide
+// Table 1 constructors.
+var configPathFunc = regexp.MustCompile(`(?i)(validate|normalize|default)|^Config\w*Wide$`)
+
+// ConfigCover requires every exported uarch.Config field to be wired
+// up, so a new knob cannot be silently ignored:
+//
+//   - every exported non-bool field must be referenced by the
+//     validation/defaulting path (bool knobs are exempt from this half
+//     — both values are always legal, there is nothing to validate);
+//   - every exported field, bools included, must be read somewhere
+//     outside that path, i.e. actually consumed by the simulator.
+//
+// Diagnostics anchor at the field declaration; suppress with
+// //hp:nolint configcover there if a field is intentionally dormant.
+func ConfigCover() *Analyzer {
+	return &Analyzer{
+		Name: "configcover",
+		Doc:  "require every exported uarch.Config field to be validated and consumed",
+		Run:  runConfigCover,
+	}
+}
+
+func runConfigCover(m *Module) []Diagnostic {
+	producer := m.Path + "/internal/uarch"
+	prodPkg := m.Pkgs[producer]
+	if prodPkg == nil {
+		return nil
+	}
+	cfgType, fields := lookupStruct(prodPkg, "Config")
+	if cfgType == nil {
+		return nil
+	}
+	fieldSet := map[*types.Var]bool{}
+	for _, f := range fields {
+		fieldSet[f] = true
+	}
+
+	validated := map[*types.Var]bool{}
+	consumed := map[*types.Var]bool{}
+	inspectFiles(m, nil, func(p *Package, f *ast.File) {
+		for _, decl := range f.Decls {
+			inPath := false
+			if fd, ok := decl.(*ast.FuncDecl); ok && p.Path == producer && configPathFunc.MatchString(fd.Name.Name) {
+				inPath = true
+			}
+			if _, isGen := decl.(*ast.GenDecl); isGen && p.Path == producer {
+				// The struct declaration itself references every field;
+				// skip it so declaring a knob doesn't count as using it.
+				continue
+			}
+			markConfigRefs(p, decl, fieldSet, func(field *types.Var) {
+				if inPath {
+					validated[field] = true
+				} else {
+					consumed[field] = true
+				}
+			})
+		}
+	})
+
+	var out []Diagnostic
+	for _, field := range fields {
+		if !field.Exported() {
+			continue
+		}
+		if !consumed[field] {
+			out = append(out, Diagnostic{
+				Analyzer: "configcover",
+				Pos:      m.Fset.Position(field.Pos()),
+				Message:  fmt.Sprintf("uarch.Config.%s is never read outside the validation/defaulting path — the knob is silently ignored", field.Name()),
+			})
+			continue
+		}
+		if !validated[field] && !isBool(field) {
+			out = append(out, Diagnostic{
+				Analyzer: "configcover",
+				Pos:      m.Fset.Position(field.Pos()),
+				Message:  fmt.Sprintf("uarch.Config.%s is not referenced by the config validation/defaulting path (mustValidate/Config4Wide/Config8Wide)", field.Name()),
+			})
+		}
+	}
+	return out
+}
+
+func isBool(v *types.Var) bool {
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsBoolean != 0
+}
+
+// markConfigRefs reports every reference to one of the given fields
+// under root: selector accesses (reads and writes alike) and
+// composite-literal keys.
+func markConfigRefs(p *Package, root ast.Node, fieldSet map[*types.Var]bool, report func(*types.Var)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := p.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+				if field, ok := sel.Obj().(*types.Var); ok && fieldSet[field] {
+					report(field)
+				}
+			}
+		case *ast.KeyValueExpr:
+			if key, ok := n.Key.(*ast.Ident); ok {
+				if field, ok := p.Info.Uses[key].(*types.Var); ok && fieldSet[field] {
+					report(field)
+				}
+			}
+		}
+		return true
+	})
+}

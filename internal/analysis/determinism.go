@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// determinismScope lists the package suffixes (under the module path)
+// whose code must be bit-stable across runs: the pipeline model, the
+// workload generators, the functional simulator, and the experiment
+// harness that renders the paper's tables and figures.
+var determinismScope = []string{
+	"internal/uarch",
+	"internal/trace",
+	"internal/vm",
+	"internal/experiments",
+}
+
+// Determinism forbids nondeterminism sources in simulation packages:
+// wall-clock reads (time.Now/Since/Until), the globally seeded
+// math/rand generators, and ranging over a map, whose iteration order
+// is deliberately randomised by the runtime. Simulation state and
+// rendered output must not depend on any of them; iterate over sorted
+// keys, use internal/trace's seeded xorshift RNG, or suppress with a
+// justified //hp:nolint determinism when the loop is provably
+// order-insensitive.
+func Determinism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid time.Now, global math/rand and map ranges in simulation packages",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(m *Module) []Diagnostic {
+	scope := map[string]bool{}
+	for _, s := range determinismScope {
+		scope[m.Path+"/"+s] = true
+	}
+	var out []Diagnostic
+	inspectFiles(m, func(p *Package) bool { return scope[p.Path] }, func(p *Package, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if d := checkDeterminismUse(m, p, n); d != nil {
+					out = append(out, *d)
+				}
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					out = append(out, Diagnostic{
+						Analyzer: "determinism",
+						Pos:      m.Fset.Position(n.Range),
+						Message:  "range over a map has nondeterministic order; iterate over sorted keys (or //hp:nolint determinism with a reason if provably order-insensitive)",
+					})
+				}
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// checkDeterminismUse flags identifiers resolving to wall-clock reads
+// or to package-level math/rand functions (which share the global,
+// run-dependent source). Constructing explicitly seeded generators via
+// rand.New*/rand.NewSource stays legal, as do rand.Rand methods.
+func checkDeterminismUse(m *Module, p *Package, id *ast.Ident) *Diagnostic {
+	fn, ok := p.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return nil // methods are fine; only package-level functions are global state
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return &Diagnostic{
+				Analyzer: "determinism",
+				Pos:      m.Fset.Position(id.Pos()),
+				Message:  fmt.Sprintf("time.%s reads the wall clock; simulation results must not depend on real time", fn.Name()),
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		if strings.HasPrefix(fn.Name(), "New") {
+			return nil
+		}
+		return &Diagnostic{
+			Analyzer: "determinism",
+			Pos:      m.Fset.Position(id.Pos()),
+			Message:  fmt.Sprintf("%s.%s uses the global, run-dependent source; use the seeded trace RNG or an explicit rand.New(rand.NewSource(seed))", fn.Pkg().Path(), fn.Name()),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp flags == and != between floating-point operands anywhere in
+// the module's non-test code. Exact float equality silently breaks
+// when a computation is reordered or an intermediate is spilled to a
+// different precision; compare against an epsilon instead, or suppress
+// with //hp:nolint floatcmp where exact equality is the point (e.g.
+// comparing against a sentinel the code itself stored).
+func FloatCmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "flag ==/!= on floating-point operands outside epsilon helpers",
+		Run:  runFloatCmp,
+	}
+}
+
+func runFloatCmp(m *Module) []Diagnostic {
+	var out []Diagnostic
+	inspectFiles(m, nil, func(p *Package, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(p, b.X) && !isFloatOperand(p, b.Y) {
+				return true
+			}
+			// Constant folding: a comparison both of whose operands are
+			// compile-time constants is exact by construction.
+			if isConst(p, b.X) && isConst(p, b.Y) {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Analyzer: "floatcmp",
+				Pos:      m.Fset.Position(b.OpPos),
+				Message:  "floating-point " + b.Op.String() + " comparison; use an epsilon (or //hp:nolint floatcmp if exact equality is intended)",
+			})
+			return true
+		})
+	})
+	return out
+}
+
+func isFloatOperand(p *Package, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConst(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

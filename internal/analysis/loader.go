@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package of the module under
+// analysis. Only non-test sources are loaded: the analyzers enforce
+// invariants on shipping simulator code, and test files are free to use
+// epsilon-less comparisons, panics and unordered iteration in assertions.
+type Package struct {
+	Path  string      // import path, e.g. "halfprice/internal/uarch"
+	Dir   string      // absolute source directory
+	Files []*ast.File // non-test files, sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a whole module loaded for analysis: every package of the main
+// module, type-checked once against a shared file set so analyzers can
+// compare types.Object identities across packages.
+type Module struct {
+	Root string // absolute directory containing go.mod
+	Path string // module path declared in go.mod
+	Fset *token.FileSet
+	Pkgs map[string]*Package
+}
+
+// Local reports whether the import path belongs to the module.
+func (m *Module) Local(path string) bool {
+	return path == m.Path || strings.HasPrefix(path, m.Path+"/")
+}
+
+// SortedPkgs returns the module's packages ordered by import path.
+func (m *Module) SortedPkgs() []*Package {
+	out := make([]*Package, 0, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// LoadModule parses and type-checks every non-test package under root,
+// which must contain a go.mod. The standard library is imported from
+// source (GOROOT/src), so the loader has no dependency on compiled
+// export data or external modules.
+func LoadModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: abs, Path: modPath, Fset: token.NewFileSet(), Pkgs: map[string]*Package{}}
+	if err := m.parseTree(); err != nil {
+		return nil, err
+	}
+	chk := &moduleChecker{m: m, std: importer.ForCompiler(m.Fset, "source", nil), checking: map[string]bool{}}
+	for _, p := range m.SortedPkgs() {
+		if _, err := chk.local(p.Path); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", file)
+}
+
+// parseTree walks the module tree and parses every non-test .go file,
+// skipping vendor, testdata and hidden directories.
+func (m *Module) parseTree() error {
+	return filepath.Walk(m.Root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			name := fi.Name()
+			if path != m.Root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(m.Root, dir)
+		if err != nil {
+			return err
+		}
+		impPath := m.Path
+		if rel != "." {
+			impPath = m.Path + "/" + filepath.ToSlash(rel)
+		}
+		p := m.Pkgs[impPath]
+		if p == nil {
+			p = &Package{Path: impPath, Dir: dir}
+			m.Pkgs[impPath] = p
+		}
+		p.Files = append(p.Files, f)
+		return nil
+	})
+}
+
+// moduleChecker type-checks module packages on demand, resolving local
+// imports from the module tree and everything else from GOROOT source.
+type moduleChecker struct {
+	m        *Module
+	std      types.Importer
+	checking map[string]bool
+}
+
+// Import implements types.Importer for the type checker.
+func (c *moduleChecker) Import(path string) (*types.Package, error) {
+	if c.m.Local(path) {
+		return c.local(path)
+	}
+	return c.std.Import(path)
+}
+
+func (c *moduleChecker) local(path string) (*types.Package, error) {
+	p, ok := c.m.Pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not found in module %s", path, c.m.Path)
+	}
+	if p.Types != nil {
+		return p.Types, nil
+	}
+	if c.checking[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	c.checking[path] = true
+	defer func() { c.checking[path] = false }()
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: c,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	sort.Slice(p.Files, func(i, j int) bool {
+		return c.m.Fset.Position(p.Files[i].Pos()).Filename < c.m.Fset.Position(p.Files[j].Pos()).Filename
+	})
+	tpkg, err := conf.Check(path, c.m.Fset, p.Files, info)
+	if err != nil {
+		if firstErr != nil {
+			err = firstErr
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+	return tpkg, nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// panicAllowlist names functions (as pkgpath.Func or pkgpath.Recv.Func)
+// that may contain panic calls without carrying a must* name. Keep this
+// list short: the policy is that intentional programmer-error panics
+// live in must*-named helpers, and everything else returns an error.
+var panicAllowlist = map[string]bool{
+	"halfprice.MustSimulate": true,
+}
+
+// PanicPolicy forbids naked panic calls in the root package and every
+// internal package. A panic is legal only inside a function whose name
+// starts with must/Must (the repo's convention for programmer-error
+// guards on static data) or one registered in panicAllowlist. Library
+// code reachable from user input must return errors instead.
+func PanicPolicy() *Analyzer {
+	return &Analyzer{
+		Name: "panicpolicy",
+		Doc:  "forbid naked panic outside must*-named helpers in internal packages",
+		Run:  runPanicPolicy,
+	}
+}
+
+func runPanicPolicy(m *Module) []Diagnostic {
+	var out []Diagnostic
+	keep := func(p *Package) bool {
+		return p.Path == m.Path || strings.HasPrefix(p.Path, m.Path+"/internal/")
+	}
+	inspectFiles(m, keep, func(p *Package, f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && panicAllowed(p, fd) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				where := "at package level"
+				if ok && fd != nil {
+					where = "in " + fd.Name.Name
+				}
+				out = append(out, Diagnostic{
+					Analyzer: "panicpolicy",
+					Pos:      m.Fset.Position(call.Pos()),
+					Message:  "naked panic " + where + "; move it into a must*-named helper (or return an error)",
+				})
+				return true
+			})
+		}
+	})
+	return out
+}
+
+// panicAllowed reports whether the function may contain panic calls:
+// its name starts with must/Must, or its qualified name is allowlisted.
+func panicAllowed(p *Package, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if strings.HasPrefix(name, "must") || strings.HasPrefix(name, "Must") {
+		return true
+	}
+	qualified := p.Path + "." + name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if recv := recvTypeName(fd.Recv.List[0].Type); recv != "" {
+			qualified = p.Path + "." + recv + "." + name
+		}
+	}
+	return panicAllowlist[qualified]
+}
+
+// recvTypeName extracts the receiver's base type name.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// StatsFlow cross-checks uarch.Stats counter integrity: every field the
+// pipeline (internal/uarch) writes must be consumed by an export path,
+// and every field an export path reads must be written by the pipeline.
+//
+// Consumption means a read either in a consumer package
+// (internal/stats, internal/experiments — the code that renders the
+// paper's tables and figures) or inside a method on Stats itself, which
+// is the accessor surface those packages call. Three failure modes are
+// reported, all anchored at the field declaration so //hp:nolint
+// statsflow on that line suppresses them:
+//
+//   - orphan: written by the pipeline, never consumed — the measurement
+//     silently never reaches a table or figure;
+//   - phantom: consumed by an export path, never written — the
+//     table/figure column is silently always zero;
+//   - dead: declared but neither written nor consumed.
+func StatsFlow() *Analyzer {
+	return &Analyzer{
+		Name: "statsflow",
+		Doc:  "cross-check uarch.Stats fields between pipeline writes and export reads",
+		Run:  runStatsFlow,
+	}
+}
+
+func runStatsFlow(m *Module) []Diagnostic {
+	producer := m.Path + "/internal/uarch"
+	consumers := map[string]bool{
+		m.Path + "/internal/stats":       true,
+		m.Path + "/internal/experiments": true,
+	}
+	prodPkg := m.Pkgs[producer]
+	if prodPkg == nil {
+		return nil
+	}
+	statsType, fields := lookupStruct(prodPkg, "Stats")
+	if statsType == nil {
+		return nil
+	}
+
+	written := map[*types.Var]bool{}
+	consumed := map[*types.Var]bool{}
+	inspectFiles(m, nil, func(p *Package, f *ast.File) {
+		isProducer := p.Path == producer
+		isConsumer := consumers[p.Path]
+		if !isProducer && !isConsumer {
+			return
+		}
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			// Reads inside the producer only count when they sit in a
+			// method on Stats: those accessors are the export surface.
+			readsCount := isConsumer || (isProducer && isFunc && isReceiverOf(p, fd, statsType))
+			classifyFieldAccesses(p, decl, fields, func(field *types.Var, write bool) {
+				if write && isProducer {
+					written[field] = true
+				}
+				if !write && readsCount {
+					consumed[field] = true
+				}
+			})
+		}
+	})
+
+	var out []Diagnostic
+	for _, field := range fields {
+		w, r := written[field], consumed[field]
+		var msg string
+		switch {
+		case w && !r:
+			msg = fmt.Sprintf("orphan counter: uarch.Stats.%s is written by the pipeline but never consumed by internal/stats, internal/experiments or a Stats accessor", field.Name())
+		case r && !w:
+			msg = fmt.Sprintf("phantom column: uarch.Stats.%s is consumed by an export path but never written by the pipeline", field.Name())
+		case !w && !r:
+			msg = fmt.Sprintf("dead counter: uarch.Stats.%s is neither written by the pipeline nor consumed by an export path", field.Name())
+		default:
+			continue
+		}
+		out = append(out, Diagnostic{Analyzer: "statsflow", Pos: m.Fset.Position(field.Pos()), Message: msg})
+	}
+	return out
+}
+
+// lookupStruct resolves a named struct type in the package and returns
+// its field objects in declaration order.
+func lookupStruct(p *Package, name string) (*types.Named, []*types.Var) {
+	obj := p.Types.Scope().Lookup(name)
+	if obj == nil {
+		return nil, nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	fields := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fields = append(fields, st.Field(i))
+	}
+	return named, fields
+}
+
+// isReceiverOf reports whether fd is a method whose receiver's base
+// type is the given named type.
+func isReceiverOf(p *Package, fd *ast.FuncDecl, named *types.Named) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := p.Info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	recvNamed, ok := t.(*types.Named)
+	return ok && recvNamed.Obj() == named.Obj()
+}
+
+// classifyFieldAccesses visits every access to one of the given struct
+// fields under root, reporting each as a write (assignment LHS, ++/--,
+// or composite-literal key) or a read (everything else).
+func classifyFieldAccesses(p *Package, root ast.Node, fields []*types.Var, report func(*types.Var, bool)) {
+	fieldSet := map[*types.Var]bool{}
+	for _, f := range fields {
+		fieldSet[f] = true
+	}
+	writes := map[ast.Node]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes[unwrapTarget(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[unwrapTarget(n.X)] = true
+		}
+		return true
+	})
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := p.Info.Selections[n]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			field, ok := sel.Obj().(*types.Var)
+			if !ok || !fieldSet[field] {
+				return true
+			}
+			report(field, writes[n])
+		case *ast.CompositeLit:
+			// Stats{Field: v} keys count as writes.
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if field, ok := p.Info.Uses[key].(*types.Var); ok && fieldSet[field] {
+					report(field, true)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// unwrapTarget strips index, paren and star wrappers so that writes
+// through st.Arr[i] or (*st).F attribute to the selector itself.
+func unwrapTarget(e ast.Expr) ast.Node {
+	for {
+		switch t := e.(type) {
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return e
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package uarch is a fixture for the configcover analyzer: it mirrors
+// the real simulator's knob block, validation path and consumer.
+package uarch
+
+// Config exercises every configcover failure mode.
+type Config struct {
+	Width     int  // validated and consumed: healthy
+	Unchecked int  // consumed but missing from the validation path
+	Ignored   int  // validated but never consumed by the simulator
+	Turbo     bool // consumed; bools are exempt from validation
+	Dormant   int  //hp:nolint configcover -- fixture: reserved knob
+	internal  int  // unexported: out of scope
+}
+
+// mustValidate is the validation path.
+func (c Config) mustValidate() {
+	if c.Width <= 0 {
+		panic("uarch: width must be positive")
+	}
+	if c.Ignored < 0 {
+		panic("uarch: ignored must be non-negative")
+	}
+}
+
+// Simulate consumes the knobs.
+func Simulate(c Config) int {
+	c.mustValidate()
+	n := c.Width + c.Unchecked + c.internal
+	if c.Turbo {
+		n *= 2
+	}
+	return n
+}

@@ -1,0 +1,8 @@
+// Package render is a fixture outside the determinism scope: report
+// timestamps are not simulation state, so the clock is legal here.
+package render
+
+import "time"
+
+// Stamp may read the wall clock.
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,54 @@
+// Package uarch is a fixture: it sits inside the determinism scope, so
+// wall-clock reads, the global math/rand source and map ranges are all
+// flagged.
+package uarch
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seed reads the wall clock — forbidden.
+func Seed() int64 {
+	return time.Now().UnixNano()
+}
+
+// Jitter draws from the global, run-dependent source — forbidden.
+func Jitter() int {
+	return rand.Intn(8)
+}
+
+// Draw builds an explicitly seeded generator — legal (rand.New* and
+// rand.Rand methods are fine).
+func Draw() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}
+
+// SumCounts ranges over a map — forbidden.
+func SumCounts(m map[string]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// SumOrdered ranges over a slice — legal.
+func SumOrdered(vs []int) int {
+	t := 0
+	for _, v := range vs {
+		t += v
+	}
+	return t
+}
+
+// SumSuppressed documents why its map range is order-insensitive.
+func SumSuppressed(m map[string]int) int {
+	t := 0
+	//hp:nolint determinism -- commutative sum; order cannot matter
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,33 @@
+// Package halfprice is a fixture for the floatcmp analyzer.
+package halfprice
+
+// Equal compares floats exactly — forbidden.
+func Equal(a, b float64) bool {
+	return a == b
+}
+
+// NonZero compares a variable against a constant — still forbidden.
+func NonZero(a float64) bool {
+	return a != 0
+}
+
+// Close is the epsilon idiom — legal.
+func Close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+// constFold compares two compile-time constants — exact by construction,
+// legal.
+const constFold = 1.5 == 3.0/2
+
+// SameInt compares integers — out of scope.
+func SameInt(a, b int) bool { return a == b }
+
+// Sentinel checks a value the code itself stored — suppressed.
+func Sentinel(v, stored float64) bool {
+	return v == stored //hp:nolint floatcmp -- comparing against a stored sentinel
+}

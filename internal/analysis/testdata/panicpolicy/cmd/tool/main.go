@@ -1,0 +1,11 @@
+// Command tool is a fixture: cmd binaries are outside the panicpolicy
+// scope and may crash loudly.
+package main
+
+func main() {
+	run()
+}
+
+func run() {
+	panic("tool: cmd packages are not policed")
+}

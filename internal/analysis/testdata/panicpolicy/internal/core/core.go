@@ -1,0 +1,34 @@
+// Package core is a fixture for the panicpolicy analyzer.
+package core
+
+// Lookup panics on bad input — forbidden; it should return an error.
+func Lookup(k string) string {
+	if k == "" {
+		panic("core: empty key")
+	}
+	return k
+}
+
+// mustPositive is a must*-named guard — legal.
+func mustPositive(n int) {
+	if n <= 0 {
+		panic("core: not positive")
+	}
+}
+
+// MustSize is an exported must*-named guard — legal.
+func MustSize(n int) int {
+	mustPositive(n + 1)
+	if n < 0 {
+		panic("core: negative size")
+	}
+	return n
+}
+
+// Decode carries a justified suppression.
+func Decode(b []byte) byte {
+	if len(b) == 0 {
+		panic("core: empty buffer") //hp:nolint panicpolicy -- fixture: documented invariant
+	}
+	return b[0]
+}

@@ -1,0 +1,10 @@
+// Package experiments is a fixture consumer: it reads Stats fields the
+// way the real export paths do.
+package experiments
+
+import "halfprice/internal/uarch"
+
+// Row renders one result row.
+func Row(s *uarch.Stats) (uint64, uint64) {
+	return s.Committed, s.Phantom
+}

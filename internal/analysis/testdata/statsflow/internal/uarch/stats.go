@@ -1,0 +1,25 @@
+// Package uarch is a fixture for the statsflow analyzer: it mirrors the
+// real simulator's counter block and its pipeline writes.
+package uarch
+
+// Stats exercises every statsflow failure mode.
+type Stats struct {
+	Committed uint64 // written below, read by the consumer: healthy
+	Orphan    uint64 // written below, never consumed
+	Phantom   uint64 // consumed by the consumer, never written
+	Dead      uint64 // neither written nor consumed
+	ViaMethod uint64 // written below, exported through Rate: healthy
+	Waived    uint64 //hp:nolint statsflow -- fixture: intentionally dormant
+}
+
+// Tick plays the pipeline: it writes counters.
+func (s *Stats) Tick() {
+	s.Committed++
+	s.Orphan += 2
+	s.ViaMethod++
+}
+
+// Rate is the accessor surface consumers call.
+func (s *Stats) Rate() float64 {
+	return float64(s.ViaMethod)
+}

@@ -9,11 +9,7 @@
 // order (the standard trace-driven arrangement).
 package bpred
 
-import (
-	"fmt"
-
-	"halfprice/internal/isa"
-)
+import "halfprice/internal/isa"
 
 // Config sizes the prediction structures. All table sizes must be powers
 // of two.
@@ -79,24 +75,18 @@ type Predictor struct {
 	Stats    Stats
 }
 
-func pow2(n int, what string) {
-	if n <= 0 || n&(n-1) != 0 {
-		panic(fmt.Sprintf("bpred: %s = %d must be a power of two", what, n))
-	}
+func mustPow2(n int, what string) {
+	mustf(n > 0 && n&(n-1) == 0, "bpred: %s = %d must be a power of two", what, n)
 }
 
 // New builds a predictor; table sizes must be powers of two.
 func New(cfg Config) *Predictor {
-	pow2(cfg.BimodalEntries, "BimodalEntries")
-	pow2(cfg.GshareEntries, "GshareEntries")
-	pow2(cfg.SelectorEntries, "SelectorEntries")
-	pow2(cfg.BTBEntries, "BTBEntries")
-	if cfg.BTBWays <= 0 || cfg.BTBEntries%cfg.BTBWays != 0 {
-		panic("bpred: BTB ways must divide entries")
-	}
-	if cfg.RASEntries <= 0 {
-		panic("bpred: RAS must have entries")
-	}
+	mustPow2(cfg.BimodalEntries, "BimodalEntries")
+	mustPow2(cfg.GshareEntries, "GshareEntries")
+	mustPow2(cfg.SelectorEntries, "SelectorEntries")
+	mustPow2(cfg.BTBEntries, "BTBEntries")
+	mustf(cfg.BTBWays > 0 && cfg.BTBEntries%cfg.BTBWays == 0, "bpred: BTB ways must divide entries")
+	mustf(cfg.RASEntries > 0, "bpred: RAS must have entries")
 	p := &Predictor{
 		cfg:      cfg,
 		bimodal:  make([]uint8, cfg.BimodalEntries),

@@ -1,0 +1,62 @@
+package experiments
+
+import "halfprice/internal/uarch"
+
+// EventCounters is the diagnostic companion to the paper figures: raw
+// scheme event rates, expressed per 1000 committed instructions, for
+// every mechanism the half-price schemes add. The figures report the IPC
+// *consequences* of these events; this table exposes the events
+// themselves so that a surprising IPC delta can be traced to its cause
+// (e.g. a tag-elimination slowdown shows up here as a high te-squash
+// rate long before it is visible in Figure 14).
+//
+// Each series runs on the 4-wide machine with the one scheme that
+// generates its events enabled; rows without a scheme dependency
+// (fetch/issue volume, warmup discard, fetch stalls, load-miss replays)
+// come from the base configuration.
+func (r *Runner) EventCounters() *Result {
+	res := &Result{
+		ID:         "Counters",
+		Title:      "scheme event rates (per 1000 committed instructions)",
+		Benchmarks: r.opts.benchmarks(),
+	}
+	pki := func(st *uarch.Stats, n uint64) float64 {
+		if st.Committed == 0 {
+			return 0
+		}
+		return 1000 * float64(n) / float64(st.Committed)
+	}
+	base := func(pick func(*uarch.Stats) uint64) func(string) float64 {
+		return func(b string) float64 {
+			st := r.Base(b, 4)
+			return pki(st, pick(st))
+		}
+	}
+	with := func(mutate func(*uarch.Config), pick func(*uarch.Stats) uint64) func(string) float64 {
+		return func(b string) float64 {
+			st := r.Run(b, 4, mutate)
+			return pki(st, pick(st))
+		}
+	}
+	seqW := func(c *uarch.Config) { c.Wakeup = uarch.WakeupSequential }
+	tagE := func(c *uarch.Config) { c.Wakeup = uarch.WakeupTagElim }
+	xbar := func(c *uarch.Config) { c.Regfile = uarch.RFHalfCrossbar }
+	ren := func(c *uarch.Config) { c.Rename = uarch.RenameHalfPorts }
+	byp := func(c *uarch.Config) { c.Bypass = uarch.BypassHalf }
+
+	res.Series = []Series{
+		{Label: "fetched", Values: r.perBench(base(func(s *uarch.Stats) uint64 { return s.Fetched }))},
+		{Label: "issued", Values: r.perBench(base(func(s *uarch.Stats) uint64 { return s.Issued }))},
+		{Label: "warmup-drop", Values: r.perBench(base(func(s *uarch.Stats) uint64 { return s.WarmupDiscarded }))},
+		{Label: "fetch-stall", Values: r.perBench(base(func(s *uarch.Stats) uint64 { return s.FetchStallCycles }))},
+		{Label: "replay-squash", Values: r.perBench(base(func(s *uarch.Stats) uint64 { return s.ReplaySquashes }))},
+		{Label: "seq-delay", Values: r.perBench(with(seqW, func(s *uarch.Stats) uint64 { return s.SeqWakeupDelays }))},
+		{Label: "te-mispred", Values: r.perBench(with(tagE, func(s *uarch.Stats) uint64 { return s.TagElimMispreds }))},
+		{Label: "te-squash", Values: r.perBench(with(tagE, func(s *uarch.Stats) uint64 { return s.TagElimSquashes }))},
+		{Label: "xbar-defer", Values: r.perBench(with(xbar, func(s *uarch.Stats) uint64 { return s.CrossbarDeferrals }))},
+		{Label: "rename-stall", Values: r.perBench(with(ren, func(s *uarch.Stats) uint64 { return s.RenameStalls }))},
+		{Label: "bypass-conflict", Values: r.perBench(with(byp, func(s *uarch.Stats) uint64 { return s.BypassConflicts }))},
+	}
+	res.Notes = "issued exceeds 1000 by replay re-issues; scheme rows use the scheme that produces them (seq wakeup, tag elim, half crossbar, half rename ports, half bypass)"
+	return res
+}

@@ -303,8 +303,8 @@ func TestKernelModeRuns(t *testing.T) {
 func TestAllReturnsEveryArtifact(t *testing.T) {
 	r := NewRunner(Options{Insts: 4000, Benchmarks: []string{"gzip"}})
 	all := r.All()
-	if len(all) != 12 {
-		t.Fatalf("All returned %d results, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("All returned %d results, want 13", len(all))
 	}
 	seen := map[string]bool{}
 	for _, res := range all {
@@ -314,7 +314,8 @@ func TestAllReturnsEveryArtifact(t *testing.T) {
 		seen[res.ID] = true
 	}
 	for _, id := range []string{"Table 2", "Figure 2", "Figure 3", "Figure 4", "Figure 6",
-		"Table 3", "Figure 7", "Figure 10", "Figure 14", "Figure 15", "Figure 16", "Timing"} {
+		"Table 3", "Figure 7", "Figure 10", "Figure 14", "Figure 15", "Figure 16",
+		"Counters", "Timing"} {
 		if !seen[id] {
 			t.Fatalf("missing artifact %s", id)
 		}

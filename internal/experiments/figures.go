@@ -297,6 +297,7 @@ func (r *Runner) All() []*Result {
 		r.Figure14SeqWakeup(),
 		r.Figure15SeqRegAccess(),
 		r.Figure16Combined(),
+		r.EventCounters(),
 		TimingClaims(),
 	}
 }

@@ -76,9 +76,7 @@ func (r *Runner) stream(bench string) trace.Stream {
 		return trace.NewVMStream(vm.New(workloads.MustProgram(bench)), budget)
 	}
 	p, ok := trace.ProfileByName(bench)
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown benchmark %q", bench))
-	}
+	mustf(ok, "experiments: unknown benchmark %q", bench)
 	return trace.NewSynthetic(p, budget)
 }
 

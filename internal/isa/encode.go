@@ -68,9 +68,7 @@ func encReg(r Reg) uint64 {
 // against; direct API users should call Canonicalize first.
 func Encode(in Inst) uint64 {
 	in = Canonicalize(in)
-	if in.Imm > 1<<31-1 || in.Imm < -(1<<31) {
-		panic(fmt.Sprintf("isa: immediate %d does not fit in 32 bits for %v", in.Imm, in))
-	}
+	mustf(in.Imm <= 1<<31-1 && in.Imm >= -(1<<31), "isa: immediate %d does not fit in 32 bits for %v", in.Imm, in)
 	w := uint64(in.Op)
 	w |= encReg(in.Rd) << 8
 	w |= encReg(in.Ra) << 16

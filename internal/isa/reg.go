@@ -44,17 +44,13 @@ const (
 
 // IntReg returns the integer register with index i (0..31).
 func IntReg(i int) Reg {
-	if i < 0 || i >= NumIntRegs {
-		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
-	}
+	mustf(i >= 0 && i < NumIntRegs, "isa: integer register index %d out of range", i)
 	return Reg(i)
 }
 
 // FpReg returns the floating-point register with index i (0..31).
 func FpReg(i int) Reg {
-	if i < 0 || i >= NumFpRegs {
-		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
-	}
+	mustf(i >= 0 && i < NumFpRegs, "isa: fp register index %d out of range", i)
 	return Reg(NumIntRegs + i)
 }
 

@@ -4,8 +4,6 @@
 // IL1, 64KB 4-way 16B DL1, 512KB 4-way 64B unified L2, 50-cycle memory).
 package mem
 
-import "fmt"
-
 // Level is one level of the hierarchy. Access returns the total latency in
 // cycles to obtain the line, including everything below on a miss, and
 // whether this level hit.
@@ -93,20 +91,12 @@ type Cache struct {
 // power-of-two line size and divide evenly into sets; violations panic
 // since configurations are static (Table 1).
 func NewCache(cfg CacheConfig, next Level) *Cache {
-	if next == nil {
-		panic("mem: cache requires a lower level")
-	}
-	if cfg.LineSize <= 0 || cfg.LineSize&(cfg.LineSize-1) != 0 {
-		panic(fmt.Sprintf("mem: %s line size %d not a power of two", cfg.Name, cfg.LineSize))
-	}
-	if cfg.Ways <= 0 {
-		panic(fmt.Sprintf("mem: %s has %d ways", cfg.Name, cfg.Ways))
-	}
+	mustf(next != nil, "mem: cache requires a lower level")
+	mustf(cfg.LineSize > 0 && cfg.LineSize&(cfg.LineSize-1) == 0, "mem: %s line size %d not a power of two", cfg.Name, cfg.LineSize)
+	mustf(cfg.Ways > 0, "mem: %s has %d ways", cfg.Name, cfg.Ways)
 	totalLines := cfg.SizeKB * 1024 / cfg.LineSize
 	numSets := totalLines / cfg.Ways
-	if numSets <= 0 || numSets&(numSets-1) != 0 {
-		panic(fmt.Sprintf("mem: %s set count %d not a power of two", cfg.Name, numSets))
-	}
+	mustf(numSets > 0 && numSets&(numSets-1) == 0, "mem: %s set count %d not a power of two", cfg.Name, numSets)
 	c := &Cache{cfg: cfg, next: next, sets: make([][]line, numSets)}
 	for i := range c.sets {
 		c.sets[i] = make([]line, cfg.Ways)

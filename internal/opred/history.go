@@ -25,12 +25,8 @@ type TwoLevel struct {
 // NewTwoLevel returns a two-level predictor with pcEntries first-level
 // histories of histBits bits and a 2^histBits-entry pattern table.
 func NewTwoLevel(pcEntries, histBits int) *TwoLevel {
-	if pcEntries <= 0 || pcEntries&(pcEntries-1) != 0 {
-		panic(fmt.Sprintf("opred: pcEntries = %d must be a power of two", pcEntries))
-	}
-	if histBits <= 0 || histBits > 16 {
-		panic(fmt.Sprintf("opred: histBits = %d out of range (1..16)", histBits))
-	}
+	mustf(pcEntries > 0 && pcEntries&(pcEntries-1) == 0, "opred: pcEntries = %d must be a power of two", pcEntries)
+	mustf(histBits > 0 && histBits <= 16, "opred: histBits = %d out of range (1..16)", histBits)
 	t := &TwoLevel{
 		histories: make([]uint8, pcEntries),
 		counters:  make([]uint8, 1<<uint(histBits)),

@@ -59,9 +59,7 @@ type Bimodal struct {
 // NewBimodal returns a bimodal predictor with the given number of entries
 // (a power of two; the paper sweeps 128..4096 and uses 1k in evaluation).
 func NewBimodal(entries int) *Bimodal {
-	if entries <= 0 || entries&(entries-1) != 0 {
-		panic(fmt.Sprintf("opred: entries = %d must be a power of two", entries))
-	}
+	mustf(entries > 0 && entries&(entries-1) == 0, "opred: entries = %d must be a power of two", entries)
 	b := &Bimodal{counters: make([]uint8, entries), mask: uint64(entries - 1)}
 	for i := range b.counters {
 		b.counters[i] = 1 // weakly Right

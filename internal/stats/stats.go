@@ -5,7 +5,6 @@
 package stats
 
 import (
-	"fmt"
 	"math"
 	"sort"
 )
@@ -147,9 +146,7 @@ func GeoMean(xs []float64) float64 {
 	}
 	logSum := 0.0
 	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: GeoMean of non-positive value %v", x))
-		}
+		mustf(x > 0, "stats: GeoMean of non-positive value %v", x)
 		logSum += math.Log(x)
 	}
 	return math.Exp(logSum / float64(len(xs)))
@@ -169,9 +166,7 @@ func Mean(xs []float64) float64 {
 
 // Min returns the minimum of xs; it panics on empty input.
 func Min(xs []float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: Min of empty slice")
-	}
+	mustf(len(xs) > 0, "stats: Min of empty slice")
 	m := xs[0]
 	for _, x := range xs[1:] {
 		if x < m {
@@ -183,9 +178,7 @@ func Min(xs []float64) float64 {
 
 // Max returns the maximum of xs; it panics on empty input.
 func Max(xs []float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: Max of empty slice")
-	}
+	mustf(len(xs) > 0, "stats: Max of empty slice")
 	m := xs[0]
 	for _, x := range xs[1:] {
 		if x > m {
@@ -198,9 +191,7 @@ func Max(xs []float64) float64 {
 // Percentile returns the p-th percentile (0..100) of xs using
 // nearest-rank on a sorted copy. It panics on empty input.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
-	}
+	mustf(len(xs) > 0, "stats: Percentile of empty slice")
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {

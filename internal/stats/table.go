@@ -24,9 +24,7 @@ func NewTable(title string, columns ...string) *Table {
 // columns; mismatches panic because they are always programming errors in
 // the experiment harness.
 func (t *Table) AddRow(cells ...string) {
-	if len(cells) != len(t.columns) {
-		panic(fmt.Sprintf("stats: table %q row has %d cells, want %d", t.title, len(cells), len(t.columns)))
-	}
+	mustf(len(cells) == len(t.columns), "stats: table %q row has %d cells, want %d", t.title, len(cells), len(t.columns))
 	t.rows = append(t.rows, cells)
 }
 

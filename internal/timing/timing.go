@@ -16,10 +16,7 @@
 // not absolute silicon timing.
 package timing
 
-import (
-	"fmt"
-	"math"
-)
+import "math"
 
 // SchedulerParams describes one wakeup/select macro.
 type SchedulerParams struct {
@@ -42,9 +39,7 @@ const (
 
 // Validate panics on nonsensical parameters.
 func (p SchedulerParams) validate() {
-	if p.Entries <= 0 || p.Width <= 0 || p.ComparatorsPerEntry <= 0 {
-		panic(fmt.Sprintf("timing: invalid scheduler params %+v", p))
-	}
+	mustf(p.Entries > 0 && p.Width > 0 && p.ComparatorsPerEntry > 0, "timing: invalid scheduler params %+v", p)
 }
 
 // TagDriveDelay returns the wakeup-bus drive delay in picoseconds: the
@@ -120,9 +115,7 @@ const (
 )
 
 func (p RegfileParams) validate() {
-	if p.Entries <= 0 || p.ReadPorts <= 0 || p.WritePorts < 0 {
-		panic(fmt.Sprintf("timing: invalid regfile params %+v", p))
-	}
+	mustf(p.Entries > 0 && p.ReadPorts > 0 && p.WritePorts >= 0, "timing: invalid regfile params %+v", p)
 }
 
 // ports returns the total port count driving cell pitch.

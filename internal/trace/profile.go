@@ -78,9 +78,7 @@ type Profile struct {
 // a bad one is a programming error.
 func (p Profile) validate() {
 	checkFrac := func(v float64, name string) {
-		if v < 0 || v > 1 {
-			panic("trace: profile " + p.Name + ": " + name + " out of [0,1]")
-		}
+		mustf(v >= 0 && v <= 1, "trace: profile %s: %s out of [0,1]", p.Name, name)
 	}
 	checkFrac(p.LoadFrac, "LoadFrac")
 	checkFrac(p.StoreFrac, "StoreFrac")
@@ -100,17 +98,10 @@ func (p Profile) validate() {
 	checkFrac(p.CallFrac, "CallFrac")
 	checkFrac(p.ColdFrac, "ColdFrac")
 	checkFrac(p.StrideFrac, "StrideFrac")
-	if p.LoadFrac+p.StoreFrac+p.NopFrac > 0.9 {
-		panic("trace: profile " + p.Name + ": memory+nop mix leaves no ALU slots")
-	}
-	if p.NumLoops <= 0 || p.BlockLen[0] <= 0 || p.BlockLen[1] < p.BlockLen[0] ||
-		p.BlocksPerLoop[0] <= 0 || p.BlocksPerLoop[1] < p.BlocksPerLoop[0] {
-		panic("trace: profile " + p.Name + ": bad code shape")
-	}
-	if p.DepWindow <= 0 {
-		panic("trace: profile " + p.Name + ": DepWindow must be positive")
-	}
-	if p.HotSetBytes == 0 || p.ColdSetBytes == 0 {
-		panic("trace: profile " + p.Name + ": working sets must be non-zero")
-	}
+	mustf(p.LoadFrac+p.StoreFrac+p.NopFrac <= 0.9, "trace: profile %s: memory+nop mix leaves no ALU slots", p.Name)
+	mustf(p.NumLoops > 0 && p.BlockLen[0] > 0 && p.BlockLen[1] >= p.BlockLen[0] &&
+		p.BlocksPerLoop[0] > 0 && p.BlocksPerLoop[1] >= p.BlocksPerLoop[0],
+		"trace: profile %s: bad code shape", p.Name)
+	mustf(p.DepWindow > 0, "trace: profile %s: DepWindow must be positive", p.Name)
+	mustf(p.HotSetBytes != 0 && p.ColdSetBytes != 0, "trace: profile %s: working sets must be non-zero", p.Name)
 }

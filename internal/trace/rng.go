@@ -25,9 +25,7 @@ func (r *rng) next() uint64 {
 
 // intn returns a uniform integer in [0, n).
 func (r *rng) intn(n int) int {
-	if n <= 0 {
-		panic("trace: intn on non-positive bound")
-	}
+	mustf(n > 0, "trace: intn on non-positive bound")
 	return int(r.next() % uint64(n))
 }
 

@@ -513,6 +513,7 @@ func (g *generator) build() []blockT {
 		kind     termKind
 		bias     float64
 		takenBlk int // resolved later for symbolic targets
+		callee   int // symbolic function id for termCall, resolved at the end
 	}
 	var blocks [][]staticInst
 	var terms []pendingTerm
@@ -521,10 +522,6 @@ func (g *generator) build() []blockT {
 		blocks = append(blocks, nil)
 		return len(blocks) - 1
 	}
-
-	// Function region indices are assigned after the loops; calls record
-	// a symbolic function number (negative) fixed up at the end.
-	funcOf := make(map[int]int) // block -> symbolic function id
 
 	for l := 0; l < p.NumLoops; l++ {
 		nBlocks := g.r.rangeInt(p.BlocksPerLoop[0], p.BlocksPerLoop[1])
@@ -593,8 +590,7 @@ func (g *generator) build() []blockT {
 				call := isa.Canonicalize(isa.Inst{Op: isa.OpBR, Rd: isa.RegRA})
 				blocks[bi] = append(blocks[bi], staticInst{inst: call})
 				fid := g.r.intn(p.NumFuncs)
-				terms = append(terms, pendingTerm{blk: bi, kind: termCall})
-				funcOf[len(terms)-1] = fid
+				terms = append(terms, pendingTerm{blk: bi, kind: termCall, callee: fid})
 			}
 		}
 	}
@@ -619,8 +615,10 @@ func (g *generator) build() []blockT {
 	}
 
 	// Resolve call targets now that function heads exist.
-	for ti, fid := range funcOf {
-		terms[ti].takenBlk = funcHead[fid]
+	for ti := range terms {
+		if terms[ti].kind == termCall {
+			terms[ti].takenBlk = funcHead[terms[ti].callee]
+		}
 	}
 
 	// Lay out PCs contiguously and attach terminators to the last site of

@@ -268,23 +268,29 @@ func Config8Wide() Config {
 	return c
 }
 
-// Validate panics on impossible configurations; configs are static data.
-func (c Config) validate() {
-	if c.Width <= 0 || c.WindowSize <= 0 || c.LSQSize <= 0 {
-		panic("uarch: width, window and LSQ must be positive")
-	}
-	if c.IntALU <= 0 || c.MemPorts <= 0 {
-		panic("uarch: need at least one ALU and one memory port")
-	}
-	if c.FrontEndStages <= 0 {
-		panic("uarch: front end must have stages")
-	}
-	if c.OpPredEntries <= 0 || c.OpPredEntries&(c.OpPredEntries-1) != 0 {
-		panic("uarch: OpPredEntries must be a positive power of two")
-	}
-	if c.SlowBusDelay < 0 {
-		panic("uarch: SlowBusDelay must be non-negative")
-	}
+// mustValidate panics on impossible configurations; configs are static
+// data, so a bad one is a programming error. Every exported knob is
+// checked here (hpvet's configcover analyzer enforces that new fields
+// join this path, so they cannot be silently ignored).
+func (c Config) mustValidate() {
+	mustf(c.Width > 0 && c.WindowSize > 0 && c.LSQSize > 0, "uarch: width, window and LSQ must be positive")
+	mustf(c.IntALU > 0 && c.MemPorts > 0, "uarch: need at least one ALU and one memory port")
+	mustf(c.IntMulDiv >= 0 && c.FpALU >= 0 && c.FpMulDiv >= 0, "uarch: functional unit counts must be non-negative")
+	mustf(c.IntALULat > 0 && c.IntMulLat > 0 && c.IntDivLat > 0 &&
+		c.FpALULat > 0 && c.FpMulLat > 0 && c.FpDivLat > 0,
+		"uarch: execution latencies must be positive")
+	mustf(c.FrontEndStages > 0, "uarch: front end must have stages")
+	mustf(c.ExtraMispredictPenalty >= 0, "uarch: ExtraMispredictPenalty must be non-negative")
+	mustf(c.Wakeup <= WakeupPipelined, "uarch: unknown wakeup scheme %d", c.Wakeup)
+	mustf(c.OpPred <= OpPredTwoLevel, "uarch: unknown operand predictor %d", c.OpPred)
+	mustf(c.OpPredEntries > 0 && c.OpPredEntries&(c.OpPredEntries-1) == 0, "uarch: OpPredEntries must be a positive power of two")
+	mustf(c.Regfile <= RFHalfCrossbar, "uarch: unknown register file scheme %d", c.Regfile)
+	mustf(c.Recovery <= RecoverySelective, "uarch: unknown recovery scheme %d", c.Recovery)
+	mustf(c.Rename <= RenameHalfPorts, "uarch: unknown rename scheme %d", c.Rename)
+	mustf(c.Bypass <= BypassHalf, "uarch: unknown bypass scheme %d", c.Bypass)
+	mustf(c.Select <= SelectPositional, "uarch: unknown select policy %d", c.Select)
+	mustf(c.SlowBusDelay >= 0, "uarch: SlowBusDelay must be non-negative")
+	mustf(c.MaxInsts == 0 || c.WarmupInsts < c.MaxInsts, "uarch: WarmupInsts must leave instructions to measure under MaxInsts")
 }
 
 // slowBusDelay returns the slow-bus extra latency in cycles (default 1).

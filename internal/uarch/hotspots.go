@@ -78,6 +78,7 @@ func (h *HotSpots) Top(kind string, n int) []HotSpot {
 		return nil
 	}
 	out := make([]HotSpot, 0, len(m))
+	//hp:nolint determinism -- the slice is given a total order (count desc, PC asc) just below
 	for pc, c := range m {
 		out = append(out, HotSpot{PC: pc, Inst: h.insts[pc], Count: c})
 	}
@@ -96,6 +97,7 @@ func (h *HotSpots) Top(kind string, n int) []HotSpot {
 // Total returns the event total for a counter kind.
 func (h *HotSpots) Total(kind string) uint64 {
 	var t uint64
+	//hp:nolint determinism -- commutative sum; order cannot affect the result
 	for _, c := range h.table(kind) {
 		t += c
 	}

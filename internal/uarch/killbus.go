@@ -1,8 +1,8 @@
 package uarch
 
 import (
-	"fmt"
 	"math/bits"
+	"sort"
 	"strings"
 )
 
@@ -36,9 +36,7 @@ type DepMatrix struct {
 // NewDepMatrix returns an empty matrix with the given pipeline depth
 // (issue-to-execute stages) and issue-slot count.
 func NewDepMatrix(stages, slots int) *DepMatrix {
-	if stages <= 0 || slots <= 0 || slots > 64 {
-		panic(fmt.Sprintf("uarch: invalid dependence matrix %dx%d", stages, slots))
-	}
+	mustf(stages > 0 && slots > 0 && slots <= 64, "uarch: invalid dependence matrix %dx%d", stages, slots)
 	return &DepMatrix{rows: stages, slots: slots, bits: make([]uint64, stages)}
 }
 
@@ -62,9 +60,7 @@ func (m *DepMatrix) Merge(parent *DepMatrix) {
 	if parent == nil {
 		return
 	}
-	if parent.rows != m.rows || parent.slots != m.slots {
-		panic("uarch: merging mismatched dependence matrices")
-	}
+	mustf(parent.rows == m.rows && parent.slots == m.slots, "uarch: merging mismatched dependence matrices")
 	for i := range m.bits {
 		m.bits[i] |= parent.bits[i]
 	}
@@ -108,9 +104,7 @@ func (m *DepMatrix) PopCount() int {
 }
 
 func (m *DepMatrix) check(slot int) {
-	if slot < 0 || slot >= m.slots {
-		panic(fmt.Sprintf("uarch: slot %d out of range [0,%d)", slot, m.slots))
-	}
+	mustf(slot >= 0 && slot < m.slots, "uarch: slot %d out of range [0,%d)", slot, m.slots)
 }
 
 // String renders the matrix rows top (just issued) to bottom (executing).
@@ -159,6 +153,7 @@ func (k *killBusTracker) onIssue(u *uop, slot int) {
 
 // onCycle shifts every matrix one stage and retires empty ones.
 func (k *killBusTracker) onCycle() {
+	//hp:nolint determinism -- each entry is shifted independently; no state depends on visit order
 	for u, m := range k.mats {
 		m.Shift()
 		if m.Empty() {
@@ -168,13 +163,15 @@ func (k *killBusTracker) onCycle() {
 }
 
 // dependents returns the instructions whose matrices the kill bus would
-// invalidate for a fault in the given slot.
+// invalidate for a fault in the given slot, in program (seq) order.
 func (k *killBusTracker) dependents(faultSlot int) []*uop {
 	var out []*uop
+	//hp:nolint determinism -- collected set is sorted by seq below
 	for u, m := range k.mats {
 		if m.Killed(faultSlot % k.slots) {
 			out = append(out, u)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }

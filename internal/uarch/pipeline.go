@@ -71,7 +71,7 @@ type Simulator struct {
 // New builds a simulator over the stream. The stream is the architectural
 // oracle: the pipeline replays it and charges cycles.
 func New(cfg Config, stream trace.Stream) *Simulator {
-	cfg.validate()
+	cfg.mustValidate()
 	var op opred.Predictor
 	switch cfg.OpPred {
 	case OpPredStaticRight:
@@ -140,10 +140,8 @@ func (s *Simulator) Run() *Stats {
 
 		if s.st.Committed == lastCommitted {
 			idleCycles++
-			if idleCycles > 100000 {
-				panic(fmt.Sprintf("uarch: no commit progress for %d cycles at cycle %d (rob=%d, fq=%d): %s",
-					idleCycles, s.cycle, len(s.rob), len(s.frontQ), s.describeHead()))
-			}
+			mustf(idleCycles <= 100000, "uarch: no commit progress for %d cycles at cycle %d (rob=%d, fq=%d): %s",
+				idleCycles, s.cycle, len(s.rob), len(s.frontQ), s.describeHead())
 		} else {
 			idleCycles = 0
 			lastCommitted = s.st.Committed

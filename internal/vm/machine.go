@@ -173,6 +173,7 @@ func (m *Machine) Step() (Exec, error) {
 	case isa.OpFDIV:
 		m.setFreg(in.Rd, m.freg(in.Ra)/m.freg(in.Rb))
 	case isa.OpFCMPEQ:
+		//hp:nolint floatcmp -- FCMPEQ architecturally IS exact IEEE 754 equality
 		m.setReg(in.Rd, boolBit(m.freg(in.Ra) == m.freg(in.Rb)))
 	case isa.OpFCMPLT:
 		m.setReg(in.Rd, boolBit(m.freg(in.Ra) < m.freg(in.Rb)))
