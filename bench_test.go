@@ -8,6 +8,7 @@ package halfprice
 // the same summary values the paper reports.
 
 import (
+	"fmt"
 	"testing"
 
 	"halfprice/internal/experiments"
@@ -192,4 +193,30 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 		MustSimulate(cfg, "gzip", 50000)
 	}
 	b.ReportMetric(50000, "insts/op")
+}
+
+// BenchmarkSweep times the full figures sweep (every paper artifact) end
+// to end at several worker-pool sizes. On a multi-core machine the -j 4
+// case completes the same sweep in well under half the -j 1 wall clock
+// (the sweep is embarrassingly parallel: ~100+ independent simulations
+// behind a deduplicating memo); on a single hardware thread the pool
+// degrades gracefully to serial speed. Compare the sub-benchmarks'
+// ns/op directly:
+//
+//	go test -bench 'BenchmarkSweep/' -benchtime 1x
+func BenchmarkSweep(b *testing.B) {
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", par), func(b *testing.B) {
+			var sims uint64
+			for i := 0; i < b.N; i++ {
+				opts := benchOpts()
+				opts.Parallel = par
+				r := experiments.NewRunner(opts)
+				r.All()
+				sims = r.Sims()
+			}
+			b.ReportMetric(float64(sims), "sims/op")
+			b.ReportMetric(float64(sims)*float64(benchOpts().Insts), "insts/op")
+		})
+	}
 }

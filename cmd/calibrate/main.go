@@ -5,32 +5,51 @@
 //
 // Usage:
 //
-//	calibrate [-insts n] [-bench list]
+//	calibrate [-insts n] [-bench list] [-j n] [-quiet] [-progress-json f]
+//
+// The 24 base simulations (12 benchmarks x 2 widths) fan out over a
+// bounded worker pool before the dashboard renders serially from the
+// memo cache.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"halfprice"
 	"halfprice/internal/experiments"
+	"halfprice/internal/progress"
 	"halfprice/internal/trace"
 )
 
 func main() {
 	insts := flag.Uint64("insts", 300000, "instructions per run")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	flag.Parse()
 
-	opts := halfprice.Options{Insts: *insts}
+	opts := halfprice.Options{Insts: *insts, Parallel: *par}
 	benches := halfprice.Benchmarks()
 	if *benchList != "" {
 		benches = strings.Split(*benchList, ",")
 		opts.Benchmarks = benches
 	}
+	tracker, closeProgress, err := progress.FromFlags(*quiet, *progressJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(2)
+	}
+	defer closeProgress()
+	if tracker != nil {
+		opts.Observer = tracker
+	}
 	r := experiments.NewRunner(opts)
+	r.Warm(4, 8)
 
 	fmt.Printf("%-8s %18s %18s %7s %7s %7s %7s %7s %7s\n",
 		"bench", "IPC4 (paper,dev)", "IPC8 (paper,dev)", "mispr", "2srcF", "2src", "0rdy", "simult", "same")

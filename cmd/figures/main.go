@@ -10,9 +10,14 @@
 //	-bench list  comma-separated benchmark subset (default: all twelve)
 //	-kernels     drive the execution-driven assembly kernels instead of
 //	             the calibrated synthetic traces
+//	-j n         max concurrent simulations (default GOMAXPROCS; 1 = serial)
+//	-quiet       suppress the live progress line on stderr
+//	-progress-json f  write NDJSON progress events to f ("-" = stderr)
 //
 // Output is one text table per artifact in the paper's layout, with a
 // MEAN row appended; the notes line records the paper's reference values.
+// Independent (benchmark, config) simulations fan out over a bounded
+// worker pool; results are bit-identical at every -j.
 package main
 
 import (
@@ -20,21 +25,26 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"halfprice"
 	"halfprice/internal/experiments"
+	"halfprice/internal/progress"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "artifact: all|t2|2|3|4|6|t3|7|10|14|15|16|timing|a1..a5|ablations")
+	fig := flag.String("fig", "all", "artifact: all|t2|2|3|4|6|t3|7|10|14|15|16|timing|a1..a10|cpi|ablations")
 	insts := flag.Uint64("insts", 500000, "instructions per benchmark run")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
 	kernels := flag.Bool("kernels", false, "use execution-driven kernels")
 	format := flag.String("format", "table", "output format: table|csv|json")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	flag.Parse()
 
-	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels}
+	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 		for _, b := range opts.Benchmarks {
@@ -43,6 +53,15 @@ func main() {
 				os.Exit(2)
 			}
 		}
+	}
+	tracker, closeProgress, err := progress.FromFlags(*quiet, *progressJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	defer closeProgress()
+	if tracker != nil {
+		opts.Observer = tracker
 	}
 	r := halfprice.NewRunner(opts)
 

@@ -16,6 +16,8 @@
 //	-kernel         run the execution-driven assembly kernel instead of
 //	                the calibrated synthetic trace
 //	-list           list benchmarks and exit
+//	-quiet          suppress the progress summary on stderr
+//	-progress-json f  write NDJSON progress events to f ("-" = stderr)
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"strings"
 
 	"halfprice"
+	"halfprice/internal/progress"
 )
 
 func main() {
@@ -42,6 +45,8 @@ func main() {
 	warmup := flag.Uint64("warmup", 0, "instructions to warm up before measuring")
 	profilePath := flag.String("profile", "", "run a custom workload profile from a JSON file")
 	dumpProfile := flag.String("dump-profile", "", "print the named benchmark's profile as JSON and exit")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	if *list {
@@ -60,6 +65,13 @@ func main() {
 		}
 		return
 	}
+
+	tracker, closeProgress, err := progress.FromFlags(*quiet, *progressJSON)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halfprice:", err)
+		os.Exit(2)
+	}
+	defer closeProgress()
 
 	cfg, err := buildConfig(*width, *wakeup, *regfile, *recovery, *pred, *predEntries)
 	if err != nil {
@@ -81,7 +93,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "halfprice:", err)
 			os.Exit(2)
 		}
-		st := halfprice.SimulateProfile(cfg, p, *insts+*warmup)
+		st := observe(tracker, p.Name, cfg, *insts+*warmup, func() *halfprice.Stats {
+			return halfprice.SimulateProfile(cfg, p, *insts+*warmup)
+		})
 		printStats(p.Name, cfg, st)
 		return
 	}
@@ -90,11 +104,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "halfprice:", err)
 		os.Exit(2)
 	}
-	st, hotReport := simulate(cfg, *bench, *insts+*warmup, *kernel, *hot)
+	var hotReport string
+	st := observe(tracker, *bench, cfg, *insts+*warmup, func() *halfprice.Stats {
+		var st *halfprice.Stats
+		st, hotReport = simulate(cfg, *bench, *insts+*warmup, *kernel, *hot)
+		return st
+	})
 	printStats(*bench, cfg, st)
 	if hotReport != "" {
 		fmt.Print(hotReport)
 	}
+}
+
+// observe wraps the command's one simulation in the same queued/start/
+// finish progress events the sweep commands emit per run.
+func observe(tr *progress.Tracker, bench string, cfg halfprice.Config, insts uint64, run func() *halfprice.Stats) *halfprice.Stats {
+	if tr == nil {
+		return run()
+	}
+	label := fmt.Sprintf("%dw %v/%v/%v", cfg.Width, cfg.Wakeup, cfg.Regfile, cfg.Recovery)
+	tr.RunQueued(bench, label, insts)
+	tr.RunStarted(bench, label, insts)
+	st := run()
+	tr.RunFinished(bench, label, insts)
+	return st
 }
 
 // simulate runs the chosen workload, optionally with hot-spot profiling.

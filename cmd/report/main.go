@@ -5,18 +5,24 @@
 // Usage:
 //
 //	report [-o report.md] [-insts n] [-kernels] [-skip-ablations]
+//	       [-j n] [-quiet] [-progress-json f]
 //
 // The output is self-contained: run it after any model change to get a
-// fresh paper-vs-measured report.
+// fresh paper-vs-measured report. Simulations fan out over a bounded
+// worker pool (-j); the live sweep status line replaces the old
+// per-artifact elapsed-time log (which survives in the per-artifact
+// "done" lines below).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"halfprice"
+	"halfprice/internal/progress"
 )
 
 func main() {
@@ -24,6 +30,9 @@ func main() {
 	insts := flag.Uint64("insts", 300000, "instructions per benchmark run")
 	kernels := flag.Bool("kernels", false, "use execution-driven kernels")
 	skipAbl := flag.Bool("skip-ablations", false, "omit the ablation studies")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	f, err := os.Create(*out)
@@ -33,7 +42,17 @@ func main() {
 	}
 	defer f.Close()
 
-	r := halfprice.NewRunner(halfprice.Options{Insts: *insts, UseKernels: *kernels})
+	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
+	tracker, closeProgress, perr := progress.FromFlags(*quiet, *progressJSON)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "report:", perr)
+		os.Exit(2)
+	}
+	defer closeProgress()
+	if tracker != nil {
+		opts.Observer = tracker
+	}
+	r := halfprice.NewRunner(opts)
 
 	fmt.Fprintf(f, "# Half-Price Architecture — regenerated evaluation\n\n")
 	fmt.Fprintf(f, "Generated %s · %d instructions/benchmark · workloads: %s\n\n",

@@ -24,6 +24,30 @@ func ExampleSimulate() {
 	// within 5% of base: true
 }
 
+// Driving the experiment harness directly: NewRunner is the entry point
+// for reproducing any of the paper's tables and figures as structured
+// data. Options.Parallel bounds the worker pool the sweep fans out over
+// (the commands' -j flag); memoisation dedupes shared configurations, so
+// the base machine below simulates once even though both series need it,
+// and results are bit-identical at every pool size.
+func ExampleNewRunner() {
+	r := halfprice.NewRunner(halfprice.Options{
+		Insts:      20000,
+		Benchmarks: []string{"gzip", "mcf"},
+		Parallel:   4, // 0 = GOMAXPROCS, 1 = serial
+	})
+	res := r.Figure16Combined()
+
+	combined, _ := res.Get("combined-4w", "gzip")
+	fmt.Println("series:", len(res.Series))
+	fmt.Println("gzip combined within 5% of base:", combined > 0.95)
+	fmt.Println("simulations:", r.Sims(), "memo hits:", r.Hits())
+	// Output:
+	// series: 2
+	// gzip combined within 5% of base: true
+	// simulations: 8 memo hits: 0
+}
+
 // Assembly programs run end to end: assembler, functional execution,
 // timing pipeline.
 func ExampleSimulateProgram() {

@@ -69,10 +69,16 @@ type (
 	Profile = trace.Profile
 	// Stream produces dynamic instructions for the pipeline.
 	Stream = trace.Stream
-	// Options configures the experiment harness.
+	// Options configures the experiment harness (instruction budget,
+	// benchmark subset, worker-pool size, progress observer).
 	Options = experiments.Options
-	// Runner executes experiments with memoised simulations.
+	// Runner executes experiments over a bounded worker pool with
+	// memoised, deduplicated simulations.
 	Runner = experiments.Runner
+	// Observer receives per-simulation progress events from a Runner;
+	// internal/progress provides the standard implementation behind the
+	// commands' -quiet and -progress-json flags.
+	Observer = experiments.Observer
 	// Result is one reproduced table or figure.
 	Result = experiments.Result
 	// CycleClass labels one cycle of the CPI stack.
@@ -250,8 +256,12 @@ func SimulateHot(cfg Config, benchmark string, insts uint64, kernel bool, topN i
 	return st, b.String(), nil
 }
 
-// NewRunner returns an experiment runner (memoised simulations) for
-// reproducing the paper's tables and figures.
+// NewRunner returns an experiment runner for reproducing the paper's
+// tables and figures. Independent (benchmark, config) simulations fan
+// out over a bounded worker pool (Options.Parallel, the commands' -j
+// flag) with singleflight-deduplicated memoisation, so a configuration
+// shared by several experiments simulates exactly once and results are
+// bit-identical at every pool size.
 func NewRunner(opts Options) *Runner { return experiments.NewRunner(opts) }
 
 // ReproduceAll regenerates every table and figure of the paper's

@@ -18,6 +18,20 @@ var determinismScope = []string{
 	"internal/experiments",
 }
 
+// determinismCoreScope is the inner subset of determinismScope where a
+// single simulation runs: the pipeline model, the workload generators
+// and the functional simulator. Concurrency belongs in the sweep layer
+// (internal/experiments fans independent simulations out over a worker
+// pool), never inside a simulation — a goroutine or a timed sleep in
+// the core would make cycle-level results depend on the scheduler or
+// the wall clock. `go` statements and time.Sleep are therefore
+// forbidden here, on top of the whole-scope rules above.
+var determinismCoreScope = []string{
+	"internal/uarch",
+	"internal/trace",
+	"internal/vm",
+}
+
 // Determinism forbids nondeterminism sources in simulation packages:
 // wall-clock reads (time.Now/Since/Until), the globally seeded
 // math/rand generators, and ranging over a map, whose iteration order
@@ -26,10 +40,15 @@ var determinismScope = []string{
 // keys, use internal/trace's seeded xorshift RNG, or suppress with a
 // justified //hp:nolint determinism when the loop is provably
 // order-insensitive.
+//
+// Inside the simulation core (determinismCoreScope) two further
+// constructs are forbidden: `go` statements and time.Sleep. One
+// simulation is strictly single-threaded; parallelism lives in the
+// sweep layer above it.
 func Determinism() *Analyzer {
 	return &Analyzer{
 		Name: "determinism",
-		Doc:  "forbid time.Now, global math/rand and map ranges in simulation packages",
+		Doc:  "forbid time.Now, global math/rand, map ranges, and (in the sim core) go statements and time.Sleep",
 		Run:  runDeterminism,
 	}
 }
@@ -39,13 +58,25 @@ func runDeterminism(m *Module) []Diagnostic {
 	for _, s := range determinismScope {
 		scope[m.Path+"/"+s] = true
 	}
+	core := map[string]bool{}
+	for _, s := range determinismCoreScope {
+		core[m.Path+"/"+s] = true
+	}
 	var out []Diagnostic
 	inspectFiles(m, func(p *Package) bool { return scope[p.Path] }, func(p *Package, f *ast.File) {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.Ident:
-				if d := checkDeterminismUse(m, p, n); d != nil {
+				if d := checkDeterminismUse(m, p, n, core[p.Path]); d != nil {
 					out = append(out, *d)
+				}
+			case *ast.GoStmt:
+				if core[p.Path] {
+					out = append(out, Diagnostic{
+						Analyzer: "determinism",
+						Pos:      m.Fset.Position(n.Go),
+						Message:  "go statement inside the simulation core; one simulation is single-threaded — fan out in the sweep layer (internal/experiments) instead",
+					})
 				}
 			case *ast.RangeStmt:
 				t := p.Info.TypeOf(n.X)
@@ -69,8 +100,10 @@ func runDeterminism(m *Module) []Diagnostic {
 // checkDeterminismUse flags identifiers resolving to wall-clock reads
 // or to package-level math/rand functions (which share the global,
 // run-dependent source). Constructing explicitly seeded generators via
-// rand.New*/rand.NewSource stays legal, as do rand.Rand methods.
-func checkDeterminismUse(m *Module, p *Package, id *ast.Ident) *Diagnostic {
+// rand.New*/rand.NewSource stays legal, as do rand.Rand methods. When
+// core is set the package is in the simulation core, where time.Sleep
+// is additionally forbidden.
+func checkDeterminismUse(m *Module, p *Package, id *ast.Ident, core bool) *Diagnostic {
 	fn, ok := p.Info.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return nil
@@ -86,6 +119,14 @@ func checkDeterminismUse(m *Module, p *Package, id *ast.Ident) *Diagnostic {
 				Analyzer: "determinism",
 				Pos:      m.Fset.Position(id.Pos()),
 				Message:  fmt.Sprintf("time.%s reads the wall clock; simulation results must not depend on real time", fn.Name()),
+			}
+		case "Sleep":
+			if core {
+				return &Diagnostic{
+					Analyzer: "determinism",
+					Pos:      m.Fset.Position(id.Pos()),
+					Message:  "time.Sleep inside the simulation core; simulated time advances by cycles, never by the wall clock",
+				}
 			}
 		}
 	case "math/rand", "math/rand/v2":

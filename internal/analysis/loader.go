@@ -52,8 +52,9 @@ func (m *Module) SortedPkgs() []*Package {
 
 // LoadModule parses and type-checks every non-test package under root,
 // which must contain a go.mod. The standard library is imported from
-// source (GOROOT/src), so the loader has no dependency on compiled
-// export data or external modules.
+// the toolchain-keyed export-data cache (see stdlibcache.go) when
+// available, falling back to type-checking GOROOT source otherwise —
+// the loader never requires external modules either way.
 func LoadModule(root string) (*Module, error) {
 	abs, err := filepath.Abs(root)
 	if err != nil {
@@ -67,13 +68,56 @@ func LoadModule(root string) (*Module, error) {
 	if err := m.parseTree(); err != nil {
 		return nil, err
 	}
-	chk := &moduleChecker{m: m, std: importer.ForCompiler(m.Fset, "source", nil), checking: map[string]bool{}}
-	for _, p := range m.SortedPkgs() {
-		if _, err := chk.local(p.Path); err != nil {
-			return nil, err
-		}
+	std, cached := newStdImporter(m.Fset, abs, m.stdImports())
+	err = m.typeCheck(std)
+	if err != nil && cached {
+		// A stale or truncated export cache surfaces as a type-check
+		// failure; re-check against GOROOT source before giving up, so
+		// a damaged cache can never fail an otherwise-clean run.
+		err = m.typeCheck(importer.ForCompiler(m.Fset, "source", nil))
+	}
+	if err != nil {
+		return nil, err
 	}
 	return m, nil
+}
+
+// stdImports collects the non-local import paths appearing anywhere in
+// the module, sorted and deduplicated — the working set the stdlib
+// export cache must cover.
+func (m *Module) stdImports() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, p := range m.SortedPkgs() {
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if m.Local(path) || seen[path] {
+					continue
+				}
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeCheck (re-)type-checks every package of the module against the
+// given standard-library importer, resetting any previous results so a
+// failed attempt can be retried with a different importer.
+func (m *Module) typeCheck(std types.Importer) error {
+	for _, p := range m.SortedPkgs() {
+		p.Types, p.Info = nil, nil
+	}
+	chk := &moduleChecker{m: m, std: std, checking: map[string]bool{}}
+	for _, p := range m.SortedPkgs() {
+		if _, err := chk.local(p.Path); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // readModulePath extracts the module path from a go.mod file.

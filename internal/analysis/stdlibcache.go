@@ -1,0 +1,126 @@
+package analysis
+
+// The source importer type-checks every imported standard-library
+// package from GOROOT/src on each hpvet run, which dominates cold-start
+// time. The gc importer reads compiled export data instead — orders of
+// magnitude faster — but modern toolchains ship no pre-built archives,
+// so the export data must be produced once by `go list -export` and
+// kept somewhere stable. This file maintains that cache: export files
+// live under os.TempDir() in a directory keyed by the toolchain
+// identity (runtime.Version() plus GOROOT), so upgrading the toolchain
+// naturally starts a fresh cache, and warm runs import the whole
+// standard library without shelling out to the go tool at all.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// stdlibCacheRoot computes the cache directory for the running
+// toolchain. A variable so tests can redirect the cache.
+var stdlibCacheRoot = func() string {
+	key := sha256.Sum256([]byte(runtime.Version() + "\x00" + runtime.GOROOT()))
+	return filepath.Join(os.TempDir(), "hpvet-stdlib-"+hex.EncodeToString(key[:8]))
+}
+
+// exportFile maps an import path to its file name inside the cache
+// directory. Hashing sidesteps path separators and case-insensitive
+// filesystems.
+func exportFile(dir, path string) string {
+	h := sha256.Sum256([]byte(path))
+	return filepath.Join(dir, hex.EncodeToString(h[:12])+".a")
+}
+
+// newStdImporter returns the fastest working standard-library importer:
+// export data from the warm cache when every direct import is present,
+// populating the cache with a single `go list -export -deps` invocation
+// when not, and falling back to type-checking GOROOT source if the go
+// tool or the cache directory is unavailable. The boolean reports
+// whether the export-data path is in use (false means source fallback).
+func newStdImporter(fset *token.FileSet, moduleRoot string, imports []string) (types.Importer, bool) {
+	dir := stdlibCacheRoot()
+	if err := ensureStdlibCache(dir, moduleRoot, imports); err != nil {
+		return importer.ForCompiler(fset, "source", nil), false
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		return os.Open(exportFile(dir, path))
+	}
+	return importer.ForCompiler(fset, "gc", lookup), true
+}
+
+// ensureStdlibCache makes sure export data for every listed import (and,
+// via -deps, its transitive closure) is present in dir. Imports already
+// cached cost one stat each; the go tool runs only when something is
+// missing.
+func ensureStdlibCache(dir, moduleRoot string, imports []string) error {
+	var missing []string
+	for _, p := range imports {
+		if p == "unsafe" { // no export data; the gc importer handles it natively
+			continue
+		}
+		if _, err := os.Stat(exportFile(dir, p)); err != nil {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	args := append([]string{"list", "-export", "-e", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}"}, missing...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("analysis: go list -export: %w", err)
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, file, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || file == "" {
+			continue
+		}
+		if err := copyFileAtomic(exportFile(dir, path), file); err != nil {
+			return err
+		}
+	}
+	for _, p := range missing {
+		if _, err := os.Stat(exportFile(dir, p)); err != nil {
+			return fmt.Errorf("analysis: no export data for %q", p)
+		}
+	}
+	return nil
+}
+
+// copyFileAtomic installs src's contents at dst via a rename, so a
+// concurrent hpvet run never observes a truncated export file.
+func copyFileAtomic(dst, src string) error {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), dst)
+}

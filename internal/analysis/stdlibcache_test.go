@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStdlibCacheWarm loads a fixture module through a fresh cache
+// directory, then again through the populated one: both loads must
+// type-check, and the first must have materialised export data for the
+// fixture's stdlib imports.
+func TestStdlibCacheWarm(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "stdlib-cache")
+	orig := stdlibCacheRoot
+	stdlibCacheRoot = func() string { return dir }
+	defer func() { stdlibCacheRoot = orig }()
+
+	fixture := filepath.Join("testdata", "determinism")
+	if _, err := LoadModule(fixture); err != nil {
+		t.Fatalf("cold load: %v", err)
+	}
+	for _, imp := range []string{"time", "math/rand"} {
+		if _, err := os.Stat(exportFile(dir, imp)); err != nil {
+			t.Errorf("export data for %q not cached: %v", imp, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache directory empty after cold load (err=%v)", err)
+	}
+	if _, err := LoadModule(fixture); err != nil {
+		t.Fatalf("warm load: %v", err)
+	}
+}
+
+// TestStdlibCacheUnavailable points the cache at an uncreatable path;
+// loading must still succeed via the GOROOT source fallback.
+func TestStdlibCacheUnavailable(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orig := stdlibCacheRoot
+	stdlibCacheRoot = func() string { return filepath.Join(blocker, "cache") }
+	defer func() { stdlibCacheRoot = orig }()
+
+	if _, err := LoadModule(filepath.Join("testdata", "determinism")); err != nil {
+		t.Fatalf("load with unavailable cache: %v", err)
+	}
+}
+
+// TestStdlibCacheCorrupt truncates a cached export file; the loader
+// must recover by re-checking against GOROOT source rather than failing
+// the run.
+func TestStdlibCacheCorrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "stdlib-cache")
+	orig := stdlibCacheRoot
+	stdlibCacheRoot = func() string { return dir }
+	defer func() { stdlibCacheRoot = orig }()
+
+	fixture := filepath.Join("testdata", "determinism")
+	if _, err := LoadModule(fixture); err != nil {
+		t.Fatalf("cold load: %v", err)
+	}
+	if err := os.WriteFile(exportFile(dir, "time"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModule(fixture)
+	if err != nil {
+		t.Fatalf("load with corrupt cache: %v", err)
+	}
+	if len(Run(m, []*Analyzer{Determinism()})) == 0 {
+		t.Fatal("analyzer found nothing after source-importer recovery")
+	}
+}

@@ -1,0 +1,25 @@
+// Package experiments is a fixture for the sweep layer: inside the
+// determinism scope (so time.Now, the global math/rand source and map
+// ranges are still flagged) but outside the simulation core, so `go`
+// statements and time.Sleep are legal — concurrency belongs here.
+package experiments
+
+import "time"
+
+// FanOut dispatches work on goroutines — legal in the sweep layer.
+func FanOut(fs []func()) {
+	for _, f := range fs {
+		go f()
+	}
+}
+
+// Backoff sleeps between retries — legal in the sweep layer.
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}
+
+// Stamp still may not read the wall clock: timestamps belong to the
+// progress layer, not to experiment results — forbidden.
+func Stamp() time.Time {
+	return time.Now()
+}

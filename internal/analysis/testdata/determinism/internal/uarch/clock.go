@@ -1,6 +1,7 @@
 // Package uarch is a fixture: it sits inside the determinism scope, so
 // wall-clock reads, the global math/rand source and map ranges are all
-// flagged.
+// flagged — and inside the simulation core, so `go` statements and
+// time.Sleep are flagged too.
 package uarch
 
 import (
@@ -51,4 +52,14 @@ func SumSuppressed(m map[string]int) int {
 		t += v
 	}
 	return t
+}
+
+// Spawn starts a goroutine inside the simulation core — forbidden.
+func Spawn(f func()) {
+	go f()
+}
+
+// Stall sleeps on the wall clock inside the simulation core — forbidden.
+func Stall() {
+	time.Sleep(time.Millisecond)
 }

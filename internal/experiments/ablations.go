@@ -356,18 +356,19 @@ func (r *Runner) CPIStacks() *Result {
 	return res
 }
 
-// Ablations runs every ablation study.
+// Ablations runs every ablation study; like All, the studies execute
+// concurrently over the runner's worker pool and return in fixed order.
 func (r *Runner) Ablations() []*Result {
-	return []*Result{
-		r.AblationSlowBus(),
-		r.AblationRecovery(),
-		r.AblationPredictors(),
-		r.AblationExtensions(),
-		r.AblationFrequency(),
-		r.AblationEnergy(),
-		r.AblationSelect(),
-		r.AblationSchedulerDesigns(),
-		r.AblationBranchNoise(),
-		r.AblationPrefetch(),
-	}
+	return r.collect([]func() *Result{
+		r.AblationSlowBus,
+		r.AblationRecovery,
+		r.AblationPredictors,
+		r.AblationExtensions,
+		r.AblationFrequency,
+		r.AblationEnergy,
+		r.AblationSelect,
+		r.AblationSchedulerDesigns,
+		r.AblationBranchNoise,
+		r.AblationPrefetch,
+	})
 }

@@ -7,15 +7,6 @@ import (
 	"halfprice/internal/uarch"
 )
 
-// perBench evaluates one value for every benchmark.
-func (r *Runner) perBench(f func(bench string) float64) []float64 {
-	out := make([]float64, 0, len(r.opts.benchmarks()))
-	for _, b := range r.opts.benchmarks() {
-		out = append(out, f(b))
-	}
-	return out
-}
-
 // Table2BaseIPC reproduces Table 2: base-machine IPC per benchmark on the
 // 4- and 8-wide configurations, next to the paper's values.
 func (r *Runner) Table2BaseIPC() *Result {
@@ -283,21 +274,24 @@ func (r *Runner) Figure16Combined() *Result {
 	return res
 }
 
-// All runs every experiment in paper order.
+// All runs every experiment and returns the results in paper order. The
+// experiments execute concurrently over the runner's worker pool; shared
+// configurations (every figure needs the base machines) still simulate
+// exactly once, so the output is identical to a serial sweep.
 func (r *Runner) All() []*Result {
-	return []*Result{
-		r.Table2BaseIPC(),
-		r.Figure2Formats(),
-		r.Figure3Breakdown(),
-		r.Figure4ReadyAtInsert(),
-		r.Figure6WakeupSlack(),
-		r.Table3OperandOrder(),
-		r.Figure7PredictorAccuracy(),
-		r.Figure10RegAccess(),
-		r.Figure14SeqWakeup(),
-		r.Figure15SeqRegAccess(),
-		r.Figure16Combined(),
-		r.EventCounters(),
-		TimingClaims(),
-	}
+	return r.collect([]func() *Result{
+		r.Table2BaseIPC,
+		r.Figure2Formats,
+		r.Figure3Breakdown,
+		r.Figure4ReadyAtInsert,
+		r.Figure6WakeupSlack,
+		r.Table3OperandOrder,
+		r.Figure7PredictorAccuracy,
+		r.Figure10RegAccess,
+		r.Figure14SeqWakeup,
+		r.Figure15SeqRegAccess,
+		r.Figure16Combined,
+		r.EventCounters,
+		TimingClaims,
+	})
 }

@@ -7,10 +7,23 @@
 // which are fitted to the paper's own characterisation of SPEC CINT2000;
 // Options.UseKernels switches to the hand-written execution-driven
 // kernels (internal/workloads) instead.
+//
+// Independent (benchmark, configuration) simulations fan out over a
+// bounded worker pool (Options.Parallel); the memo cache deduplicates
+// concurrent requests for the same simulation, so a shared configuration
+// (every figure needs the base machine) runs exactly once no matter how
+// many experiments ask for it, and results are bit-identical to a serial
+// sweep — each simulation owns its seeded RNG and never shares mutable
+// state. Concurrency lives entirely in this sweep layer: the simulation
+// core (internal/uarch, internal/trace, internal/vm) is single-threaded
+// by policy, enforced by hpvet's determinism analyzer.
 package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"halfprice/internal/stats"
 	"halfprice/internal/trace"
@@ -18,6 +31,22 @@ import (
 	"halfprice/internal/vm"
 	"halfprice/internal/workloads"
 )
+
+// Observer receives sweep lifecycle events from a Runner. Implementations
+// must be safe for concurrent use; internal/progress provides the
+// standard one (live TTY status line, ETA, aggregate simulated-instruction
+// throughput, and an NDJSON event stream). Events fire only for
+// simulations that actually execute — memo hits are silent.
+type Observer interface {
+	// RunQueued fires when a simulation is first requested (before it
+	// waits for a worker slot).
+	RunQueued(bench, config string, insts uint64)
+	// RunStarted fires when the simulation acquires a worker and begins.
+	RunStarted(bench, config string, insts uint64)
+	// RunFinished fires when the simulation completes; insts is the
+	// number of dynamic instructions simulated (budget incl. warmup).
+	RunFinished(bench, config string, insts uint64)
+}
 
 // Options configures an experiment run.
 type Options struct {
@@ -34,6 +63,12 @@ type Options struct {
 	// (caches and predictors stay warm); it is added on top of Insts, so
 	// Insts instructions are always measured.
 	Warmup uint64
+	// Parallel bounds the number of simulations in flight at once
+	// (cmd flag -j). 0 means runtime.GOMAXPROCS(0); 1 reproduces the
+	// serial sweep exactly (and bit-identically — see the package doc).
+	Parallel int
+	// Observer, when non-nil, receives per-run start/finish events.
+	Observer Observer
 }
 
 func (o Options) insts() uint64 {
@@ -50,11 +85,27 @@ func (o Options) benchmarks() []string {
 	return o.Benchmarks
 }
 
+func (o Options) parallel() int {
+	if o.Parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallel
+}
+
 // Runner executes simulations with memoisation, so experiments that share
-// a configuration (every figure needs the base machine) run it once.
+// a configuration (every figure needs the base machine) run it once —
+// including when they ask concurrently: the first request simulates, every
+// later one waits for the same entry (singleflight). Methods are safe for
+// concurrent use.
 type Runner struct {
-	opts  Options
-	cache map[runKey]*uarch.Stats
+	opts Options
+	sem  chan struct{} // bounds simulations in flight
+
+	mu    sync.Mutex
+	cache map[runKey]*inflight
+
+	sims atomic.Uint64 // simulations actually executed
+	hits atomic.Uint64 // requests served from the cache (or by waiting)
 }
 
 type runKey struct {
@@ -62,13 +113,68 @@ type runKey struct {
 	cfg   uarch.Config
 }
 
+// inflight is one memo entry: done closes when st is valid, so duplicate
+// requests block on the leader instead of simulating again. If the
+// leader panicked (unknown benchmark, bad kernel), panicv carries the
+// value so waiters re-raise it instead of reading a nil result.
+type inflight struct {
+	done   chan struct{}
+	st     *uarch.Stats
+	panicv any
+}
+
+// mustJoin waits for the in-flight simulation and returns its result,
+// re-raising the leader's panic on this goroutine if it had one.
+func (e *inflight) mustJoin() *uarch.Stats {
+	<-e.done
+	if e.panicv != nil {
+		panic(e.panicv)
+	}
+	return e.st
+}
+
+// panicBox carries the first panic raised inside a fan-out's worker
+// goroutines so the coordinating goroutine can re-raise it after
+// waiting — a panicking experiment must surface on the caller's stack,
+// not kill the process from an anonymous worker.
+type panicBox struct {
+	once sync.Once
+	v    any
+}
+
+// capture is deferred inside each worker goroutine, below the
+// WaitGroup.Done defer so it runs first.
+func (b *panicBox) capture() {
+	if p := recover(); p != nil {
+		b.once.Do(func() { b.v = p })
+	}
+}
+
+// mustResume re-raises the captured panic, if any, on the caller.
+func (b *panicBox) mustResume() {
+	if b.v != nil {
+		panic(b.v)
+	}
+}
+
 // NewRunner returns a runner for the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, cache: make(map[runKey]*uarch.Stats)}
+	return &Runner{
+		opts:  opts,
+		sem:   make(chan struct{}, opts.parallel()),
+		cache: make(map[runKey]*inflight),
+	}
 }
 
 // Options returns the runner's options.
 func (r *Runner) Options() Options { return r.opts }
+
+// Sims returns the number of simulations actually executed so far.
+func (r *Runner) Sims() uint64 { return r.sims.Load() }
+
+// Hits returns the number of requests served by the memo cache, counting
+// singleflight waits on a simulation another experiment already started.
+func (r *Runner) Hits() uint64 { return r.hits.Load() }
 
 func (r *Runner) stream(bench string) trace.Stream {
 	budget := r.opts.insts() + r.opts.Warmup
@@ -94,22 +200,123 @@ func config(width int, mutate func(*uarch.Config)) uarch.Config {
 	return cfg
 }
 
-// Run simulates one benchmark on one configuration (memoised).
+// configLabel is the short human-readable run descriptor used in
+// progress events: width plus the non-default scheme knobs.
+func configLabel(cfg uarch.Config) string {
+	return fmt.Sprintf("%dw %v/%v/%v", cfg.Width, cfg.Wakeup, cfg.Regfile, cfg.Recovery)
+}
+
+// Run simulates one benchmark on one configuration (memoised and
+// deduplicated; safe to call from many goroutines).
 func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch.Stats {
 	cfg := config(width, mutate)
 	cfg.WarmupInsts = r.opts.Warmup
 	key := runKey{bench: bench, cfg: cfg}
-	if st, ok := r.cache[key]; ok {
+
+	r.mu.Lock()
+	if e, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		st := e.mustJoin()
+		r.hits.Add(1)
 		return st
 	}
-	st := uarch.New(cfg, r.stream(bench)).Run()
-	r.cache[key] = st
-	return st
+	e := &inflight{done: make(chan struct{})}
+	r.cache[key] = e
+	r.mu.Unlock()
+
+	obs := r.opts.Observer
+	label := configLabel(cfg)
+	budget := r.opts.insts() + r.opts.Warmup
+	if obs != nil {
+		obs.RunQueued(bench, label, budget)
+	}
+	r.sem <- struct{}{}
+	func() {
+		// Release the worker slot and publish the entry even if the
+		// simulation panics, so waiters never deadlock on done.
+		defer func() {
+			e.panicv = recover()
+			<-r.sem
+			close(e.done)
+		}()
+		if obs != nil {
+			obs.RunStarted(bench, label, budget)
+		}
+		e.st = uarch.New(cfg, r.stream(bench)).Run()
+		r.sims.Add(1)
+		if obs != nil {
+			obs.RunFinished(bench, label, budget)
+		}
+	}()
+	return e.mustJoin()
 }
 
 // Base simulates the baseline machine.
 func (r *Runner) Base(bench string, width int) *uarch.Stats {
 	return r.Run(bench, width, nil)
+}
+
+// Warm fans the baseline simulation of every configured benchmark at the
+// given widths out over the worker pool and waits for all of them, so a
+// subsequent serial read path (cmd/calibrate's dashboard loop) hits the
+// memo cache instead of simulating one benchmark at a time.
+func (r *Runner) Warm(widths ...int) {
+	var wg sync.WaitGroup
+	var pb panicBox
+	for _, w := range widths {
+		for _, b := range r.opts.benchmarks() {
+			wg.Add(1)
+			go func(b string, w int) {
+				defer wg.Done()
+				defer pb.capture()
+				r.Base(b, w)
+			}(b, w)
+		}
+	}
+	wg.Wait()
+	pb.mustResume()
+}
+
+// perBench evaluates one value for every benchmark, fanning the
+// evaluations out concurrently; the worker pool bounds how many
+// simulations actually run at once. Values land at their benchmark's
+// index, so the series order is identical to a serial sweep.
+func (r *Runner) perBench(f func(bench string) float64) []float64 {
+	benches := r.opts.benchmarks()
+	out := make([]float64, len(benches))
+	var wg sync.WaitGroup
+	var pb panicBox
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b string) {
+			defer wg.Done()
+			defer pb.capture()
+			out[i] = f(b)
+		}(i, b)
+	}
+	wg.Wait()
+	pb.mustResume()
+	return out
+}
+
+// collect runs the experiment constructors concurrently and returns their
+// results in argument order. Experiments share the memo cache, so common
+// configurations (the base machines) still simulate exactly once.
+func (r *Runner) collect(fs []func() *Result) []*Result {
+	out := make([]*Result, len(fs))
+	var wg sync.WaitGroup
+	var pb panicBox
+	for i, f := range fs {
+		wg.Add(1)
+		go func(i int, f func() *Result) {
+			defer wg.Done()
+			defer pb.capture()
+			out[i] = f()
+		}(i, f)
+	}
+	wg.Wait()
+	pb.mustResume()
+	return out
 }
 
 // Series is one labelled value-per-benchmark column of a Result.

@@ -1,0 +1,257 @@
+// Package progress reports sweep observability for the experiment
+// harness: per-run start/finish events, a running ETA, and aggregate
+// simulated-instruction throughput. It implements experiments.Observer.
+//
+// Two sinks, independently optional:
+//
+//   - a human-readable status stream (normally stderr). On a terminal it
+//     is a single live-updating line; on a pipe it degrades to plain,
+//     rate-limited lines. Disabled with the commands' -quiet flag.
+//   - a machine-readable NDJSON event stream (the -progress-json flag):
+//     one JSON object per line, events "queued", "start", "finish" and a
+//     final "summary".
+//
+// The tracker carries all wall-clock reads so the experiments package —
+// whose rendered results must be bit-stable across runs (hpvet's
+// determinism analyzer) — never touches the clock itself.
+package progress
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one line of the NDJSON stream. Times are seconds since the
+// tracker was created, so streams from identical sweeps line up.
+type Event struct {
+	Event       string  `json:"event"` // queued | start | finish | summary
+	Bench       string  `json:"bench,omitempty"`
+	Config      string  `json:"config,omitempty"`
+	Insts       uint64  `json:"insts,omitempty"`   // this run's budget
+	T           float64 `json:"t"`                 // seconds since start
+	Queued      int     `json:"queued"`            // runs discovered so far
+	Running     int     `json:"running"`           // runs in flight
+	Done        int     `json:"done"`              // runs finished
+	InstsDone   uint64  `json:"insts_done"`        // simulated insts finished
+	InstsPerSec float64 `json:"insts_per_sec"`     // aggregate throughput
+	ETASeconds  float64 `json:"eta_sec,omitempty"` // 0 until estimable
+}
+
+// Tracker accumulates sweep state and renders it to the configured sinks.
+// All methods are safe for concurrent use.
+type Tracker struct {
+	mu    sync.Mutex
+	human io.Writer // nil = off
+	tty   bool
+	jsonw *json.Encoder // nil = off
+
+	now   func() time.Time
+	start time.Time
+
+	queued, running, done int
+	instsDone             uint64
+	lastLine              time.Time // throttle for human output
+	lineLen               int       // width of the last TTY status line
+}
+
+// New returns a tracker writing human-readable progress to human and
+// NDJSON events to jsonw; either may be nil. TTY rendering is enabled
+// when human is a terminal.
+func New(human, jsonw io.Writer) *Tracker {
+	t := &Tracker{human: human, now: time.Now}
+	t.start = t.now()
+	if f, ok := human.(*os.File); ok {
+		if fi, err := f.Stat(); err == nil && fi.Mode()&os.ModeCharDevice != 0 {
+			t.tty = true
+		}
+	}
+	if jsonw != nil {
+		t.jsonw = json.NewEncoder(jsonw)
+	}
+	return t
+}
+
+// FromFlags builds the tracker the sweep commands share from their
+// -quiet and -progress-json flag values: human progress goes to stderr
+// unless quiet, and jsonPath names the NDJSON sink ("" = none, "-" =
+// stderr, which also disables the human stream so the two cannot
+// interleave). The returned closer flushes the final summary and closes
+// the JSON file; it is safe to call when the tracker is nil.
+func FromFlags(quiet bool, jsonPath string) (*Tracker, func(), error) {
+	var human io.Writer
+	if !quiet {
+		human = os.Stderr
+	}
+	var jsonw io.Writer
+	var file *os.File
+	switch jsonPath {
+	case "":
+	case "-":
+		jsonw = os.Stderr
+		human = nil
+	default:
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return nil, func() {}, err
+		}
+		file, jsonw = f, f
+	}
+	if human == nil && jsonw == nil {
+		return nil, func() {}, nil
+	}
+	t := New(human, jsonw)
+	closer := func() {
+		t.Close()
+		if file != nil {
+			file.Close()
+		}
+	}
+	return t, closer, nil
+}
+
+// RunQueued implements experiments.Observer.
+func (t *Tracker) RunQueued(bench, config string, insts uint64) {
+	t.event("queued", bench, config, insts)
+}
+
+// RunStarted implements experiments.Observer.
+func (t *Tracker) RunStarted(bench, config string, insts uint64) {
+	t.event("start", bench, config, insts)
+}
+
+// RunFinished implements experiments.Observer.
+func (t *Tracker) RunFinished(bench, config string, insts uint64) {
+	t.event("finish", bench, config, insts)
+}
+
+// Close emits the final summary (human and JSON). The tracker must not
+// be used afterwards.
+func (t *Tracker) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := t.now().Sub(t.start).Seconds()
+	if t.jsonw != nil {
+		t.jsonw.Encode(t.snapshot("summary", "", "", 0, elapsed))
+	}
+	if t.human != nil {
+		t.clearLine()
+		fmt.Fprintf(t.human, "sweep: %d runs, %s insts in %.1fs (%s insts/s)\n",
+			t.done, count(t.instsDone), elapsed, count(uint64(rate(t.instsDone, elapsed))))
+	}
+}
+
+// event records one state transition and re-renders both sinks.
+func (t *Tracker) event(kind, bench, config string, insts uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch kind {
+	case "queued":
+		t.queued++
+	case "start":
+		t.running++
+	case "finish":
+		t.running--
+		t.done++
+		t.instsDone += insts
+	}
+	now := t.now()
+	elapsed := now.Sub(t.start).Seconds()
+	if t.jsonw != nil {
+		t.jsonw.Encode(t.snapshot(kind, bench, config, insts, elapsed))
+	}
+	if t.human == nil {
+		return
+	}
+	// Rate-limit the human stream: a TTY line redraws at most every
+	// 100ms, a pipe gets at most one line per second (finishes only).
+	interval := time.Second
+	if t.tty {
+		interval = 100 * time.Millisecond
+	}
+	if now.Sub(t.lastLine) < interval || (!t.tty && kind != "finish") {
+		return
+	}
+	t.lastLine = now
+	line := t.statusLine(elapsed)
+	if t.tty {
+		pad := t.lineLen - len(line)
+		if pad < 0 {
+			pad = 0
+		}
+		fmt.Fprintf(t.human, "\r%s%s", line, strings.Repeat(" ", pad))
+		t.lineLen = len(line)
+	} else {
+		fmt.Fprintln(t.human, line)
+	}
+}
+
+// statusLine renders the aggregate one-liner: progress, throughput, ETA.
+func (t *Tracker) statusLine(elapsed float64) string {
+	line := fmt.Sprintf("sweep: %d/%d runs done, %d running, %s insts/s, %.1fs elapsed",
+		t.done, t.queued, t.running, count(uint64(rate(t.instsDone, elapsed))), elapsed)
+	if eta := t.eta(elapsed); eta > 0 {
+		line += fmt.Sprintf(", eta %.1fs", eta)
+	}
+	return line
+}
+
+// snapshot builds the NDJSON event for the current (locked) state.
+func (t *Tracker) snapshot(kind, bench, config string, insts uint64, elapsed float64) Event {
+	return Event{
+		Event:       kind,
+		Bench:       bench,
+		Config:      config,
+		Insts:       insts,
+		T:           elapsed,
+		Queued:      t.queued,
+		Running:     t.running,
+		Done:        t.done,
+		InstsDone:   t.instsDone,
+		InstsPerSec: rate(t.instsDone, elapsed),
+		ETASeconds:  t.eta(elapsed),
+	}
+}
+
+// eta estimates seconds to drain the work discovered so far, from the
+// mean cost of the runs already finished. It grows as the sweep layer
+// discovers more work, and is 0 until the first run completes.
+func (t *Tracker) eta(elapsed float64) float64 {
+	if t.done == 0 || t.queued <= t.done {
+		return 0
+	}
+	return elapsed / float64(t.done) * float64(t.queued-t.done)
+}
+
+// clearLine erases the live TTY status line before a final write.
+func (t *Tracker) clearLine() {
+	if t.tty && t.lineLen > 0 {
+		fmt.Fprintf(t.human, "\r%s\r", strings.Repeat(" ", t.lineLen))
+		t.lineLen = 0
+	}
+}
+
+// rate is insts/elapsed guarded against the zero-duration start.
+func rate(insts uint64, elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(insts) / elapsed
+}
+
+// count renders large counts compactly (12.3M, 45.6k).
+func count(n uint64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

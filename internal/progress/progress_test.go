@@ -1,0 +1,169 @@
+package progress
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per read so ETA/throughput are exact.
+type fakeClock struct {
+	t    time.Time
+	step time.Duration
+}
+
+func (c *fakeClock) now() time.Time {
+	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+func newTestTracker(human, jsonw *bytes.Buffer, step time.Duration) *Tracker {
+	var hw, jw io.Writer
+	if human != nil {
+		hw = human
+	}
+	if jsonw != nil {
+		jw = jsonw
+	}
+	t := New(hw, jw)
+	clock := &fakeClock{t: time.Unix(0, 0), step: step}
+	t.now = clock.now
+	t.start = clock.t
+	return t
+}
+
+func TestJSONStream(t *testing.T) {
+	var out bytes.Buffer
+	tr := newTestTracker(nil, &out, 100*time.Millisecond)
+	tr.RunQueued("gzip", "4w conventional/2-port/non-selective", 1000)
+	tr.RunStarted("gzip", "4w conventional/2-port/non-selective", 1000)
+	tr.RunFinished("gzip", "4w conventional/2-port/non-selective", 1000)
+	tr.Close()
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 NDJSON events, got %d:\n%s", len(lines), out.String())
+	}
+	var evs []Event
+	for _, l := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", l, err)
+		}
+		evs = append(evs, e)
+	}
+	wantKinds := []string{"queued", "start", "finish", "summary"}
+	for i, k := range wantKinds {
+		if evs[i].Event != k {
+			t.Errorf("event %d: got %q want %q", i, evs[i].Event, k)
+		}
+	}
+	if evs[0].Queued != 1 || evs[0].Done != 0 {
+		t.Errorf("queued event counters: %+v", evs[0])
+	}
+	if evs[1].Running != 1 {
+		t.Errorf("start event should show 1 running: %+v", evs[1])
+	}
+	if evs[2].Done != 1 || evs[2].InstsDone != 1000 || evs[2].Running != 0 {
+		t.Errorf("finish event counters: %+v", evs[2])
+	}
+	if evs[2].InstsPerSec <= 0 {
+		t.Errorf("finish event should report throughput: %+v", evs[2])
+	}
+	if evs[2].Bench != "gzip" || evs[2].Config == "" {
+		t.Errorf("finish event should carry run identity: %+v", evs[2])
+	}
+}
+
+func TestETAGrowsWithDiscoveredWork(t *testing.T) {
+	var out bytes.Buffer
+	tr := newTestTracker(nil, &out, time.Second)
+	for i := 0; i < 4; i++ {
+		tr.RunQueued("b", "c", 100)
+	}
+	tr.RunStarted("b", "c", 100)
+	tr.RunFinished("b", "c", 100)
+	tr.Close()
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	var finish Event
+	if err := json.Unmarshal([]byte(lines[len(lines)-2]), &finish); err != nil {
+		t.Fatal(err)
+	}
+	// 1 of 4 runs done: 3 outstanding at the observed mean cost.
+	if finish.ETASeconds <= 0 {
+		t.Fatalf("expected a positive ETA with outstanding work: %+v", finish)
+	}
+}
+
+func TestHumanPipeOutput(t *testing.T) {
+	var human bytes.Buffer
+	tr := newTestTracker(&human, nil, 2*time.Second) // past the 1s throttle
+	tr.RunQueued("mcf", "4w", 500)
+	tr.RunStarted("mcf", "4w", 500)
+	tr.RunFinished("mcf", "4w", 500)
+	tr.Close()
+
+	got := human.String()
+	if !strings.Contains(got, "sweep:") {
+		t.Fatalf("no sweep status in human output: %q", got)
+	}
+	if !strings.Contains(got, "1 runs") && !strings.Contains(got, "1/1 runs") {
+		t.Errorf("summary should count the finished run: %q", got)
+	}
+	if strings.Contains(got, "\r") {
+		t.Errorf("pipe output must not use carriage returns: %q", got)
+	}
+}
+
+func TestFromFlagsDisabled(t *testing.T) {
+	tr, closer, err := FromFlags(true, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Fatal("quiet + no json path must yield a nil tracker")
+	}
+	closer() // must not panic
+}
+
+func TestFromFlagsJSONFile(t *testing.T) {
+	path := t.TempDir() + "/events.ndjson"
+	tr, closer, err := FromFlags(true, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("json path must yield a tracker")
+	}
+	tr.RunQueued("gzip", "4w", 10)
+	tr.RunStarted("gzip", "4w", 10)
+	tr.RunFinished("gzip", "4w", 10)
+	closer()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte("\n")); n != 4 {
+		t.Fatalf("want 4 events in %s, got %d:\n%s", path, n, data)
+	}
+}
+
+func TestCountRendering(t *testing.T) {
+	cases := map[uint64]string{
+		999:        "999",
+		1500:       "1.5k",
+		2500000:    "2.5M",
+		3000000000: "3.00G",
+	}
+	for n, want := range cases {
+		if got := count(n); got != want {
+			t.Errorf("count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
