@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt check
+.PHONY: build test race lint fmt check sweepd dist-smoke
 
 build:
 	$(GO) build ./...
@@ -22,5 +22,15 @@ lint:
 
 fmt:
 	gofmt -l -w .
+
+# sweepd builds the distributed-sweep worker daemon into bin/.
+sweepd:
+	$(GO) build -o bin/sweepd ./cmd/sweepd
+
+# dist-smoke runs the distributed-sweep equivalence check CI runs: two
+# local sweepd workers, one figures sweep through the coordinator,
+# byte-identical output vs the serial run, well-formed merged NDJSON.
+dist-smoke:
+	bash scripts/dist-smoke.sh
 
 check: build lint race

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	calibrate [-insts n] [-bench list] [-j n] [-quiet] [-progress-json f]
+//	          [-workers host1:port,host2:port] [-worker-timeout d]
 //
 // The 24 base simulations (12 benchmarks x 2 widths) fan out over a
 // bounded worker pool before the dashboard renders serially from the
@@ -18,8 +19,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"halfprice"
+	"halfprice/internal/dist"
 	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
 	"halfprice/internal/trace"
@@ -31,9 +34,16 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
+	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
+	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
 	flag.Parse()
 
 	opts := halfprice.Options{Insts: *insts, Parallel: *par}
+	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout)
+	defer closeCoord()
+	if coord != nil {
+		opts.Backend = coord
+	}
 	benches := halfprice.Benchmarks()
 	if *benchList != "" {
 		benches = strings.Split(*benchList, ",")

@@ -13,6 +13,10 @@
 //	-j n         max concurrent simulations (default GOMAXPROCS; 1 = serial)
 //	-quiet       suppress the live progress line on stderr
 //	-progress-json f  write NDJSON progress events to f ("-" = stderr)
+//	-workers list     comma-separated sweepd worker addresses; simulations
+//	                  shard across the fleet and fall back to local
+//	                  execution when no worker is reachable
+//	-worker-timeout d per-request timeout against remote workers
 //
 // Output is one text table per artifact in the paper's layout, with a
 // MEAN row appended; the notes line records the paper's reference values.
@@ -27,8 +31,10 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"halfprice"
+	"halfprice/internal/dist"
 	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
 )
@@ -42,9 +48,16 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
+	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
+	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
 	flag.Parse()
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
+	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout)
+	defer closeCoord()
+	if coord != nil {
+		opts.Backend = coord
+	}
 	if *benchList != "" {
 		opts.Benchmarks = strings.Split(*benchList, ",")
 		for _, b := range opts.Benchmarks {

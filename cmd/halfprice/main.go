@@ -18,6 +18,10 @@
 //	-list           list benchmarks and exit
 //	-quiet          suppress the progress summary on stderr
 //	-progress-json f  write NDJSON progress events to f ("-" = stderr)
+//	-workers list     comma-separated sweepd worker addresses; the run is
+//	                  dispatched to the fleet (local fallback when none is
+//	                  reachable). -hot and -profile always run locally.
+//	-worker-timeout d per-request timeout against remote workers
 package main
 
 import (
@@ -25,8 +29,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"halfprice"
+	"halfprice/internal/dist"
+	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
 )
 
@@ -47,6 +54,8 @@ func main() {
 	dumpProfile := flag.String("dump-profile", "", "print the named benchmark's profile as JSON and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
+	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
+	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
 	flag.Parse()
 
 	if *list {
@@ -82,6 +91,9 @@ func main() {
 	cfg.WarmupInsts = *warmup
 
 	if *profilePath != "" {
+		if *workers != "" {
+			fmt.Fprintln(os.Stderr, "halfprice: custom profiles simulate locally; ignoring -workers")
+		}
 		f, err := os.Open(*profilePath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "halfprice:", err)
@@ -104,6 +116,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "halfprice:", err)
 		os.Exit(2)
 	}
+
+	if *workers != "" && *hot == 0 {
+		st := runDistributed(tracker, cfg, *bench, *insts+*warmup, *kernel, *workers, *workerTimeout)
+		printStats(*bench, cfg, st)
+		return
+	}
+	if *workers != "" {
+		fmt.Fprintln(os.Stderr, "halfprice: -hot profiles locally; ignoring -workers")
+	}
 	var hotReport string
 	st := observe(tracker, *bench, cfg, *insts+*warmup, func() *halfprice.Stats {
 		var st *halfprice.Stats
@@ -114,6 +135,26 @@ func main() {
 	if hotReport != "" {
 		fmt.Print(hotReport)
 	}
+}
+
+// runDistributed dispatches the single simulation to the sweepd fleet
+// through the same coordinator backend the sweep commands use; the
+// coordinator degrades to local execution when no worker is reachable.
+func runDistributed(tracker *progress.Tracker, cfg halfprice.Config, bench string, budget uint64, kernel bool, workers string, timeout time.Duration) *halfprice.Stats {
+	coord, closeCoord := dist.FromFlags(workers, timeout)
+	defer closeCoord()
+	req := experiments.Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: kernel}
+	var obs experiments.Observer
+	if tracker != nil {
+		obs = tracker
+		tracker.RunQueued(bench, req.Label(), budget)
+	}
+	st, err := coord.Execute(req, obs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halfprice:", err)
+		os.Exit(1)
+	}
+	return st
 }
 
 // observe wraps the command's one simulation in the same queued/start/

@@ -4,11 +4,14 @@
 //
 // Usage:
 //
-//	go run ./cmd/hpvet [-root dir] [-only a,b] [-json] [-list]
+//	go run ./cmd/hpvet [-root dir] [-only a,b] [-format text|json|github] [-list]
 //
 // Findings print as file:line:col: analyzer: message, with paths
-// relative to the module root. Suppress a finding with an
-// //hp:nolint analyzer -- reason comment on or above its line.
+// relative to the module root. -format=json emits them as a JSON array
+// (-json is a shorthand); -format=github emits GitHub Actions workflow
+// commands (::error file=...,line=...,col=...::message) so CI findings
+// surface as inline annotations on the pull request. Suppress a finding
+// with an //hp:nolint analyzer -- reason comment on or above its line.
 package main
 
 import (
@@ -26,10 +29,19 @@ func main() {
 	var (
 		root     = flag.String("root", "", "module root to analyze (default: nearest go.mod above the working directory)")
 		only     = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array (same as -format=json)")
+		format   = flag.String("format", "text", "output format: text, json, or github (Actions annotations)")
 		listOnly = flag.Bool("list", false, "list analyzers and exit")
 	)
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "github":
+	default:
+		fatal(fmt.Errorf("unknown -format %q (want text, json or github)", *format))
+	}
 
 	if *listOnly {
 		for _, a := range analysis.All() {
@@ -61,7 +73,8 @@ func main() {
 	}
 	diags := analysis.Run(mod, analyzers)
 
-	if *jsonOut {
+	switch *format {
+	case "json":
 		type finding struct {
 			Analyzer string `json:"analyzer"`
 			File     string `json:"file"`
@@ -71,28 +84,64 @@ func main() {
 		}
 		out := make([]finding, 0, len(diags))
 		for _, d := range diags {
-			file := d.Pos.Filename
-			if rel, err := filepath.Rel(mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
-				file = filepath.ToSlash(rel)
-			}
-			out = append(out, finding{d.Analyzer, file, d.Pos.Line, d.Pos.Column, d.Message})
+			out = append(out, finding{d.Analyzer, relFile(mod.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
-	} else {
+	case "github":
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(relFile(mod.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
+		}
+	default:
 		for _, d := range diags {
 			fmt.Println(d.String(mod.Root))
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			fmt.Fprintf(os.Stderr, "hpvet: %d finding(s)\n", len(diags))
 		}
 		os.Exit(1)
 	}
+}
+
+// relFile makes a finding's path module-relative (and slash-separated)
+// when it lies inside the module, which is what both the JSON consumers
+// and GitHub's annotation matcher expect.
+func relFile(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// githubAnnotation renders one finding as a GitHub Actions workflow
+// command: ::error file=F,line=L,col=C::analyzer: message. Property
+// values and the message use the Actions escaping rules (%, CR and LF
+// always; commas and colons additionally inside properties), so paths
+// and messages cannot break out of the command syntax.
+func githubAnnotation(file string, line, col int, analyzer, message string) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s",
+		escapeProperty(file), line, col, escapeData(analyzer+": "+message))
+}
+
+// escapeData escapes a workflow-command message.
+func escapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// escapeProperty escapes a workflow-command property value.
+func escapeProperty(s string) string {
+	s = escapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }
 
 // findModuleRoot walks upward from the working directory to the nearest

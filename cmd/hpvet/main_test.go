@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestGithubAnnotation(t *testing.T) {
+	got := githubAnnotation("internal/uarch/sim.go", 12, 5, "determinism", "time.Now() in simulation core")
+	want := "::error file=internal/uarch/sim.go,line=12,col=5::determinism: time.Now() in simulation core"
+	if got != want {
+		t.Errorf("githubAnnotation =\n %s\nwant\n %s", got, want)
+	}
+}
+
+// Escaping must keep hostile paths and messages inside the one workflow
+// command: %, CR and LF everywhere, plus commas and colons in property
+// values.
+func TestGithubAnnotationEscaping(t *testing.T) {
+	got := githubAnnotation("a,b:c%d.go", 1, 2, "panicpolicy", "line1\nline2 100%")
+	want := "::error file=a%2Cb%3Ac%25d.go,line=1,col=2::panicpolicy: line1%0Aline2 100%25"
+	if got != want {
+		t.Errorf("githubAnnotation =\n %s\nwant\n %s", got, want)
+	}
+}

@@ -6,6 +6,7 @@
 //
 //	report [-o report.md] [-insts n] [-kernels] [-skip-ablations]
 //	       [-j n] [-quiet] [-progress-json f]
+//	       [-workers host1:port,host2:port] [-worker-timeout d]
 //
 // The output is self-contained: run it after any model change to get a
 // fresh paper-vs-measured report. Simulations fan out over a bounded
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"halfprice"
+	"halfprice/internal/dist"
 	"halfprice/internal/progress"
 )
 
@@ -33,6 +35,8 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
+	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
+	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
 	flag.Parse()
 
 	f, err := os.Create(*out)
@@ -43,6 +47,11 @@ func main() {
 	defer f.Close()
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
+	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout)
+	defer closeCoord()
+	if coord != nil {
+		opts.Backend = coord
+	}
 	tracker, closeProgress, perr := progress.FromFlags(*quiet, *progressJSON)
 	if perr != nil {
 		fmt.Fprintln(os.Stderr, "report:", perr)

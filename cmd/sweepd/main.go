@@ -1,0 +1,76 @@
+// Command sweepd is the distributed-sweep worker daemon. It serves the
+// internal/dist HTTP/JSON API — POST /run executes one serialized
+// (benchmark, config, insts) simulation request and streams progress
+// events plus the final statistics back; GET /healthz reports liveness;
+// POST /drain starts a graceful decommission. Point any sweep-driving
+// command (figures, report, calibrate, halfprice) at a fleet of these
+// with -workers host1:port,host2:port.
+//
+// Usage:
+//
+//	sweepd [flags]
+//
+//	-addr host:port  listen address (default localhost:9771)
+//	-j n             max concurrent simulations (default GOMAXPROCS)
+//	-quiet           suppress the per-request log on stderr
+//
+// Simulations run through exactly the same in-process path as a local
+// sweep, so results are bit-identical to local execution. Repeated or
+// concurrent requests for the same simulation are deduplicated
+// (singleflight) and memoised. SIGINT/SIGTERM drains the daemon: no new
+// requests are accepted, in-flight runs finish, then it exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"halfprice/internal/dist"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9771", "listen address (host:port)")
+	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
+	quiet := flag.Bool("quiet", false, "suppress per-request logging")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	server := dist.NewServer(dist.ServerOptions{Parallel: *par, Logf: logf})
+	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
+
+	// First signal: drain (healthz flips to 503 so coordinators evict
+	// this worker), finish in-flight runs, exit. Second signal: exit now.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		logf("sweepd: signal received; draining")
+		server.Drain()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		go func() {
+			<-sigs
+			logf("sweepd: second signal; exiting immediately")
+			cancel()
+		}()
+		httpSrv.Shutdown(ctx)
+	}()
+
+	logf("sweepd: serving on %s (max %d concurrent simulations)", *addr, *par)
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}

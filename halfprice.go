@@ -83,6 +83,14 @@ type (
 	Result = experiments.Result
 	// CycleClass labels one cycle of the CPI stack.
 	CycleClass = uarch.CycleClass
+	// Backend is the Runner's execution seam: nil Options.Backend means
+	// in-process simulation; internal/dist's Coordinator implements the
+	// same interface over a fleet of sweepd workers (the commands'
+	// -workers flag).
+	Backend = experiments.Backend
+	// Request is one serialized simulation request — the unit of work a
+	// Backend executes, and the wire format of the sweepd worker API.
+	Request = experiments.Request
 )
 
 // NumCycleClasses is the number of CPI-stack categories.

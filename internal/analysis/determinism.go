@@ -16,6 +16,22 @@ var determinismScope = []string{
 	"internal/trace",
 	"internal/vm",
 	"internal/experiments",
+	"internal/dist", // inventoried here, exempted below — see determinismExempt
+}
+
+// determinismExempt carves packages out of determinismScope whose whole
+// job is wall-clock time and concurrency: the distribution layer
+// (internal/dist) retries with real backoff, health-checks workers on
+// timers and streams results between goroutines, none of which can ever
+// influence simulation output — workers execute requests through the
+// same deterministic path as a local run, and the equivalence tests pin
+// the results bit-identical. The exemption takes precedence over the
+// scope list, so the boundary is explicit in code rather than implied
+// by omission, and re-listing such a package in the scope later cannot
+// silently outlaw its concurrency. internal/uarch, internal/trace and
+// internal/vm stay fully flagged.
+var determinismExempt = []string{
+	"internal/dist",
 }
 
 // determinismCoreScope is the inner subset of determinismScope where a
@@ -57,6 +73,9 @@ func runDeterminism(m *Module) []Diagnostic {
 	scope := map[string]bool{}
 	for _, s := range determinismScope {
 		scope[m.Path+"/"+s] = true
+	}
+	for _, s := range determinismExempt {
+		scope[m.Path+"/"+s] = false
 	}
 	core := map[string]bool{}
 	for _, s := range determinismCoreScope {

@@ -1,0 +1,48 @@
+// Package dist is a fixture for the determinism boundary: its real
+// counterpart distributes sweeps over worker fleets, so goroutines,
+// wall-clock reads, timed sleeps and jittered randomness are its job.
+// The package suffix matches the determinismScope inventory but is
+// carved out by determinismExempt, so nothing below may be flagged —
+// while the same constructs in internal/uarch (see ../uarch/clock.go)
+// and internal/experiments stay forbidden.
+package dist
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff sleeps on the wall clock between retries — legal here.
+func Backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}
+
+// Elapsed reads the wall clock for a timeout decision — legal here.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Jitter draws from the global source to decorrelate retries — legal
+// here.
+func Jitter(d int) int {
+	return rand.Intn(d)
+}
+
+// Probe fans health checks out over goroutines — legal here.
+func Probe(workers []func()) {
+	for _, w := range workers {
+		go w()
+	}
+}
+
+// Evict ranges over a map of worker states — legal here (dispatch
+// bookkeeping, not simulation output).
+func Evict(healthy map[string]bool) int {
+	n := 0
+	for _, ok := range healthy {
+		if !ok {
+			n++
+		}
+	}
+	return n
+}

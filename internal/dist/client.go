@@ -1,0 +1,270 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"halfprice/internal/experiments"
+	"halfprice/internal/uarch"
+)
+
+// Options configures a Coordinator. The zero value selects sensible
+// defaults for every field.
+type Options struct {
+	// Timeout bounds one remote request end to end — queueing on the
+	// worker, simulation, and streaming the result back (default 5m).
+	Timeout time.Duration
+	// Attempts is how many workers a request is dispatched to before the
+	// coordinator degrades to local execution (default 3; each failure
+	// re-dispatches to the next healthy worker in ring order).
+	Attempts int
+	// Backoff is the base delay between dispatch attempts; attempt n
+	// waits in [Backoff<<n / 2, Backoff<<n), jittered to keep a fleet of
+	// retrying requests from thundering in lockstep (default 100ms).
+	Backoff time.Duration
+	// HealthInterval is the period of the background /healthz sweep that
+	// evicts dead workers and re-admits recovered ones (default 5s).
+	HealthInterval time.Duration
+	// Logf receives eviction, retry and fallback warnings (default:
+	// stderr).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 3
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 100 * time.Millisecond
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 5 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	return o
+}
+
+// Coordinator implements experiments.Backend over a fleet of sweepd
+// workers: requests shard by their canonical key onto a preferred worker
+// (fleet-level singleflight affinity), failures re-dispatch with
+// backoff, and when no worker is reachable execution degrades to the
+// local machine with a warning instead of failing the sweep. Safe for
+// concurrent use; Close releases the health checker.
+type Coordinator struct {
+	opts Options
+	pool *pool
+	hc   *http.Client
+
+	fallbackOnce sync.Once
+
+	jmu    sync.Mutex
+	jitter *rand.Rand
+}
+
+// sourcedObserver is the optional observer extension (implemented by
+// progress.Tracker) that attributes forwarded events to the worker that
+// produced them; plain Observers get the unsourced calls.
+type sourcedObserver interface {
+	RunStartedFrom(source, bench, config string, insts uint64)
+	RunFinishedFrom(source, bench, config string, insts uint64)
+}
+
+// NewCoordinator returns a coordinator over the given worker addresses
+// ("host:port" or full URLs). Every worker is probed once before this
+// returns, so an all-dead fleet degrades to local execution on the very
+// first request rather than after a timeout.
+func NewCoordinator(addrs []string, opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	probeTimeout := opts.HealthInterval / 2
+	if probeTimeout > 2*time.Second {
+		probeTimeout = 2 * time.Second
+	}
+	return &Coordinator{
+		opts:   opts,
+		pool:   newPool(addrs, opts.HealthInterval, probeTimeout, opts.Logf),
+		hc:     &http.Client{Timeout: opts.Timeout},
+		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// FromFlags builds the coordinator behind the commands' -workers flag.
+// An empty spec means local execution: it returns a nil coordinator
+// (leave Options.Backend nil) and a no-op closer.
+func FromFlags(spec string, timeout time.Duration) (*Coordinator, func()) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, func() {}
+	}
+	c := NewCoordinator(strings.Split(spec, ","), Options{Timeout: timeout})
+	return c, c.Close
+}
+
+// Close stops the background health checker. In-flight requests finish.
+func (c *Coordinator) Close() { c.pool.close() }
+
+// HealthyWorkers reports how many workers are currently in dispatch.
+func (c *Coordinator) HealthyWorkers() int { return c.pool.healthyCount() }
+
+// Execute implements experiments.Backend: dispatch to the request's
+// preferred worker, re-dispatch on failure, degrade to local execution
+// when the fleet is unreachable. Observer events fire exactly once per
+// run regardless of retries.
+func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+	fw := &forwarder{obs: obs, bench: req.Bench, label: req.Label(), insts: req.Budget}
+	sh := shard(req.Key())
+	dispatched := false
+	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
+		w := c.pool.pick(sh, attempt)
+		if w == nil {
+			break
+		}
+		if attempt > 0 {
+			c.sleepBackoff(attempt - 1)
+		}
+		dispatched = true
+		st, err := c.runOn(w, req, fw)
+		if err == nil {
+			fw.finish(w.addr)
+			return st, nil
+		}
+		// Lost or failed: evict the worker from dispatch (the health
+		// checker re-admits it if it recovers) and re-dispatch.
+		c.opts.Logf("dist: worker %s: %s %s: %v; re-dispatching", w.addr, req.Bench, fw.label, err)
+		if w.setHealthy(false) {
+			c.opts.Logf("dist: worker %s evicted after failed request", w.addr)
+		}
+	}
+
+	// Graceful degradation: no healthy worker, or every attempt failed.
+	if !dispatched {
+		c.fallbackOnce.Do(func() {
+			c.opts.Logf("dist: warning: no reachable workers; falling back to local execution")
+		})
+	} else {
+		c.opts.Logf("dist: %s %s: all dispatch attempts failed; running locally", req.Bench, fw.label)
+	}
+	fw.start("")
+	st, err := experiments.Execute(req)
+	if err != nil {
+		return nil, err
+	}
+	fw.finish("")
+	return st, nil
+}
+
+// runOn sends one request to one worker and consumes its NDJSON stream:
+// progress events are forwarded to the observer, the terminal line
+// yields the result. Every failure mode a worker can present — refused
+// connection, death mid-stream, a hang past the timeout, corrupt JSON,
+// a non-200 status, a stream that ends without a result — comes back as
+// an error for the caller to re-dispatch.
+func (c *Coordinator) runOn(w *worker, req experiments.Request, fw *forwarder) (*uarch.Stats, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("marshaling request: %v", err)
+	}
+	resp, err := c.hc.Post(w.base+RunPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m Message
+		if err := json.Unmarshal(line, &m); err != nil {
+			return nil, fmt.Errorf("corrupt stream: %v", err)
+		}
+		switch m.Kind() {
+		case "start":
+			fw.start(w.addr)
+		case "finish":
+			// The result line right behind it carries the stats; the
+			// observer's finish event fires once that arrives.
+		case "result":
+			if m.Stats == nil {
+				return nil, fmt.Errorf("result message without stats")
+			}
+			return m.Stats, nil
+		case "error":
+			return nil, fmt.Errorf("worker error: %s", m.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading stream: %v", err)
+	}
+	return nil, fmt.Errorf("stream ended before a result (worker died mid-run)")
+}
+
+// sleepBackoff waits Backoff<<n jittered into [d/2, d): exponential
+// growth spaces retries out, jitter decorrelates a fleet of them.
+func (c *Coordinator) sleepBackoff(n int) {
+	d := c.opts.Backoff << n
+	c.jmu.Lock()
+	j := time.Duration(c.jitter.Int63n(int64(d/2) + 1))
+	c.jmu.Unlock()
+	time.Sleep(d/2 + j)
+}
+
+// forwarder fires observer events for one request exactly once each,
+// however many dispatch attempts it takes. It is confined to the one
+// goroutine executing the request.
+type forwarder struct {
+	obs          experiments.Observer
+	bench, label string
+	insts        uint64
+	started      bool
+}
+
+// start forwards the run's start event, attributed to source when the
+// observer supports attribution. Later calls are no-ops, so a retry
+// after a worker died post-start cannot double-count the run.
+func (f *forwarder) start(source string) {
+	if f.obs == nil || f.started {
+		return
+	}
+	f.started = true
+	if so, ok := f.obs.(sourcedObserver); ok && source != "" {
+		so.RunStartedFrom(source, f.bench, f.label, f.insts)
+		return
+	}
+	f.obs.RunStarted(f.bench, f.label, f.insts)
+}
+
+// finish forwards the run's finish event; it backfills the start event
+// first if no worker ever streamed one, preserving the observer's
+// queued → started → finished ordering.
+func (f *forwarder) finish(source string) {
+	if f.obs == nil {
+		return
+	}
+	f.start(source)
+	if so, ok := f.obs.(sourcedObserver); ok && source != "" {
+		so.RunFinishedFrom(source, f.bench, f.label, f.insts)
+		return
+	}
+	f.obs.RunFinished(f.bench, f.label, f.insts)
+}

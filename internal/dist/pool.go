@@ -1,0 +1,151 @@
+package dist
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// worker is one sweepd instance in the coordinator's fleet.
+type worker struct {
+	addr string // as given in -workers, e.g. "host:9771"
+	base string // request URL prefix, e.g. "http://host:9771"
+
+	mu      sync.Mutex
+	healthy bool
+}
+
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+// setHealthy updates the worker's state and reports whether it changed.
+func (w *worker) setHealthy(ok bool) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	changed := w.healthy != ok
+	w.healthy = ok
+	return changed
+}
+
+// pool tracks worker health and picks dispatch targets. Workers marked
+// unhealthy — by a failed health probe or a failed request — are evicted
+// from dispatch until a later probe finds them serving again.
+type pool struct {
+	workers []*worker
+	probeHC *http.Client // short-timeout client for health probes
+	logf    func(format string, args ...any)
+
+	interval time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// newPool builds the worker set, probes every worker once synchronously
+// (so a coordinator knows immediately whether anyone is reachable), and
+// starts the periodic health checker.
+func newPool(addrs []string, interval, probeTimeout time.Duration, logf func(string, ...any)) *pool {
+	p := &pool{
+		probeHC:  &http.Client{Timeout: probeTimeout},
+		logf:     logf,
+		interval: interval,
+		stop:     make(chan struct{}),
+	}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		base := a
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		p.workers = append(p.workers, &worker{addr: a, base: strings.TrimSuffix(base, "/")})
+	}
+	p.probeAll()
+	go p.loop()
+	return p
+}
+
+// probeAll health-checks every worker concurrently and waits for the
+// verdicts.
+func (p *pool) probeAll() {
+	var wg sync.WaitGroup
+	for _, w := range p.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			p.probe(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// probe asks one worker for /healthz and updates its standing: evicted
+// on failure or drain (503), re-admitted once it answers 200 again.
+func (p *pool) probe(w *worker) {
+	ok := false
+	if resp, err := p.probeHC.Get(w.base + HealthzPath); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		ok = resp.StatusCode == http.StatusOK
+	}
+	if w.setHealthy(ok) {
+		if ok {
+			p.logf("dist: worker %s is up", w.addr)
+		} else {
+			p.logf("dist: worker %s is unreachable or draining; evicted", w.addr)
+		}
+	}
+}
+
+// loop re-probes the fleet on the health interval, re-admitting
+// recovered workers and evicting dead ones between requests.
+func (p *pool) loop() {
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probeAll()
+		}
+	}
+}
+
+// pick returns the dispatch target for a shard: the shard's preferred
+// worker when healthy, otherwise the next healthy worker in ring order
+// (rotated further on each retry attempt). It returns nil when no
+// worker is healthy — the caller degrades to local execution.
+func (p *pool) pick(sh uint32, attempt int) *worker {
+	n := len(p.workers)
+	if n == 0 {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		w := p.workers[(int(sh%uint32(n))+attempt+i)%n]
+		if w.isHealthy() {
+			return w
+		}
+	}
+	return nil
+}
+
+// healthyCount reports how many workers are currently in dispatch.
+func (p *pool) healthyCount() int {
+	n := 0
+	for _, w := range p.workers {
+		if w.isHealthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// close stops the health checker.
+func (p *pool) close() { p.stopOnce.Do(func() { close(p.stop) }) }

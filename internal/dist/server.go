@@ -1,0 +1,193 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halfprice/internal/experiments"
+	"halfprice/internal/progress"
+	"halfprice/internal/uarch"
+)
+
+// ServerOptions configures a worker Server.
+type ServerOptions struct {
+	// Parallel bounds concurrent simulations (0 = GOMAXPROCS). Excess
+	// requests queue on the semaphore; the coordinator's per-request
+	// timeout covers queueing time.
+	Parallel int
+	// Logf, when non-nil, receives one line per request lifecycle event
+	// (cmd/sweepd wires it to log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server executes simulation requests for remote coordinators. It is the
+// sweepd daemon's engine; Handler exposes it over HTTP. Results are
+// memoised with singleflight semantics, mirroring the in-process
+// Runner: concurrent or repeated requests for the same simulation run it
+// once — the worker-side half of fleet-wide deduplication (the
+// coordinator's shard affinity is the other half).
+type Server struct {
+	sem      chan struct{}
+	logf     func(format string, args ...any)
+	draining atomic.Bool
+	running  atomic.Int64
+	done     atomic.Uint64
+	sims     atomic.Uint64
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+}
+
+// memoEntry is one singleflight slot: done closes once st/err are valid.
+type memoEntry struct {
+	done chan struct{}
+	st   *uarch.Stats
+	err  error
+}
+
+// NewServer returns a worker server.
+func NewServer(opts ServerOptions) *Server {
+	par := opts.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		sem:  make(chan struct{}, par),
+		logf: logf,
+		memo: make(map[string]*memoEntry),
+	}
+}
+
+// Drain stops the server accepting new /run requests; in-flight
+// simulations complete. /healthz turns 503 so coordinators evict this
+// worker instead of timing out on it.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Health snapshots the server state for /healthz and /drain responses.
+func (s *Server) Health() Health {
+	return Health{
+		OK:       !s.draining.Load(),
+		Draining: s.draining.Load(),
+		Running:  s.running.Load(),
+		Done:     s.done.Load(),
+		Sims:     s.sims.Load(),
+	}
+}
+
+// Handler returns the worker's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(RunPath, s.handleRun)
+	mux.HandleFunc(HealthzPath, s.handleHealthz)
+	mux.HandleFunc(DrainPath, s.handleDrain)
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.Drain()
+	s.logf("sweepd: draining (%d running)", s.running.Load())
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Health())
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	var req experiments.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	start := time.Now()
+	emit := func(m Message) {
+		m.T = time.Since(start).Seconds()
+		m.Running = int(s.running.Load())
+		m.Done = int(s.done.Load())
+		enc.Encode(m)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Queue for a simulation slot, then stream start → finish → result.
+	// The client's timeout covers the whole exchange, so a saturated
+	// worker eventually fails the request over to another machine.
+	s.sem <- struct{}{}
+	s.running.Add(1)
+	label := req.Label()
+	s.logf("sweepd: run %s %s (%d insts)", req.Bench, label, req.Budget)
+	emit(Message{Event: progress.Event{Event: "start", Bench: req.Bench, Config: label, Insts: req.Budget}})
+
+	st, err := s.execute(req)
+
+	s.running.Add(-1)
+	<-s.sem
+	if err != nil {
+		s.logf("sweepd: run %s %s failed: %v", req.Bench, label, err)
+		emit(Message{Event: progress.Event{Event: "error"}, Error: err.Error()})
+		return
+	}
+	s.done.Add(1)
+	emit(Message{Event: progress.Event{Event: "finish", Bench: req.Bench, Config: label, Insts: req.Budget}})
+	emit(Message{Event: progress.Event{Event: "result"}, Stats: st})
+}
+
+// execute runs one request through the shared in-process execution path,
+// deduplicated: the first request for a key simulates, every concurrent
+// or later duplicate joins its result. Panics from impossible remote
+// configurations (uarch.Config validation) surface as errors, not as a
+// downed worker.
+func (s *Server) execute(req experiments.Request) (st *uarch.Stats, err error) {
+	key := req.Key()
+	s.mu.Lock()
+	if e, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.st, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	s.memo[key] = e
+	s.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation panic: %v", p)
+		}
+		e.st, e.err = st, err
+		close(e.done)
+	}()
+	s.sims.Add(1)
+	st, err = experiments.Execute(req)
+	return st, err
+}

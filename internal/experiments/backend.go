@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"halfprice/internal/trace"
+	"halfprice/internal/uarch"
+	"halfprice/internal/vm"
+	"halfprice/internal/workloads"
+)
+
+// Request is one serialized simulation request — the unit of work the
+// execution-backend seam moves between goroutines and, with the
+// internal/dist backend, between processes and machines. It carries
+// everything a worker needs to reproduce the run bit-identically: the
+// benchmark name (the workload's seed lives in its trace.Profile), the
+// full machine configuration (including WarmupInsts) and the instruction
+// budget. Two Requests with equal fields describe the same simulation.
+type Request struct {
+	Bench string `json:"bench"`
+	// Config is the complete machine description; WarmupInsts inside it
+	// selects the measurement window within Budget.
+	Config uarch.Config `json:"config"`
+	// Budget is the total dynamic instructions to simulate, warmup
+	// included.
+	Budget uint64 `json:"budget"`
+	// UseKernels selects the execution-driven assembly kernel named
+	// Bench instead of its calibrated synthetic trace.
+	UseKernels bool `json:"kernels,omitempty"`
+}
+
+// Label is the short human-readable run descriptor used in progress
+// events (width plus the non-default scheme knobs).
+func (req Request) Label() string { return configLabel(req.Config) }
+
+// Key canonicalises the request for sharding and deduplication: equal
+// requests render to equal keys. The JSON field order of a Go struct is
+// its declaration order, so the encoding is deterministic.
+func (req Request) Key() string {
+	data, err := json.Marshal(req)
+	mustf(err == nil, "experiments: marshaling request: %v", err)
+	return string(data)
+}
+
+// Execute simulates one request in-process and returns its measurements.
+// It is the single execution path shared by the local backend and by
+// remote workers (cmd/sweepd), which is what makes distributed results
+// bit-identical to local ones: every side runs exactly this function.
+func Execute(req Request) (*uarch.Stats, error) {
+	var stream trace.Stream
+	if req.UseKernels {
+		if _, ok := workloads.Source(req.Bench); !ok {
+			return nil, fmt.Errorf("unknown kernel %q", req.Bench)
+		}
+		stream = trace.NewVMStream(vm.New(workloads.MustProgram(req.Bench)), req.Budget)
+	} else {
+		p, ok := trace.ProfileByName(req.Bench)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", req.Bench)
+		}
+		stream = trace.NewSynthetic(p, req.Budget)
+	}
+	return uarch.New(req.Config, stream).Run(), nil
+}
+
+// Backend is the execution seam of the sweep engine: it turns one
+// simulation Request into Stats. The zero-value LocalBackend simulates
+// in-process; internal/dist's Coordinator implements the same interface
+// over a fleet of sweepd workers, so experiments and commands switch
+// backends without touching experiment code.
+//
+// Contract: Execute fires obs.RunStarted exactly once when the
+// simulation actually begins (locally: immediately; remotely: when the
+// worker streams its start event) and obs.RunFinished exactly once after
+// it completes, in that order, even across internal retries. obs may be
+// nil. Execute must be safe for concurrent use and deterministic: equal
+// Requests must yield identical Stats.
+type Backend interface {
+	Execute(req Request, obs Observer) (*uarch.Stats, error)
+}
+
+// LocalBackend executes requests in-process. The zero value is ready to
+// use; it is the Runner's default when Options.Backend is nil.
+type LocalBackend struct{}
+
+// Execute implements Backend.
+func (LocalBackend) Execute(req Request, obs Observer) (*uarch.Stats, error) {
+	if obs != nil {
+		obs.RunStarted(req.Bench, req.Label(), req.Budget)
+	}
+	st, err := Execute(req)
+	if err != nil {
+		return nil, err
+	}
+	if obs != nil {
+		obs.RunFinished(req.Bench, req.Label(), req.Budget)
+	}
+	return st, nil
+}

@@ -28,8 +28,6 @@ import (
 	"halfprice/internal/stats"
 	"halfprice/internal/trace"
 	"halfprice/internal/uarch"
-	"halfprice/internal/vm"
-	"halfprice/internal/workloads"
 )
 
 // Observer receives sweep lifecycle events from a Runner. Implementations
@@ -66,9 +64,16 @@ type Options struct {
 	// Parallel bounds the number of simulations in flight at once
 	// (cmd flag -j). 0 means runtime.GOMAXPROCS(0); 1 reproduces the
 	// serial sweep exactly (and bit-identically — see the package doc).
+	// With a remote Backend it bounds outstanding dispatches instead, so
+	// it may usefully exceed the local core count.
 	Parallel int
 	// Observer, when non-nil, receives per-run start/finish events.
 	Observer Observer
+	// Backend executes individual simulation requests. nil selects the
+	// in-process LocalBackend; internal/dist's Coordinator plugs a
+	// worker fleet in here (cmd flag -workers) with zero changes to
+	// experiment code.
+	Backend Backend
 }
 
 func (o Options) insts() uint64 {
@@ -92,14 +97,22 @@ func (o Options) parallel() int {
 	return o.Parallel
 }
 
+func (o Options) backend() Backend {
+	if o.Backend == nil {
+		return LocalBackend{}
+	}
+	return o.Backend
+}
+
 // Runner executes simulations with memoisation, so experiments that share
 // a configuration (every figure needs the base machine) run it once —
 // including when they ask concurrently: the first request simulates, every
 // later one waits for the same entry (singleflight). Methods are safe for
 // concurrent use.
 type Runner struct {
-	opts Options
-	sem  chan struct{} // bounds simulations in flight
+	opts    Options
+	backend Backend
+	sem     chan struct{} // bounds simulations in flight
 
 	mu    sync.Mutex
 	cache map[runKey]*inflight
@@ -160,9 +173,10 @@ func (b *panicBox) mustResume() {
 // NewRunner returns a runner for the given options.
 func NewRunner(opts Options) *Runner {
 	return &Runner{
-		opts:  opts,
-		sem:   make(chan struct{}, opts.parallel()),
-		cache: make(map[runKey]*inflight),
+		opts:    opts,
+		backend: opts.backend(),
+		sem:     make(chan struct{}, opts.parallel()),
+		cache:   make(map[runKey]*inflight),
 	}
 }
 
@@ -175,16 +189,6 @@ func (r *Runner) Sims() uint64 { return r.sims.Load() }
 // Hits returns the number of requests served by the memo cache, counting
 // singleflight waits on a simulation another experiment already started.
 func (r *Runner) Hits() uint64 { return r.hits.Load() }
-
-func (r *Runner) stream(bench string) trace.Stream {
-	budget := r.opts.insts() + r.opts.Warmup
-	if r.opts.UseKernels {
-		return trace.NewVMStream(vm.New(workloads.MustProgram(bench)), budget)
-	}
-	p, ok := trace.ProfileByName(bench)
-	mustf(ok, "experiments: unknown benchmark %q", bench)
-	return trace.NewSynthetic(p, budget)
-}
 
 // config returns the machine configuration for a width with a mutation.
 func config(width int, mutate func(*uarch.Config)) uarch.Config {
@@ -225,10 +229,10 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 	r.mu.Unlock()
 
 	obs := r.opts.Observer
-	label := configLabel(cfg)
 	budget := r.opts.insts() + r.opts.Warmup
+	req := Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: r.opts.UseKernels}
 	if obs != nil {
-		obs.RunQueued(bench, label, budget)
+		obs.RunQueued(bench, req.Label(), budget)
 	}
 	r.sem <- struct{}{}
 	func() {
@@ -239,14 +243,13 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 			<-r.sem
 			close(e.done)
 		}()
-		if obs != nil {
-			obs.RunStarted(bench, label, budget)
-		}
-		e.st = uarch.New(cfg, r.stream(bench)).Run()
+		// The backend fires the started/finished observer events: the
+		// local backend around the in-process simulation, the
+		// distributed one when its worker streams them back.
+		st, err := r.backend.Execute(req, obs)
+		mustf(err == nil, "experiments: %v", err)
+		e.st = st
 		r.sims.Add(1)
-		if obs != nil {
-			obs.RunFinished(bench, label, budget)
-		}
 	}()
 	return e.mustJoin()
 }

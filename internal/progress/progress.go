@@ -11,6 +11,14 @@
 //     one JSON object per line, events "queued", "start", "finish" and a
 //     final "summary".
 //
+// A tracker merges any number of event sources into one aggregate view:
+// local simulations and runs forwarded from remote sweepd workers
+// (internal/dist) all land in the same counters, so a multi-machine
+// sweep still shows a single ETA and one aggregate insts/sec figure.
+// Remote runs enter through the *From observer variants and carry a
+// source tag in the NDJSON stream attributing them to the worker that
+// executed them.
+//
 // The tracker carries all wall-clock reads so the experiments package —
 // whose rendered results must be bit-stable across runs (hpvet's
 // determinism analyzer) — never touches the clock itself.
@@ -29,7 +37,8 @@ import (
 // Event is one line of the NDJSON stream. Times are seconds since the
 // tracker was created, so streams from identical sweeps line up.
 type Event struct {
-	Event       string  `json:"event"` // queued | start | finish | summary
+	Event       string  `json:"event"`            // queued | start | finish | summary
+	Source      string  `json:"source,omitempty"` // remote worker address; empty = local
 	Bench       string  `json:"bench,omitempty"`
 	Config      string  `json:"config,omitempty"`
 	Insts       uint64  `json:"insts,omitempty"`   // this run's budget
@@ -116,17 +125,34 @@ func FromFlags(quiet bool, jsonPath string) (*Tracker, func(), error) {
 
 // RunQueued implements experiments.Observer.
 func (t *Tracker) RunQueued(bench, config string, insts uint64) {
-	t.event("queued", bench, config, insts)
+	t.event("queued", "", bench, config, insts)
 }
 
 // RunStarted implements experiments.Observer.
 func (t *Tracker) RunStarted(bench, config string, insts uint64) {
-	t.event("start", bench, config, insts)
+	t.event("start", "", bench, config, insts)
 }
 
 // RunFinished implements experiments.Observer.
 func (t *Tracker) RunFinished(bench, config string, insts uint64) {
-	t.event("finish", bench, config, insts)
+	t.event("finish", "", bench, config, insts)
+}
+
+// RunStartedFrom merges a start event forwarded from a remote source (a
+// sweepd worker's progress stream, identified by its address) into the
+// tracker. The run joins the same aggregate state as local runs — one
+// ETA, one insts/sec figure — and its NDJSON events carry the source tag
+// so a merged stream still attributes every run to the machine that
+// executed it. The distributed backend detects this method through an
+// optional interface and falls back to RunStarted on plain observers.
+func (t *Tracker) RunStartedFrom(source, bench, config string, insts uint64) {
+	t.event("start", source, bench, config, insts)
+}
+
+// RunFinishedFrom is RunFinished for a remotely executed run; see
+// RunStartedFrom.
+func (t *Tracker) RunFinishedFrom(source, bench, config string, insts uint64) {
+	t.event("finish", source, bench, config, insts)
 }
 
 // Close emits the final summary (human and JSON). The tracker must not
@@ -136,7 +162,7 @@ func (t *Tracker) Close() {
 	defer t.mu.Unlock()
 	elapsed := t.now().Sub(t.start).Seconds()
 	if t.jsonw != nil {
-		t.jsonw.Encode(t.snapshot("summary", "", "", 0, elapsed))
+		t.jsonw.Encode(t.snapshot("summary", "", "", "", 0, elapsed))
 	}
 	if t.human != nil {
 		t.clearLine()
@@ -145,8 +171,11 @@ func (t *Tracker) Close() {
 	}
 }
 
-// event records one state transition and re-renders both sinks.
-func (t *Tracker) event(kind, bench, config string, insts uint64) {
+// event records one state transition and re-renders both sinks. source
+// is the remote worker that produced the transition ("" for local runs);
+// remote events are re-based onto this tracker's clock and counters, so
+// any number of sources merge into one aggregate view.
+func (t *Tracker) event(kind, source, bench, config string, insts uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	switch kind {
@@ -162,7 +191,7 @@ func (t *Tracker) event(kind, bench, config string, insts uint64) {
 	now := t.now()
 	elapsed := now.Sub(t.start).Seconds()
 	if t.jsonw != nil {
-		t.jsonw.Encode(t.snapshot(kind, bench, config, insts, elapsed))
+		t.jsonw.Encode(t.snapshot(kind, source, bench, config, insts, elapsed))
 	}
 	if t.human == nil {
 		return
@@ -201,9 +230,10 @@ func (t *Tracker) statusLine(elapsed float64) string {
 }
 
 // snapshot builds the NDJSON event for the current (locked) state.
-func (t *Tracker) snapshot(kind, bench, config string, insts uint64, elapsed float64) Event {
+func (t *Tracker) snapshot(kind, source, bench, config string, insts uint64, elapsed float64) Event {
 	return Event{
 		Event:       kind,
+		Source:      source,
 		Bench:       bench,
 		Config:      config,
 		Insts:       insts,

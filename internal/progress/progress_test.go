@@ -167,3 +167,57 @@ func TestCountRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestSourcedEventsMerge feeds the tracker a mix of local runs and runs
+// forwarded from two remote workers: all of them land in the same
+// aggregate counters (one merged sweep view), and the NDJSON events of
+// remote runs carry the worker's source tag while local ones stay bare.
+func TestSourcedEventsMerge(t *testing.T) {
+	var out bytes.Buffer
+	tr := newTestTracker(nil, &out, 100*time.Millisecond)
+	tr.RunQueued("gzip", "4w", 1000)
+	tr.RunQueued("mcf", "4w", 1000)
+	tr.RunQueued("vpr", "4w", 1000)
+	tr.RunStartedFrom("host-a:9771", "gzip", "4w", 1000)
+	tr.RunStartedFrom("host-b:9771", "mcf", "4w", 1000)
+	tr.RunStarted("vpr", "4w", 1000) // local run in the same sweep
+	tr.RunFinishedFrom("host-a:9771", "gzip", "4w", 1000)
+	tr.RunFinishedFrom("host-b:9771", "mcf", "4w", 1000)
+	tr.RunFinished("vpr", "4w", 1000)
+	tr.Close()
+
+	var evs []Event
+	for _, l := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", l, err)
+		}
+		evs = append(evs, e)
+	}
+	if len(evs) != 10 {
+		t.Fatalf("want 10 events (3 queued, 3 start, 3 finish, summary), got %d", len(evs))
+	}
+	bySource := map[string]int{}
+	for _, e := range evs {
+		if e.Event == "start" || e.Event == "finish" {
+			bySource[e.Source]++
+		}
+	}
+	want := map[string]int{"host-a:9771": 2, "host-b:9771": 2, "": 2}
+	for src, n := range want {
+		if bySource[src] != n {
+			t.Errorf("source %q: %d events, want %d (got %v)", src, bySource[src], n, bySource)
+		}
+	}
+	last := evs[len(evs)-1]
+	if last.Event != "summary" || last.Done != 3 || last.InstsDone != 3000 {
+		t.Errorf("summary should aggregate local and remote runs alike: %+v", last)
+	}
+	for _, e := range evs {
+		if e.Event == "queued" || e.Event == "summary" {
+			if e.Source != "" {
+				t.Errorf("%s events are tracker-local and must not carry a source: %+v", e.Event, e)
+			}
+		}
+	}
+}

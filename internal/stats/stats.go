@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"sort"
 )
@@ -137,6 +138,40 @@ func (h *Histogram) Mean() float64 {
 
 // Name returns the histogram's name.
 func (h *Histogram) Name() string { return h.name }
+
+// histogramJSON is the wire form of a Histogram. The fields are exact
+// (uint64 counts and a float64 sum, which encoding/json renders with the
+// shortest round-tripping decimal), so a marshal/unmarshal cycle is
+// lossless — a requirement of the distributed sweep backend, whose
+// remote results must be bit-identical to local runs.
+type histogramJSON struct {
+	Name    string   `json:"name"`
+	Buckets []uint64 `json:"buckets"`
+	Over    uint64   `json:"over"`
+	Total   uint64   `json:"total"`
+	Sum     float64  `json:"sum"`
+}
+
+// MarshalJSON encodes the histogram for transport (see histogramJSON).
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{
+		Name:    h.name,
+		Buckets: h.buckets,
+		Over:    h.over,
+		Total:   h.total,
+		Sum:     h.sum,
+	})
+}
+
+// UnmarshalJSON is the exact inverse of MarshalJSON.
+func (h *Histogram) UnmarshalJSON(data []byte) error {
+	var in histogramJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	h.name, h.buckets, h.over, h.total, h.sum = in.Name, in.Buckets, in.Over, in.Total, in.Sum
+	return nil
+}
 
 // GeoMean returns the geometric mean of xs; it is the conventional way to
 // average normalised IPC across benchmarks. Non-positive inputs panic.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -218,5 +219,50 @@ func TestTableAddRowfTypes(t *testing.T) {
 		if row[i] != want[i] {
 			t.Fatalf("cell %d = %q, want %q", i, row[i], want[i])
 		}
+	}
+}
+
+// TestHistogramJSONRoundTrip pins the lossless JSON encoding the
+// distributed backend depends on: a histogram must survive
+// marshal/unmarshal bit-identically (encoding/json round-trips float64
+// exactly), so remote uarch.Stats render the same tables as local ones.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram("slack", 3)
+	for v, n := range map[int]int{0: 5, 1: 3, 2: 2, 7: 4} {
+		for i := 0; i < n; i++ {
+			h.Observe(v)
+		}
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != h.Name() || back.Total() != h.Total() || back.Mean() != h.Mean() {
+		t.Fatalf("round trip changed the histogram: %v -> %v", h, &back)
+	}
+	for v := 0; v <= 3; v++ {
+		if back.Fraction(v) != h.Fraction(v) {
+			t.Errorf("bucket %d: fraction %v != %v after round trip", v, back.Fraction(v), h.Fraction(v))
+		}
+	}
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("re-marshal not bit-identical:\n%s\n%s", data, again)
+	}
+}
+
+// TestHistogramJSONRejectsMalformed: a corrupt wire payload must error,
+// not produce a silently inconsistent histogram.
+func TestHistogramJSONRejectsMalformed(t *testing.T) {
+	var h Histogram
+	if err := json.Unmarshal([]byte(`{"name":1}`), &h); err == nil {
+		t.Fatal("unmarshal accepted a non-string name")
 	}
 }

@@ -1,0 +1,76 @@
+// Command ndjsoncheck validates a merged NDJSON progress stream (the
+// -progress-json output of the sweep commands) read from stdin: every
+// line must parse as a progress event, the aggregate counters must stay
+// consistent, and the stream must end with a summary event. With
+// -sources n it additionally requires start/finish events from at least
+// n distinct remote workers — the dist smoke test uses this to prove a
+// two-worker sweep produced one well-formed merged stream.
+//
+// Usage:
+//
+//	sweep-command -progress-json stream.ndjson ...
+//	go run ./scripts/ndjsoncheck [-sources n] < stream.ndjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"halfprice/internal/progress"
+)
+
+func main() {
+	minSources := flag.Int("sources", 0, "require start/finish events from at least n distinct remote sources")
+	flag.Parse()
+
+	sources := map[string]bool{}
+	var last progress.Event
+	lines := 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		lines++
+		var ev progress.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			fatalf("line %d is not a valid progress event: %v\n  %s", lines, err, line)
+		}
+		switch ev.Event {
+		case "queued", "start", "finish", "summary":
+		default:
+			fatalf("line %d has unknown event kind %q", lines, ev.Event)
+		}
+		if ev.Running < 0 || ev.Done > ev.Queued {
+			fatalf("line %d has inconsistent counters (queued=%d running=%d done=%d)",
+				lines, ev.Queued, ev.Running, ev.Done)
+		}
+		if (ev.Event == "start" || ev.Event == "finish") && ev.Source != "" {
+			sources[ev.Source] = true
+		}
+		last = ev
+	}
+	if err := sc.Err(); err != nil {
+		fatalf("reading stdin: %v", err)
+	}
+	if lines == 0 {
+		fatalf("empty stream")
+	}
+	if last.Event != "summary" {
+		fatalf("stream ends with %q, want a summary event", last.Event)
+	}
+	if len(sources) < *minSources {
+		fatalf("events from %d remote source(s), want at least %d", len(sources), *minSources)
+	}
+	fmt.Printf("ndjsoncheck: %d events ok (%d runs, %d remote source(s))\n", lines, last.Done, len(sources))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ndjsoncheck: "+format+"\n", args...)
+	os.Exit(1)
+}
