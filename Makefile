@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt check sweepd dist-smoke
+.PHONY: build test race lint fmt check sweepd dist-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -32,5 +32,11 @@ sweepd:
 # byte-identical output vs the serial run, well-formed merged NDJSON.
 dist-smoke:
 	bash scripts/dist-smoke.sh
+
+# cache-smoke runs the result-store crash/resume check CI runs: SIGKILL
+# a caching sweep mid-flight, resume from the same cache directory,
+# byte-identical output vs an uninterrupted run.
+cache-smoke:
+	bash scripts/cache-smoke.sh
 
 check: build lint race

@@ -7,6 +7,7 @@
 //
 //	calibrate [-insts n] [-bench list] [-j n] [-quiet] [-progress-json f]
 //	          [-workers host1:port,host2:port] [-worker-timeout d]
+//	          [-cache-dir d] [-no-cache]
 //
 // The 24 base simulations (12 benchmarks x 2 widths) fan out over a
 // bounded worker pool before the dashboard renders serially from the
@@ -25,6 +26,7 @@ import (
 	"halfprice/internal/dist"
 	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
+	"halfprice/internal/store"
 	"halfprice/internal/trace"
 )
 
@@ -36,10 +38,13 @@ func main() {
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
 	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
 
 	opts := halfprice.Options{Insts: *insts, Parallel: *par}
-	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout)
+	opts.Store = store.FromFlags(*cacheDir, *noCache)
+	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout, nil)
 	defer closeCoord()
 	if coord != nil {
 		opts.Backend = coord

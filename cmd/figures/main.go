@@ -17,6 +17,10 @@
 //	                  shard across the fleet and fall back to local
 //	                  execution when no worker is reachable
 //	-worker-timeout d per-request timeout against remote workers
+//	-cache-dir d      durable result store: completed simulations are
+//	                  checkpointed there and a rerun (or a sweep resumed
+//	                  after a crash) skips them as cache hits
+//	-no-cache         bypass the durable result store
 //
 // Output is one text table per artifact in the paper's layout, with a
 // MEAN row appended; the notes line records the paper's reference values.
@@ -37,6 +41,7 @@ import (
 	"halfprice/internal/dist"
 	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
+	"halfprice/internal/store"
 )
 
 func main() {
@@ -50,10 +55,13 @@ func main() {
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
 	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
-	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout)
+	opts.Store = store.FromFlags(*cacheDir, *noCache)
+	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout, nil)
 	defer closeCoord()
 	if coord != nil {
 		opts.Backend = coord

@@ -22,6 +22,10 @@
 //	                  dispatched to the fleet (local fallback when none is
 //	                  reachable). -hot and -profile always run locally.
 //	-worker-timeout d per-request timeout against remote workers
+//	-cache-dir d      durable result store: a previous identical run (by
+//	                  any command) is served from disk as a cache hit.
+//	                  -hot and -profile runs are never cached.
+//	-no-cache         bypass the durable result store
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"halfprice/internal/dist"
 	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
+	"halfprice/internal/store"
 )
 
 func main() {
@@ -56,6 +61,8 @@ func main() {
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
 	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
 
 	if *list {
@@ -117,13 +124,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Hot-spot runs bypass the result store: the Stats could be served
+	// from disk, but the per-PC report they exist for cannot.
+	cache := store.FromFlags(*cacheDir, *noCache)
+	if *hot > 0 {
+		cache = nil
+	}
+
 	if *workers != "" && *hot == 0 {
-		st := runDistributed(tracker, cfg, *bench, *insts+*warmup, *kernel, *workers, *workerTimeout)
+		st := runDistributed(tracker, cache, cfg, *bench, *insts+*warmup, *kernel, *workers, *workerTimeout)
 		printStats(*bench, cfg, st)
 		return
 	}
 	if *workers != "" {
 		fmt.Fprintln(os.Stderr, "halfprice: -hot profiles locally; ignoring -workers")
+	}
+	if cache != nil {
+		printStats(*bench, cfg, runCached(tracker, cache, cfg, *bench, *insts+*warmup, *kernel))
+		return
 	}
 	var hotReport string
 	st := observe(tracker, *bench, cfg, *insts+*warmup, func() *halfprice.Stats {
@@ -137,11 +155,37 @@ func main() {
 	}
 }
 
+// runCached executes the single plain simulation through the durable
+// result store: a previous identical run — by this command or any sweep
+// sharing the cache directory — is served from disk as a cache hit, and
+// a fresh run is checkpointed for the next one.
+func runCached(tr *progress.Tracker, cache *store.Store, cfg halfprice.Config, bench string, budget uint64, kernel bool) *halfprice.Stats {
+	req := experiments.Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: kernel}
+	var obs experiments.Observer
+	if tr != nil {
+		obs = tr
+		tr.RunQueued(bench, req.Label(), budget)
+	}
+	st, cached, err := cache.GetOrCompute(req.Key(), func() (*halfprice.Stats, error) {
+		return experiments.LocalBackend{}.Execute(req, obs)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halfprice:", err)
+		os.Exit(1)
+	}
+	if cached {
+		experiments.NotifyCached(obs, bench, req.Label(), budget)
+	}
+	return st
+}
+
 // runDistributed dispatches the single simulation to the sweepd fleet
 // through the same coordinator backend the sweep commands use; the
-// coordinator degrades to local execution when no worker is reachable.
-func runDistributed(tracker *progress.Tracker, cfg halfprice.Config, bench string, budget uint64, kernel bool, workers string, timeout time.Duration) *halfprice.Stats {
-	coord, closeCoord := dist.FromFlags(workers, timeout)
+// coordinator degrades to local execution when no worker is reachable
+// and, when a result store is wired, serves and checkpoints results
+// through it.
+func runDistributed(tracker *progress.Tracker, cache *store.Store, cfg halfprice.Config, bench string, budget uint64, kernel bool, workers string, timeout time.Duration) *halfprice.Stats {
+	coord, closeCoord := dist.FromFlags(workers, timeout, cache)
 	defer closeCoord()
 	req := experiments.Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: kernel}
 	var obs experiments.Observer

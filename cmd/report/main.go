@@ -7,6 +7,7 @@
 //	report [-o report.md] [-insts n] [-kernels] [-skip-ablations]
 //	       [-j n] [-quiet] [-progress-json f]
 //	       [-workers host1:port,host2:port] [-worker-timeout d]
+//	       [-cache-dir d] [-no-cache]
 //
 // The output is self-contained: run it after any model change to get a
 // fresh paper-vs-measured report. Simulations fan out over a bounded
@@ -25,6 +26,7 @@ import (
 	"halfprice"
 	"halfprice/internal/dist"
 	"halfprice/internal/progress"
+	"halfprice/internal/store"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
 	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
+	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
 
 	f, err := os.Create(*out)
@@ -47,7 +51,8 @@ func main() {
 	defer f.Close()
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
-	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout)
+	opts.Store = store.FromFlags(*cacheDir, *noCache)
+	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout, nil)
 	defer closeCoord()
 	if coord != nil {
 		opts.Backend = coord

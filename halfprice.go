@@ -42,6 +42,7 @@ import (
 
 	"halfprice/internal/asm"
 	"halfprice/internal/experiments"
+	"halfprice/internal/store"
 	"halfprice/internal/timing"
 	"halfprice/internal/trace"
 	"halfprice/internal/uarch"
@@ -91,6 +92,11 @@ type (
 	// Request is one serialized simulation request — the unit of work a
 	// Backend executes, and the wire format of the sweepd worker API.
 	Request = experiments.Request
+	// ResultStore is the durable on-disk result tier behind the
+	// commands' -cache-dir/-no-cache flags (Options.Store): completed
+	// simulations checkpoint to disk and a restarted sweep resumes from
+	// there instead of recomputing.
+	ResultStore = store.Store
 )
 
 // NumCycleClasses is the number of CPI-stack categories.

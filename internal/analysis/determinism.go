@@ -16,22 +16,27 @@ var determinismScope = []string{
 	"internal/trace",
 	"internal/vm",
 	"internal/experiments",
-	"internal/dist", // inventoried here, exempted below — see determinismExempt
+	"internal/dist",  // inventoried here, exempted below — see determinismExempt
+	"internal/store", // inventoried here, exempted below — see determinismExempt
 }
 
 // determinismExempt carves packages out of determinismScope whose whole
 // job is wall-clock time and concurrency: the distribution layer
 // (internal/dist) retries with real backoff, health-checks workers on
-// timers and streams results between goroutines, none of which can ever
-// influence simulation output — workers execute requests through the
-// same deterministic path as a local run, and the equivalence tests pin
-// the results bit-identical. The exemption takes precedence over the
-// scope list, so the boundary is explicit in code rather than implied
-// by omission, and re-listing such a package in the scope later cannot
-// silently outlaw its concurrency. internal/uarch, internal/trace and
-// internal/vm stay fully flagged.
+// timers and streams results between goroutines, and the durable result
+// store (internal/store) ages out stale lock files and polls for a
+// competing process's result — none of which can ever influence
+// simulation output. Workers and the store both carry results produced
+// by the same deterministic path as a local run (the store verifies its
+// payload bytes by checksum), and the equivalence tests pin the results
+// bit-identical. The exemption takes precedence over the scope list, so
+// the boundary is explicit in code rather than implied by omission, and
+// re-listing such a package in the scope later cannot silently outlaw
+// its concurrency. internal/uarch, internal/trace and internal/vm stay
+// fully flagged.
 var determinismExempt = []string{
 	"internal/dist",
+	"internal/store",
 }
 
 // determinismCoreScope is the inner subset of determinismScope where a

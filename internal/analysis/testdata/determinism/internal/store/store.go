@@ -1,0 +1,35 @@
+// Package store is a fixture for the determinism boundary: its real
+// counterpart is the durable result store — an I/O layer that ages out
+// stale lock files against the wall clock, polls for a competing
+// process's result and sweeps directories whose entries live in maps.
+// The package suffix matches the determinismScope inventory but is
+// carved out by determinismExempt, so nothing below may be flagged —
+// while the same constructs in internal/uarch (see ../uarch/clock.go)
+// and internal/experiments stay forbidden.
+package store
+
+import "time"
+
+// LockAge reads the wall clock to decide whether an advisory lock's
+// holder is stale — legal here.
+func LockAge(mtime time.Time) time.Duration {
+	return time.Since(mtime)
+}
+
+// WaitForResult polls on the wall clock while another process computes
+// the entry — legal here.
+func WaitForResult(ready func() bool) {
+	for !ready() {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// SweepStats ranges over a map of per-directory entry counts — legal
+// here (cache bookkeeping, not simulation output).
+func SweepStats(entries map[string]int) int {
+	n := 0
+	for _, c := range entries {
+		n += c
+	}
+	return n
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"halfprice/internal/experiments"
+	"halfprice/internal/store"
 	"halfprice/internal/uarch"
 )
 
@@ -37,6 +38,13 @@ type Options struct {
 	// Logf receives eviction, retry and fallback warnings (default:
 	// stderr).
 	Logf func(format string, args ...any)
+	// Store, when non-nil, is the durable result tier for requests
+	// executed directly through this coordinator (cmd/halfprice's
+	// single-run path): a stored result is served without touching the
+	// fleet, and every fetched result is checkpointed. Sweeps driven by
+	// experiments.Runner wire the store into the Runner instead, above
+	// this backend.
+	Store *store.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -105,12 +113,15 @@ func NewCoordinator(addrs []string, opts Options) *Coordinator {
 
 // FromFlags builds the coordinator behind the commands' -workers flag.
 // An empty spec means local execution: it returns a nil coordinator
-// (leave Options.Backend nil) and a no-op closer.
-func FromFlags(spec string, timeout time.Duration) (*Coordinator, func()) {
+// (leave Options.Backend nil) and a no-op closer. st, which may be nil,
+// is the durable result store for directly coordinated requests; sweep
+// commands pass nil here and wire the store into the Runner instead, so
+// results are checkpointed exactly once.
+func FromFlags(spec string, timeout time.Duration, st *store.Store) (*Coordinator, func()) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, func() {}
 	}
-	c := NewCoordinator(strings.Split(spec, ","), Options{Timeout: timeout})
+	c := NewCoordinator(strings.Split(spec, ","), Options{Timeout: timeout, Store: st})
 	return c, c.Close
 }
 
@@ -120,14 +131,36 @@ func (c *Coordinator) Close() { c.pool.close() }
 // HealthyWorkers reports how many workers are currently in dispatch.
 func (c *Coordinator) HealthyWorkers() int { return c.pool.healthyCount() }
 
-// Execute implements experiments.Backend: dispatch to the request's
-// preferred worker, re-dispatch on failure, degrade to local execution
-// when the fleet is unreachable. Observer events fire exactly once per
-// run regardless of retries.
+// Execute implements experiments.Backend: serve from the durable result
+// store when one is wired, else dispatch to the request's preferred
+// worker, re-dispatch on failure, and degrade to local execution when
+// the fleet is unreachable. Observer events fire exactly once per run
+// regardless of retries.
 func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+	key := req.Key()
+	if c.opts.Store != nil {
+		if st, ok := c.opts.Store.Get(key); ok {
+			experiments.NotifyCached(obs, req.Bench, req.Label(), req.Budget)
+			return st, nil
+		}
+	}
+	st, err := c.execute(req, obs)
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Store != nil {
+		if perr := c.opts.Store.Put(key, st); perr != nil {
+			c.opts.Logf("dist: warning: %v; result not cached", perr)
+		}
+	}
+	return st, nil
+}
+
+// execute is Execute past the store tier: the dispatch/retry/fallback
+// state machine.
+func (c *Coordinator) execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
 	fw := &forwarder{obs: obs, bench: req.Bench, label: req.Label(), insts: req.Budget}
 	sh := shard(req.Key())
-	dispatched := false
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
 		w := c.pool.pick(sh, attempt)
 		if w == nil {
@@ -136,7 +169,6 @@ func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer)
 		if attempt > 0 {
 			c.sleepBackoff(attempt - 1)
 		}
-		dispatched = true
 		st, err := c.runOn(w, req, fw)
 		if err == nil {
 			fw.finish(w.addr)
@@ -151,13 +183,12 @@ func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer)
 	}
 
 	// Graceful degradation: no healthy worker, or every attempt failed.
-	if !dispatched {
-		c.fallbackOnce.Do(func() {
-			c.opts.Logf("dist: warning: no reachable workers; falling back to local execution")
-		})
-	} else {
-		c.opts.Logf("dist: %s %s: all dispatch attempts failed; running locally", req.Bench, fw.label)
-	}
+	// A dead fleet degrades every request of the sweep the same way, so
+	// the warning fires once per coordinator, not once per request; the
+	// per-worker eviction lines above already say which workers failed.
+	c.fallbackOnce.Do(func() {
+		c.opts.Logf("dist: warning: no healthy worker completed %s %s; falling back to local execution (warned once per sweep)", req.Bench, fw.label)
+	})
 	fw.start("")
 	st, err := experiments.Execute(req)
 	if err != nil {

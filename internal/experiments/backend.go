@@ -80,6 +80,30 @@ type Backend interface {
 	Execute(req Request, obs Observer) (*uarch.Stats, error)
 }
 
+// CachedObserver is the optional Observer extension for runs whose
+// result was served from the durable on-disk result store
+// (internal/store) instead of being simulated: RunCached fires in place
+// of the RunStarted/RunFinished pair. internal/progress implements it
+// and tags the NDJSON event as a cache hit.
+type CachedObserver interface {
+	RunCached(bench, config string, insts uint64)
+}
+
+// NotifyCached reports a store-served run to obs: RunCached when the
+// observer supports it, otherwise a start/finish pair so a plain
+// observer's lifecycle counters still balance. A nil obs is a no-op.
+func NotifyCached(obs Observer, bench, config string, insts uint64) {
+	if obs == nil {
+		return
+	}
+	if co, ok := obs.(CachedObserver); ok {
+		co.RunCached(bench, config, insts)
+		return
+	}
+	obs.RunStarted(bench, config, insts)
+	obs.RunFinished(bench, config, insts)
+}
+
 // LocalBackend executes requests in-process. The zero value is ready to
 // use; it is the Runner's default when Options.Backend is nil.
 type LocalBackend struct{}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"halfprice/internal/stats"
+	"halfprice/internal/store"
 	"halfprice/internal/trace"
 	"halfprice/internal/uarch"
 )
@@ -33,8 +34,10 @@ import (
 // Observer receives sweep lifecycle events from a Runner. Implementations
 // must be safe for concurrent use; internal/progress provides the
 // standard one (live TTY status line, ETA, aggregate simulated-instruction
-// throughput, and an NDJSON event stream). Events fire only for
-// simulations that actually execute — memo hits are silent.
+// throughput, and an NDJSON event stream). In-memory memo hits are
+// silent; runs served from the durable result store (Options.Store) are
+// reported as queued and then cache-hit — see CachedObserver — so a
+// resumed sweep still accounts for every run it skipped.
 type Observer interface {
 	// RunQueued fires when a simulation is first requested (before it
 	// waits for a worker slot).
@@ -74,6 +77,14 @@ type Options struct {
 	// worker fleet in here (cmd flag -workers) with zero changes to
 	// experiment code.
 	Backend Backend
+	// Store, when non-nil, adds a durable on-disk result tier between
+	// the in-memory memo and the Backend (cmd flags -cache-dir and
+	// -no-cache): results land on disk as they complete, so a killed
+	// sweep resumes from checkpoint — requests whose result is already
+	// stored are served from disk (reported via Runner.StoreHits and
+	// the Observer's cache-hit events) instead of simulating again,
+	// locally or on the fleet.
+	Store *store.Store
 }
 
 func (o Options) insts() uint64 {
@@ -117,8 +128,9 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[runKey]*inflight
 
-	sims atomic.Uint64 // simulations actually executed
-	hits atomic.Uint64 // requests served from the cache (or by waiting)
+	sims      atomic.Uint64 // simulations actually executed
+	hits      atomic.Uint64 // requests served from the memo (or by waiting)
+	storeHits atomic.Uint64 // requests served from the durable result store
 }
 
 type runKey struct {
@@ -190,6 +202,11 @@ func (r *Runner) Sims() uint64 { return r.sims.Load() }
 // singleflight waits on a simulation another experiment already started.
 func (r *Runner) Hits() uint64 { return r.hits.Load() }
 
+// StoreHits returns the number of requests served from the durable
+// on-disk result store (Options.Store) — completed simulations a
+// resumed sweep skipped instead of recomputing.
+func (r *Runner) StoreHits() uint64 { return r.storeHits.Load() }
+
 // config returns the machine configuration for a width with a mutation.
 func config(width int, mutate func(*uarch.Config)) uarch.Config {
 	var cfg uarch.Config
@@ -231,6 +248,25 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 	obs := r.opts.Observer
 	budget := r.opts.insts() + r.opts.Warmup
 	req := Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: r.opts.UseKernels}
+
+	// Durable-store tier, fast path: a result checkpointed by an
+	// earlier (possibly killed) sweep is served without queueing for a
+	// worker slot. The observer sees the run as queued and immediately
+	// cache-hit, so a resumed sweep's progress still accounts for every
+	// run.
+	if r.opts.Store != nil {
+		if st, ok := r.opts.Store.Get(req.Key()); ok {
+			if obs != nil {
+				obs.RunQueued(bench, req.Label(), budget)
+			}
+			NotifyCached(obs, bench, req.Label(), budget)
+			r.storeHits.Add(1)
+			e.st = st
+			close(e.done)
+			return st
+		}
+	}
+
 	if obs != nil {
 		obs.RunQueued(bench, req.Label(), budget)
 	}
@@ -246,10 +282,28 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 		// The backend fires the started/finished observer events: the
 		// local backend around the in-process simulation, the
 		// distributed one when its worker streams them back.
-		st, err := r.backend.Execute(req, obs)
+		if r.opts.Store == nil {
+			st, err := r.backend.Execute(req, obs)
+			mustf(err == nil, "experiments: %v", err)
+			e.st = st
+			r.sims.Add(1)
+			return
+		}
+		// Durable-store tier, slow path: the store's advisory lock
+		// elects one computing process per request across concurrent
+		// sweeps sharing the cache directory; everyone else is served
+		// the winner's checkpointed result.
+		st, cached, err := r.opts.Store.GetOrCompute(req.Key(), func() (*uarch.Stats, error) {
+			return r.backend.Execute(req, obs)
+		})
 		mustf(err == nil, "experiments: %v", err)
 		e.st = st
-		r.sims.Add(1)
+		if cached {
+			NotifyCached(obs, bench, req.Label(), budget)
+			r.storeHits.Add(1)
+		} else {
+			r.sims.Add(1)
+		}
 	}()
 	return e.mustJoin()
 }

@@ -36,9 +36,15 @@ import (
 
 // Event is one line of the NDJSON stream. Times are seconds since the
 // tracker was created, so streams from identical sweeps line up.
+//
+// A "hit" event is a run whose result was served from the durable
+// result store (internal/store) instead of simulating — a resumed sweep
+// skipping checkpointed work. Hits count toward Done but not toward
+// InstsDone: throughput reports simulated instructions only, so a
+// mostly-cached resume does not report an inflated insts/sec.
 type Event struct {
-	Event       string  `json:"event"`            // queued | start | finish | summary
-	Source      string  `json:"source,omitempty"` // remote worker address; empty = local
+	Event       string  `json:"event"`            // queued | start | finish | hit | summary
+	Source      string  `json:"source,omitempty"` // remote worker address; "cache" for hits; empty = local
 	Bench       string  `json:"bench,omitempty"`
 	Config      string  `json:"config,omitempty"`
 	Insts       uint64  `json:"insts,omitempty"`   // this run's budget
@@ -64,6 +70,7 @@ type Tracker struct {
 
 	queued, running, done int
 	instsDone             uint64
+	maxElapsed            float64   // high-water mark; keeps reported time monotone
 	lastLine              time.Time // throttle for human output
 	lineLen               int       // width of the last TTY status line
 }
@@ -155,12 +162,21 @@ func (t *Tracker) RunFinishedFrom(source, bench, config string, insts uint64) {
 	t.event("finish", source, bench, config, insts)
 }
 
+// RunCached implements experiments.CachedObserver: the run's result was
+// served from the durable result store, so it is done without ever
+// starting. The NDJSON event is tagged "hit" with source "cache",
+// which is how a resumed sweep's skipped work is told apart from
+// simulated work in a merged stream.
+func (t *Tracker) RunCached(bench, config string, insts uint64) {
+	t.event("hit", "cache", bench, config, insts)
+}
+
 // Close emits the final summary (human and JSON). The tracker must not
 // be used afterwards.
 func (t *Tracker) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	elapsed := t.now().Sub(t.start).Seconds()
+	elapsed := t.elapsed()
 	if t.jsonw != nil {
 		t.jsonw.Encode(t.snapshot("summary", "", "", "", 0, elapsed))
 	}
@@ -172,9 +188,14 @@ func (t *Tracker) Close() {
 }
 
 // event records one state transition and re-renders both sinks. source
-// is the remote worker that produced the transition ("" for local runs);
-// remote events are re-based onto this tracker's clock and counters, so
-// any number of sources merge into one aggregate view.
+// is the remote worker that produced the transition ("" for local
+// runs, "cache" for store hits); remote events are re-based onto this
+// tracker's clock and counters, so any number of sources merge into one
+// aggregate view. Merging is defensive: sources may deliver events out
+// of order or more than once (a worker retried after streaming its
+// start, a duplicated finish), so the counters clamp rather than go
+// negative and the reported clock never runs backwards — ETA and
+// insts/sec stay finite and non-negative whatever arrives.
 func (t *Tracker) event(kind, source, bench, config string, insts uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -184,12 +205,18 @@ func (t *Tracker) event(kind, source, bench, config string, insts uint64) {
 	case "start":
 		t.running++
 	case "finish":
-		t.running--
+		if t.running > 0 {
+			t.running--
+		}
 		t.done++
 		t.instsDone += insts
+	case "hit":
+		// Served from the result store: done without running, and the
+		// skipped instructions stay out of the throughput figure.
+		t.done++
 	}
 	now := t.now()
-	elapsed := now.Sub(t.start).Seconds()
+	elapsed := t.elapsed()
 	if t.jsonw != nil {
 		t.jsonw.Encode(t.snapshot(kind, source, bench, config, insts, elapsed))
 	}
@@ -245,6 +272,20 @@ func (t *Tracker) snapshot(kind, source, bench, config string, insts uint64, ela
 		InstsPerSec: rate(t.instsDone, elapsed),
 		ETASeconds:  t.eta(elapsed),
 	}
+}
+
+// elapsed reads the clock under the tracker lock and pins it to the
+// high-water mark, so the reported time never runs backwards even when
+// merged sources deliver events out of order relative to the clock (or
+// a test clock jitters). Monotone T keeps insts/sec and ETA — both
+// derived from elapsed — free of negative or divergent values.
+func (t *Tracker) elapsed() float64 {
+	e := t.now().Sub(t.start).Seconds()
+	if e < t.maxElapsed {
+		return t.maxElapsed
+	}
+	t.maxElapsed = e
+	return e
 }
 
 // eta estimates seconds to drain the work discovered so far, from the

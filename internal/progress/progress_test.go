@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"testing"
@@ -18,6 +19,23 @@ type fakeClock struct {
 
 func (c *fakeClock) now() time.Time {
 	c.t = c.t.Add(c.step)
+	return c.t
+}
+
+// jitterClock mostly advances but periodically jumps backwards, like a
+// merged multi-source stream whose events carry skewed clock reads.
+type jitterClock struct {
+	t time.Time
+	n int
+}
+
+func (c *jitterClock) now() time.Time {
+	c.n++
+	if c.n%3 == 0 {
+		c.t = c.t.Add(-250 * time.Millisecond)
+	} else {
+		c.t = c.t.Add(200 * time.Millisecond)
+	}
 	return c.t
 }
 
@@ -217,6 +235,105 @@ func TestSourcedEventsMerge(t *testing.T) {
 		if e.Event == "queued" || e.Event == "summary" {
 			if e.Source != "" {
 				t.Errorf("%s events are tracker-local and must not carry a source: %+v", e.Event, e)
+			}
+		}
+	}
+}
+
+// decode parses an NDJSON buffer into events, failing the test on any
+// malformed line.
+func decode(t *testing.T, out *bytes.Buffer) []Event {
+	t.Helper()
+	var evs []Event
+	for _, l := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(l), &e); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", l, err)
+		}
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestCacheHitEvents covers the "hit" kind emitted when a resumed sweep
+// is served from the durable result store: hits count as done runs,
+// carry the "cache" source tag, and keep their instructions out of the
+// throughput figure so a mostly-cached resume does not report an
+// inflated insts/sec.
+func TestCacheHitEvents(t *testing.T) {
+	var out bytes.Buffer
+	tr := newTestTracker(nil, &out, 100*time.Millisecond)
+	tr.RunQueued("gzip", "4w", 1000)
+	tr.RunQueued("mcf", "4w", 1000)
+	tr.RunCached("gzip", "4w", 1000) // checkpointed in a prior run
+	tr.RunStarted("mcf", "4w", 1000)
+	tr.RunFinished("mcf", "4w", 1000)
+	tr.Close()
+
+	evs := decode(t, &out)
+	if len(evs) != 6 {
+		t.Fatalf("want 6 events (2 queued, hit, start, finish, summary), got %d", len(evs))
+	}
+	hit := evs[2]
+	if hit.Event != "hit" || hit.Source != "cache" {
+		t.Fatalf("cached run must emit a source-tagged hit event: %+v", hit)
+	}
+	if hit.Done != 1 || hit.Running != 0 {
+		t.Errorf("a hit finishes a run without ever starting it: %+v", hit)
+	}
+	if hit.InstsDone != 0 {
+		t.Errorf("cached insts must not count as simulated: %+v", hit)
+	}
+	if hit.Bench != "gzip" || hit.Config != "4w" || hit.Insts != 1000 {
+		t.Errorf("hit event should carry run identity: %+v", hit)
+	}
+	last := evs[len(evs)-1]
+	if last.Done != 2 || last.InstsDone != 1000 {
+		t.Errorf("summary: want 2 done with only the simulated 1000 insts counted: %+v", last)
+	}
+}
+
+// TestMergeOutOfOrderAndDuplicateEvents hammers the tracker with the
+// pathologies of a multi-source merge — finishes before starts,
+// duplicated finishes from a worker retry, and clock reads that jump
+// backwards — and checks the aggregate stream stays sane: no negative
+// Running, monotone non-decreasing T and Done, and finite non-negative
+// InstsPerSec and ETASeconds on every event.
+func TestMergeOutOfOrderAndDuplicateEvents(t *testing.T) {
+	var out bytes.Buffer
+	tr := newTestTracker(nil, &out, 0)
+	clock := &jitterClock{t: time.Unix(0, 0)}
+	tr.now = clock.now
+	tr.start = clock.t
+
+	for i := 0; i < 3; i++ {
+		tr.RunQueued("gzip", "4w", 1000)
+	}
+	// Worker A's finish arrives before its start was merged.
+	tr.RunFinishedFrom("host-a:9771", "gzip", "4w", 1000)
+	tr.RunStartedFrom("host-a:9771", "gzip", "4w", 1000)
+	// Worker B retried after streaming its finish: the event repeats.
+	tr.RunStartedFrom("host-b:9771", "gzip", "4w", 1000)
+	tr.RunFinishedFrom("host-b:9771", "gzip", "4w", 1000)
+	tr.RunFinishedFrom("host-b:9771", "gzip", "4w", 1000)
+	tr.Close()
+
+	evs := decode(t, &out)
+	prevT, prevDone := 0.0, 0
+	for i, e := range evs {
+		if e.Running < 0 {
+			t.Errorf("event %d: negative running count: %+v", i, e)
+		}
+		if e.T < prevT {
+			t.Errorf("event %d: reported time ran backwards (%v < %v): %+v", i, e.T, prevT, e)
+		}
+		if e.Done < prevDone {
+			t.Errorf("event %d: done count went backwards: %+v", i, e)
+		}
+		prevT, prevDone = e.T, e.Done
+		for name, v := range map[string]float64{"insts_per_sec": e.InstsPerSec, "eta_sec": e.ETASeconds} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("event %d: %s = %v must be finite and non-negative: %+v", i, name, v, e)
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"runtime/debug"
+	"sync"
+)
+
+var (
+	fpOnce sync.Once
+	fp     string
+)
+
+// Fingerprint identifies the simulator build this process is running,
+// so cached results are only ever served back to the code that could
+// reproduce them. In preference order:
+//
+//   - "vcs:<revision>" from the build's stamped VCS information, when
+//     the working tree was clean — the strongest identity, shared by
+//     every binary built from that commit;
+//   - "mod:<version>" for a released module build;
+//   - "bin:<sha256 prefix>" — a hash of the running executable. This is
+//     the common case for `go run`, `go test` and dirty-tree builds:
+//     any code change produces a different binary, so a stale cache can
+//     never satisfy a changed simulator (at the cost of not sharing
+//     entries across differently named binaries);
+//   - "unknown" when even the executable cannot be read; entries still
+//     round-trip within that build but carry no cross-build guarantee.
+//
+// The value is computed once per process.
+func Fingerprint() string {
+	fpOnce.Do(func() { fp = computeFingerprint() })
+	return fp
+}
+
+func computeFingerprint() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		modified := false
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+		if rev != "" && !modified {
+			return "vcs:" + rev
+		}
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return "mod:" + v
+		}
+	}
+	if sum, err := executableHash(); err == nil {
+		return "bin:" + sum
+	}
+	return "unknown"
+}
+
+// executableHash returns a short sha256 prefix of the running binary.
+func executableHash() (string, error) {
+	path, err := os.Executable()
+	if err != nil {
+		return "", err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}

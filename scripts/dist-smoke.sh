@@ -13,18 +13,26 @@ port_a=${DIST_SMOKE_PORT_A:-9771}
 port_b=${DIST_SMOKE_PORT_B:-9772}
 
 tmp=$(mktemp -d)
+worker_pids=""
 cleanup() {
-  kill $(jobs -p) 2>/dev/null || true
+  # Kill the workers by recorded pid — `jobs -p` is empty in a signal
+  # trap's subshell-less context on some bash versions, and the workers
+  # must die even when the comparison below fails the script.
+  kill $worker_pids $(jobs -p) 2>/dev/null || true
   wait 2>/dev/null || true
   rm -rf "$tmp"
 }
 trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
 
 go build -o "$tmp/sweepd" ./cmd/sweepd
 go build -o "$tmp/figures" ./cmd/figures
 
 "$tmp/sweepd" -addr "localhost:$port_a" &
+worker_pids="$worker_pids $!"
 "$tmp/sweepd" -addr "localhost:$port_b" &
+worker_pids="$worker_pids $!"
 
 # Wait for both workers to accept connections.
 for port in "$port_a" "$port_b"; do
@@ -43,11 +51,15 @@ for port in "$port_a" "$port_b"; do
   fi
 done
 
+# Both sweeps bypass the durable result store: the point is comparing a
+# real distributed execution against a real serial one, and a cache hit
+# on the second run would make the equivalence vacuous (and starve the
+# progress stream of worker-sourced events).
 echo "dist-smoke: serial in-process sweep" >&2
-"$tmp/figures" -insts "$insts" -j 1 -quiet > "$tmp/serial.txt"
+"$tmp/figures" -insts "$insts" -j 1 -quiet -no-cache > "$tmp/serial.txt"
 
 echo "dist-smoke: distributed sweep via localhost:$port_a,localhost:$port_b" >&2
-"$tmp/figures" -insts "$insts" -j 8 -quiet \
+"$tmp/figures" -insts "$insts" -j 8 -quiet -no-cache \
   -workers "localhost:$port_a,localhost:$port_b" \
   -progress-json "$tmp/progress.ndjson" > "$tmp/dist.txt"
 
