@@ -14,9 +14,15 @@
 //	-quiet       suppress the live progress line on stderr
 //	-progress-json f  write NDJSON progress events to f ("-" = stderr)
 //	-workers list     comma-separated sweepd worker addresses; simulations
-//	                  shard across the fleet and fall back to local
-//	                  execution when no worker is reachable
+//	                  shard across the fleet (load-aware) and fall back to
+//	                  local execution when no worker is reachable
+//	-registry f       worker registry (file or http(s) endpoint), re-read
+//	                  while the sweep runs so workers join and leave
 //	-worker-timeout d per-request timeout against remote workers
+//	-token s          shared auth token presented to workers
+//	                  (default $HALFPRICE_TOKEN)
+//	-tls-ca f         CA certificate(s) to trust for https:// workers
+//	-health-interval d fleet health-probe and registry re-read period
 //	-cache-dir d      durable result store: completed simulations are
 //	                  checkpointed there and a rerun (or a sweep resumed
 //	                  after a crash) skips them as cache hits
@@ -35,7 +41,6 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"time"
 
 	"halfprice"
 	"halfprice/internal/dist"
@@ -53,15 +58,18 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
-	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
-	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	dflags := dist.AddFlags()
 	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
 	opts.Store = store.FromFlags(*cacheDir, *noCache)
-	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout, nil)
+	coord, closeCoord, derr := dflags.Coordinator(nil)
+	if derr != nil {
+		fmt.Fprintln(os.Stderr, "figures:", derr)
+		os.Exit(2)
+	}
 	defer closeCoord()
 	if coord != nil {
 		opts.Backend = coord

@@ -21,7 +21,12 @@
 //	-workers list     comma-separated sweepd worker addresses; the run is
 //	                  dispatched to the fleet (local fallback when none is
 //	                  reachable). -hot and -profile always run locally.
+//	-registry f       worker registry (file or http(s) endpoint)
 //	-worker-timeout d per-request timeout against remote workers
+//	-token s          shared auth token presented to workers
+//	                  (default $HALFPRICE_TOKEN)
+//	-tls-ca f         CA certificate(s) to trust for https:// workers
+//	-health-interval d fleet health-probe and registry re-read period
 //	-cache-dir d      durable result store: a previous identical run (by
 //	                  any command) is served from disk as a cache hit.
 //	                  -hot and -profile runs are never cached.
@@ -33,7 +38,6 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"halfprice"
 	"halfprice/internal/dist"
@@ -59,8 +63,7 @@ func main() {
 	dumpProfile := flag.String("dump-profile", "", "print the named benchmark's profile as JSON and exit")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
-	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
-	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	dflags := dist.AddFlags()
 	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
@@ -98,8 +101,8 @@ func main() {
 	cfg.WarmupInsts = *warmup
 
 	if *profilePath != "" {
-		if *workers != "" {
-			fmt.Fprintln(os.Stderr, "halfprice: custom profiles simulate locally; ignoring -workers")
+		if dflags.Enabled() {
+			fmt.Fprintln(os.Stderr, "halfprice: custom profiles simulate locally; ignoring -workers/-registry")
 		}
 		f, err := os.Open(*profilePath)
 		if err != nil {
@@ -131,13 +134,13 @@ func main() {
 		cache = nil
 	}
 
-	if *workers != "" && *hot == 0 {
-		st := runDistributed(tracker, cache, cfg, *bench, *insts+*warmup, *kernel, *workers, *workerTimeout)
+	if dflags.Enabled() && *hot == 0 {
+		st := runDistributed(tracker, cache, cfg, *bench, *insts+*warmup, *kernel, dflags)
 		printStats(*bench, cfg, st)
 		return
 	}
-	if *workers != "" {
-		fmt.Fprintln(os.Stderr, "halfprice: -hot profiles locally; ignoring -workers")
+	if dflags.Enabled() {
+		fmt.Fprintln(os.Stderr, "halfprice: -hot profiles locally; ignoring -workers/-registry")
 	}
 	if cache != nil {
 		printStats(*bench, cfg, runCached(tracker, cache, cfg, *bench, *insts+*warmup, *kernel))
@@ -184,8 +187,12 @@ func runCached(tr *progress.Tracker, cache *store.Store, cfg halfprice.Config, b
 // coordinator degrades to local execution when no worker is reachable
 // and, when a result store is wired, serves and checkpoints results
 // through it.
-func runDistributed(tracker *progress.Tracker, cache *store.Store, cfg halfprice.Config, bench string, budget uint64, kernel bool, workers string, timeout time.Duration) *halfprice.Stats {
-	coord, closeCoord := dist.FromFlags(workers, timeout, cache)
+func runDistributed(tracker *progress.Tracker, cache *store.Store, cfg halfprice.Config, bench string, budget uint64, kernel bool, dflags *dist.Flags) *halfprice.Stats {
+	coord, closeCoord, err := dflags.Coordinator(cache)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "halfprice:", err)
+		os.Exit(2)
+	}
 	defer closeCoord()
 	req := experiments.Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: kernel}
 	var obs experiments.Observer

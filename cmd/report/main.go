@@ -6,8 +6,9 @@
 //
 //	report [-o report.md] [-insts n] [-kernels] [-skip-ablations]
 //	       [-j n] [-quiet] [-progress-json f]
-//	       [-workers host1:port,host2:port] [-worker-timeout d]
-//	       [-cache-dir d] [-no-cache]
+//	       [-workers host1:port,host2:port] [-registry f]
+//	       [-worker-timeout d] [-token s] [-tls-ca f]
+//	       [-health-interval d] [-cache-dir d] [-no-cache]
 //
 // The output is self-contained: run it after any model change to get a
 // fresh paper-vs-measured report. Simulations fan out over a bounded
@@ -37,8 +38,7 @@ func main() {
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
-	workers := flag.String("workers", "", "comma-separated sweepd worker addresses (host:port); empty = in-process execution")
-	workerTimeout := flag.Duration("worker-timeout", 5*time.Minute, "per-request timeout against remote workers")
+	dflags := dist.AddFlags()
 	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
@@ -52,7 +52,11 @@ func main() {
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
 	opts.Store = store.FromFlags(*cacheDir, *noCache)
-	coord, closeCoord := dist.FromFlags(*workers, *workerTimeout, nil)
+	coord, closeCoord, derr := dflags.Coordinator(nil)
+	if derr != nil {
+		fmt.Fprintln(os.Stderr, "report:", derr)
+		os.Exit(2)
+	}
 	defer closeCoord()
 	if coord != nil {
 		opts.Backend = coord

@@ -4,7 +4,7 @@
 // events plus the final statistics back; GET /healthz reports liveness;
 // POST /drain starts a graceful decommission. Point any sweep-driving
 // command (figures, report, calibrate, halfprice) at a fleet of these
-// with -workers host1:port,host2:port.
+// with -workers host1:port,host2:port or a shared -registry file.
 //
 // Usage:
 //
@@ -12,13 +12,24 @@
 //
 //	-addr host:port  listen address (default localhost:9771)
 //	-j n             max concurrent simulations (default GOMAXPROCS)
+//	-memo-cap n      completed results kept in the memo cache (default 512)
+//	-token s         require "Authorization: Bearer s" on /run and /drain
+//	                 (default $HALFPRICE_TOKEN; empty = no auth)
+//	-tls-cert f      PEM certificate; with -tls-key, serve HTTPS
+//	-tls-key f       PEM private key
+//	-register f      registry file to self-announce in on start and
+//	                 leave again on drain
+//	-advertise a     address announced in the registry (default -addr;
+//	                 an https:// prefix is added when serving TLS)
 //	-quiet           suppress the per-request log on stderr
 //
 // Simulations run through exactly the same in-process path as a local
 // sweep, so results are bit-identical to local execution. Repeated or
 // concurrent requests for the same simulation are deduplicated
-// (singleflight) and memoised. SIGINT/SIGTERM drains the daemon: no new
-// requests are accepted, in-flight runs finish, then it exits.
+// (singleflight) and memoised, with the memo bounded to -memo-cap
+// completed results. SIGINT/SIGTERM drains the daemon: it leaves the
+// registry, stops accepting requests, finishes in-flight runs, then
+// exits.
 package main
 
 import (
@@ -30,6 +41,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -39,6 +52,12 @@ import (
 func main() {
 	addr := flag.String("addr", "localhost:9771", "listen address (host:port)")
 	par := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations")
+	memoCap := flag.Int("memo-cap", 0, "completed results kept in the memo cache (0 = default 512)")
+	token := flag.String("token", os.Getenv(dist.TokenEnv), "shared auth token required on /run and /drain (default $"+dist.TokenEnv+"; empty = no auth)")
+	tlsCert := flag.String("tls-cert", "", "PEM certificate file; with -tls-key, serve HTTPS")
+	tlsKey := flag.String("tls-key", "", "PEM private key file")
+	register := flag.String("register", "", "registry file to self-announce in on start and leave on drain")
+	advertise := flag.String("advertise", "", "address announced in the registry (default -addr; https:// is prefixed when serving TLS)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logging")
 	flag.Parse()
 
@@ -46,17 +65,54 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fmt.Fprintln(os.Stderr, "sweepd: -tls-cert and -tls-key must be given together")
+		os.Exit(2)
+	}
 
-	server := dist.NewServer(dist.ServerOptions{Parallel: *par, Logf: logf})
+	server := dist.NewServer(dist.ServerOptions{Parallel: *par, MemoCap: *memoCap, Token: *token, Logf: logf})
 	httpSrv := &http.Server{Addr: *addr, Handler: server.Handler()}
 
-	// First signal: drain (healthz flips to 503 so coordinators evict
-	// this worker), finish in-flight runs, exit. Second signal: exit now.
+	// Self-announce in the registry before serving; deregister exactly
+	// once — on drain (so coordinators' next registry read drops this
+	// worker) or on any exit path.
+	deregister := func() {}
+	if *register != "" {
+		announce := strings.TrimSpace(*advertise)
+		if announce == "" {
+			announce = *addr
+		}
+		if *tlsCert != "" && !strings.Contains(announce, "://") {
+			announce = "https://" + announce
+		}
+		reg := dist.NewRegistry(*register)
+		if err := reg.Register(announce); err != nil {
+			fmt.Fprintln(os.Stderr, "sweepd:", err)
+			os.Exit(1)
+		}
+		logf("sweepd: registered %s in %s", announce, *register)
+		var once sync.Once
+		deregister = func() {
+			once.Do(func() {
+				if err := reg.Deregister(announce); err != nil {
+					logf("sweepd: deregistering: %v", err)
+					return
+				}
+				logf("sweepd: deregistered %s from %s", announce, *register)
+			})
+		}
+	}
+	defer deregister()
+
+	// First signal: leave the registry, drain (healthz flips to 503 so
+	// coordinators evict this worker), finish in-flight runs, exit.
+	// Second signal: exit now.
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigs
 		logf("sweepd: signal received; draining")
+		deregister()
 		server.Drain()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -68,8 +124,19 @@ func main() {
 		httpSrv.Shutdown(ctx)
 	}()
 
-	logf("sweepd: serving on %s (max %d concurrent simulations)", *addr, *par)
-	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	logf("sweepd: serving %s on %s (max %d concurrent simulations)", scheme, *addr, *par)
+	var err error
+	if *tlsCert != "" {
+		err = httpSrv.ListenAndServeTLS(*tlsCert, *tlsKey)
+	} else {
+		err = httpSrv.ListenAndServe()
+	}
+	if err != nil && err != http.ErrServerClosed {
+		deregister()
 		fmt.Fprintln(os.Stderr, "sweepd:", err)
 		os.Exit(1)
 	}

@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"bytes"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -33,8 +34,30 @@ type Options struct {
 	// retrying requests from thundering in lockstep (default 100ms).
 	Backoff time.Duration
 	// HealthInterval is the period of the background /healthz sweep that
-	// evicts dead workers and re-admits recovered ones (default 5s).
+	// evicts dead workers and re-admits recovered ones, and of the
+	// registry re-read that lets workers join and leave the running
+	// sweep (default 5s).
 	HealthInterval time.Duration
+	// Registry names a dynamic worker-membership source — a file or an
+	// http(s):// endpoint listing one worker address per line — re-read
+	// on every health interval. Registry workers join and leave the
+	// fleet while a sweep runs; addresses passed to NewCoordinator stay
+	// pinned regardless. Empty means static membership only.
+	Registry string
+	// Token, when non-empty, is sent as "Authorization: Bearer <token>"
+	// on every /run request. Workers started with a matching -token
+	// reject anything else with 401, so an exposed worker cannot be fed
+	// arbitrary work.
+	Token string
+	// TLS, when non-nil, configures the client side of https:// workers
+	// — typically a RootCAs pool trusting the fleet's self-signed or
+	// private-CA certificate (see TLSConfigFromCA).
+	TLS *tls.Config
+	// LoadThreshold tunes load-aware dispatch: a shard's preferred
+	// worker is skipped in favour of the least-loaded healthy worker
+	// when its probed queue depth exceeds the fleet median by more than
+	// this (0 = default 4).
+	LoadThreshold int64
 	// Logf receives eviction, retry and fallback warnings (default:
 	// stderr).
 	Logf func(format string, args ...any)
@@ -94,35 +117,38 @@ type sourcedObserver interface {
 }
 
 // NewCoordinator returns a coordinator over the given worker addresses
-// ("host:port" or full URLs). Every worker is probed once before this
-// returns, so an all-dead fleet degrades to local execution on the very
-// first request rather than after a timeout.
+// ("host:port" or full URLs, https:// for TLS-serving workers) plus
+// whatever Options.Registry currently lists. Every worker is probed
+// once before this returns, so an all-dead fleet degrades to local
+// execution on the very first request rather than after a timeout.
 func NewCoordinator(addrs []string, opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	probeTimeout := opts.HealthInterval / 2
 	if probeTimeout > 2*time.Second {
 		probeTimeout = 2 * time.Second
 	}
+	var reg *Registry
+	if strings.TrimSpace(opts.Registry) != "" {
+		reg = NewRegistry(opts.Registry)
+	}
+	hc := &http.Client{Timeout: opts.Timeout}
+	if opts.TLS != nil {
+		hc.Transport = &http.Transport{TLSClientConfig: opts.TLS}
+	}
 	return &Coordinator{
-		opts:   opts,
-		pool:   newPool(addrs, opts.HealthInterval, probeTimeout, opts.Logf),
-		hc:     &http.Client{Timeout: opts.Timeout},
+		opts: opts,
+		pool: newPool(poolConfig{
+			addrs:         addrs,
+			registry:      reg,
+			interval:      opts.HealthInterval,
+			probeTimeout:  probeTimeout,
+			tls:           opts.TLS,
+			loadThreshold: opts.LoadThreshold,
+			logf:          opts.Logf,
+		}),
+		hc:     hc,
 		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-}
-
-// FromFlags builds the coordinator behind the commands' -workers flag.
-// An empty spec means local execution: it returns a nil coordinator
-// (leave Options.Backend nil) and a no-op closer. st, which may be nil,
-// is the durable result store for directly coordinated requests; sweep
-// commands pass nil here and wire the store into the Runner instead, so
-// results are checkpointed exactly once.
-func FromFlags(spec string, timeout time.Duration, st *store.Store) (*Coordinator, func()) {
-	if strings.TrimSpace(spec) == "" {
-		return nil, func() {}
-	}
-	c := NewCoordinator(strings.Split(spec, ","), Options{Timeout: timeout, Store: st})
-	return c, c.Close
 }
 
 // Close stops the background health checker. In-flight requests finish.
@@ -209,7 +235,15 @@ func (c *Coordinator) runOn(w *worker, req experiments.Request, fw *forwarder) (
 	if err != nil {
 		return nil, fmt.Errorf("marshaling request: %v", err)
 	}
-	resp, err := c.hc.Post(w.base+RunPath, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, w.base+RunPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("building request: %v", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.opts.Token != "" {
+		hreq.Header.Set("Authorization", authorization(c.opts.Token))
+	}
+	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -250,10 +284,33 @@ func (c *Coordinator) runOn(w *worker, req experiments.Request, fw *forwarder) (
 	return nil, fmt.Errorf("stream ended before a result (worker died mid-run)")
 }
 
-// sleepBackoff waits Backoff<<n jittered into [d/2, d): exponential
-// growth spaces retries out, jitter decorrelates a fleet of them.
+// maxBackoff caps one retry delay. The cap doubles as the overflow
+// guard: Backoff<<n wraps (even negative) for the large n a generous
+// Attempts setting produces, so the exponent is never applied past the
+// point where the delay already saturates.
+const maxBackoff = 30 * time.Second
+
+// backoffDelay returns the clamped base delay for retry n:
+// min(Backoff<<n, maxBackoff), computed without overflow.
+func (c *Coordinator) backoffDelay(n int) time.Duration {
+	d := c.opts.Backoff
+	for i := 0; i < n; i++ {
+		if d >= maxBackoff {
+			break
+		}
+		d <<= 1
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	return d
+}
+
+// sleepBackoff waits backoffDelay(n) jittered into [d/2, d):
+// exponential growth spaces retries out, jitter decorrelates a fleet
+// of them.
 func (c *Coordinator) sleepBackoff(n int) {
-	d := c.opts.Backoff << n
+	d := c.backoffDelay(n)
 	c.jmu.Lock()
 	j := time.Duration(c.jitter.Int63n(int64(d/2) + 1))
 	c.jmu.Unlock()

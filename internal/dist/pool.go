@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"crypto/tls"
+	"encoding/json"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -10,11 +13,12 @@ import (
 
 // worker is one sweepd instance in the coordinator's fleet.
 type worker struct {
-	addr string // as given in -workers, e.g. "host:9771"
+	addr string // as given in -workers or the registry, e.g. "host:9771"
 	base string // request URL prefix, e.g. "http://host:9771"
 
 	mu      sync.Mutex
 	healthy bool
+	load    int64 // Health.Running from the last successful probe
 }
 
 func (w *worker) isHealthy() bool {
@@ -32,50 +36,171 @@ func (w *worker) setHealthy(ok bool) bool {
 	return changed
 }
 
-// pool tracks worker health and picks dispatch targets. Workers marked
-// unhealthy — by a failed health probe or a failed request — are evicted
-// from dispatch until a later probe finds them serving again.
+// setLoad caches the worker's reported queue depth for load-aware pick.
+func (w *worker) setLoad(n int64) {
+	w.mu.Lock()
+	w.load = n
+	w.mu.Unlock()
+}
+
+func (w *worker) loadNow() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.load
+}
+
+// defaultLoadThreshold is how far above the fleet-median queue depth a
+// shard's preferred worker may run before dispatch sheds away from it.
+const defaultLoadThreshold = 4
+
+// poolConfig carries the coordinator options the pool needs.
+type poolConfig struct {
+	addrs         []string      // static membership (-workers)
+	registry      *Registry     // dynamic membership source; nil = static only
+	interval      time.Duration // health-probe and registry re-read period
+	probeTimeout  time.Duration
+	tls           *tls.Config // client TLS for https:// workers
+	loadThreshold int64       // <= 0 means defaultLoadThreshold
+	logf          func(format string, args ...any)
+}
+
+// pool tracks fleet membership, worker health and worker load, and
+// picks dispatch targets. Membership is the static -workers list plus
+// whatever the registry currently names; both are re-evaluated on every
+// health interval, so workers join and leave a running sweep. Workers
+// marked unhealthy — by a failed health probe or a failed request — are
+// evicted from dispatch until a later probe finds them serving again.
 type pool struct {
-	workers []*worker
-	probeHC *http.Client // short-timeout client for health probes
-	logf    func(format string, args ...any)
+	static        []string // addresses pinned for the pool's lifetime
+	registry      *Registry
+	probeHC       *http.Client // short-timeout client for health probes
+	logf          func(format string, args ...any)
+	loadThreshold int64
+
+	wmu     sync.Mutex
+	workers []*worker // current membership, static first
 
 	interval time.Duration
 	stop     chan struct{}
 	stopOnce sync.Once
 }
 
-// newPool builds the worker set, probes every worker once synchronously
-// (so a coordinator knows immediately whether anyone is reachable), and
+// newPool builds the worker set (static addresses plus one initial
+// registry read), probes every worker once synchronously (so a
+// coordinator knows immediately whether anyone is reachable), and
 // starts the periodic health checker.
-func newPool(addrs []string, interval, probeTimeout time.Duration, logf func(string, ...any)) *pool {
-	p := &pool{
-		probeHC:  &http.Client{Timeout: probeTimeout},
-		logf:     logf,
-		interval: interval,
-		stop:     make(chan struct{}),
+func newPool(cfg poolConfig) *pool {
+	thr := cfg.loadThreshold
+	if thr <= 0 {
+		thr = defaultLoadThreshold
 	}
-	for _, a := range addrs {
+	p := &pool{
+		registry:      cfg.registry,
+		probeHC:       probeClient(cfg.probeTimeout, cfg.tls),
+		logf:          cfg.logf,
+		loadThreshold: thr,
+		interval:      cfg.interval,
+		stop:          make(chan struct{}),
+	}
+	for _, a := range cfg.addrs {
 		a = strings.TrimSpace(a)
 		if a == "" {
 			continue
 		}
-		base := a
-		if !strings.Contains(base, "://") {
-			base = "http://" + base
-		}
-		p.workers = append(p.workers, &worker{addr: a, base: strings.TrimSuffix(base, "/")})
+		p.static = append(p.static, a)
+		p.workers = append(p.workers, newWorker(a))
 	}
-	p.probeAll()
+	p.refresh()
 	go p.loop()
 	return p
+}
+
+// probeClient builds the short-timeout health-probe client, with the
+// fleet's TLS configuration when one is set.
+func probeClient(timeout time.Duration, tc *tls.Config) *http.Client {
+	hc := &http.Client{Timeout: timeout}
+	if tc != nil {
+		hc.Transport = &http.Transport{TLSClientConfig: tc}
+	}
+	return hc
+}
+
+// newWorker builds a worker from its address, defaulting bare
+// host:port to http:// (a registry or -workers entry may carry an
+// explicit https:// scheme for a TLS-serving worker).
+func newWorker(addr string) *worker {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &worker{addr: addr, base: strings.TrimSuffix(base, "/")}
+}
+
+// refresh is one membership-and-health pass: reconcile with the
+// registry, then probe everyone and wait for the verdicts.
+func (p *pool) refresh() {
+	p.syncRegistry()
+	p.probeAll()
+}
+
+// syncRegistry reconciles membership with the registry listing: newly
+// listed addresses join (probed by the caller's probeAll before they
+// can win a pick), delisted ones leave dispatch. Static -workers
+// addresses are pinned regardless. Health state survives for workers
+// that stay. A registry read failure keeps the current membership — a
+// briefly unreadable file must not evict a healthy fleet.
+func (p *pool) syncRegistry() {
+	if p.registry == nil {
+		return
+	}
+	addrs, err := p.registry.Addrs()
+	if err != nil {
+		p.logf("dist: %v; keeping current fleet", err)
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range p.static {
+		want[a] = true
+	}
+	for _, a := range addrs {
+		want[a] = true
+	}
+
+	p.wmu.Lock()
+	have := map[string]*worker{}
+	var kept []*worker
+	for _, w := range p.workers {
+		if want[w.addr] {
+			kept = append(kept, w)
+			have[w.addr] = w
+		} else {
+			p.logf("dist: worker %s left the registry; removed from dispatch", w.addr)
+		}
+	}
+	for _, a := range addrs {
+		if have[a] == nil {
+			w := newWorker(a)
+			kept = append(kept, w)
+			have[a] = w
+			p.logf("dist: worker %s joined from the registry", a)
+		}
+	}
+	p.workers = kept
+	p.wmu.Unlock()
+}
+
+// snapshot returns the current membership slice for lock-free iteration.
+func (p *pool) snapshot() []*worker {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return append([]*worker(nil), p.workers...)
 }
 
 // probeAll health-checks every worker concurrently and waits for the
 // verdicts.
 func (p *pool) probeAll() {
 	var wg sync.WaitGroup
-	for _, w := range p.workers {
+	for _, w := range p.snapshot() {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
@@ -86,13 +211,19 @@ func (p *pool) probeAll() {
 }
 
 // probe asks one worker for /healthz and updates its standing: evicted
-// on failure or drain (503), re-admitted once it answers 200 again.
+// on failure or drain (503), re-admitted once it answers 200 again. A
+// successful probe also caches the worker's queue depth for load-aware
+// dispatch.
 func (p *pool) probe(w *worker) {
 	ok := false
 	if resp, err := p.probeHC.Get(w.base + HealthzPath); err == nil {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		var h Health
+		json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&h)
 		resp.Body.Close()
 		ok = resp.StatusCode == http.StatusOK
+		if ok {
+			w.setLoad(h.Running)
+		}
 	}
 	if w.setHealthy(ok) {
 		if ok {
@@ -103,8 +234,9 @@ func (p *pool) probe(w *worker) {
 	}
 }
 
-// loop re-probes the fleet on the health interval, re-admitting
-// recovered workers and evicting dead ones between requests.
+// loop re-reads the registry and re-probes the fleet on the health
+// interval: joining workers enter dispatch, delisted and dead ones
+// leave it, recovered ones come back — all between requests.
 func (p *pool) loop() {
 	t := time.NewTicker(p.interval)
 	defer t.Stop()
@@ -113,33 +245,73 @@ func (p *pool) loop() {
 		case <-p.stop:
 			return
 		case <-t.C:
-			p.probeAll()
+			p.refresh()
 		}
 	}
 }
 
-// pick returns the dispatch target for a shard: the shard's preferred
-// worker when healthy, otherwise the next healthy worker in ring order
-// (rotated further on each retry attempt). It returns nil when no
-// worker is healthy — the caller degrades to local execution.
+// pick returns the dispatch target for a shard. Affinity first: the
+// shard's preferred worker (rotated by retry attempt, skipping
+// unhealthy ones in ring order) keeps equal requests landing on the
+// same machine, where the memo cache already holds or is computing the
+// result. Load sheds second: when the preferred worker's probed queue
+// depth exceeds the fleet median by more than the threshold, the least
+// loaded healthy worker takes the run instead — singleflight affinity
+// in the balanced case, demand-driven dispatch for hot shards (the
+// paper's own move: elect the less-loaded resource instead of fixed
+// affinity). Returns nil when no worker is healthy — the caller
+// degrades to local execution.
 func (p *pool) pick(sh uint32, attempt int) *worker {
-	n := len(p.workers)
+	ws := p.snapshot()
+	n := len(ws)
 	if n == 0 {
 		return nil
 	}
+	var preferred *worker
+	healthy := make([]*worker, 0, n)
 	for i := 0; i < n; i++ {
-		w := p.workers[(int(sh%uint32(n))+attempt+i)%n]
-		if w.isHealthy() {
-			return w
+		w := ws[(int(sh%uint32(n))+attempt+i)%n]
+		if !w.isHealthy() {
+			continue
+		}
+		if preferred == nil {
+			preferred = w
+		}
+		healthy = append(healthy, w)
+	}
+	if preferred == nil || len(healthy) == 1 {
+		return preferred
+	}
+	loads := make([]int64, len(healthy))
+	for i, w := range healthy {
+		loads[i] = w.loadNow()
+	}
+	pref := preferred.loadNow()
+	if pref <= median(loads)+p.loadThreshold {
+		return preferred
+	}
+	// Hot shard: elect the least loaded worker (first in ring order on
+	// ties, so the choice is deterministic for a given fleet state).
+	best := preferred
+	bestLoad := pref
+	for _, w := range healthy {
+		if l := w.loadNow(); l < bestLoad {
+			best, bestLoad = w, l
 		}
 	}
-	return nil
+	return best
+}
+
+// median returns the lower median of loads. It may reorder loads.
+func median(loads []int64) int64 {
+	sort.Slice(loads, func(i, j int) bool { return loads[i] < loads[j] })
+	return loads[(len(loads)-1)/2]
 }
 
 // healthyCount reports how many workers are currently in dispatch.
 func (p *pool) healthyCount() int {
 	n := 0
-	for _, w := range p.workers {
+	for _, w := range p.snapshot() {
 		if w.isHealthy() {
 			n++
 		}

@@ -19,6 +19,20 @@
 //   - POST /drain — stop accepting new /run requests (in-flight runs
 //     complete); used for graceful decommissioning.
 //
+// Fleet security: a worker started with -token (or $HALFPRICE_TOKEN)
+// requires "Authorization: Bearer <token>" on /run and /drain and
+// answers 401 otherwise, so an exposed worker cannot be fed arbitrary
+// work; /healthz stays open for probes. With -tls-cert/-tls-key the
+// worker serves HTTPS, and the coordinator reaches it through an
+// https:// address (trusting a self-signed fleet cert via -tls-ca).
+//
+// Fleet membership: besides the static -workers list, a coordinator
+// can follow a registry (-registry) — a file or HTTP endpoint listing
+// one worker address per line — re-read on every health interval, so
+// workers join and leave a running sweep. sweepd -register makes a
+// worker self-announce in a file registry on start and leave it on
+// drain.
+//
 // Determinism: a worker executes requests through exactly the same
 // in-process path as a local sweep (experiments.Execute), every run owns
 // its seeded RNG, and uarch.Stats round-trips losslessly through JSON —
@@ -26,7 +40,13 @@
 // fault-tolerant on top: per-request timeouts, bounded retries with
 // exponential backoff and jitter, health-check-driven worker eviction,
 // re-dispatch of work lost to a dead worker, and graceful degradation to
-// local execution when no worker is reachable.
+// local execution when no worker is reachable. Dispatch is load-aware:
+// requests shard by key onto a preferred worker (memo affinity), but
+// when that worker's probed queue depth exceeds the fleet median by a
+// threshold the run goes to the least-loaded worker instead — the same
+// demand-driven move the paper makes when the last-arriving predictor
+// steers operands away from the contended fast wakeup slot. None of it
+// affects results, only where they are computed.
 package dist
 
 import (

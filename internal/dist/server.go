@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,12 +15,27 @@ import (
 	"halfprice/internal/uarch"
 )
 
+// defaultMemoCap bounds the completed-result memo when ServerOptions
+// leaves MemoCap zero: enough to serve a whole sweep's worth of
+// duplicates, small enough that a long-lived daemon serving many sweeps
+// stays bounded.
+const defaultMemoCap = 512
+
 // ServerOptions configures a worker Server.
 type ServerOptions struct {
 	// Parallel bounds concurrent simulations (0 = GOMAXPROCS). Excess
 	// requests queue on the semaphore; the coordinator's per-request
 	// timeout covers queueing time.
 	Parallel int
+	// MemoCap bounds how many completed results the singleflight memo
+	// retains (0 = default 512). The oldest completed entries are
+	// evicted first; in-flight entries are never evicted, so dedup of
+	// concurrent duplicates is unaffected.
+	MemoCap int
+	// Token, when non-empty, is required as "Authorization: Bearer
+	// <token>" on /run and /drain; anything else gets 401. /healthz
+	// stays open for probes.
+	Token string
 	// Logf, when non-nil, receives one line per request lifecycle event
 	// (cmd/sweepd wires it to log.Printf).
 	Logf func(format string, args ...any)
@@ -30,9 +46,14 @@ type ServerOptions struct {
 // memoised with singleflight semantics, mirroring the in-process
 // Runner: concurrent or repeated requests for the same simulation run it
 // once — the worker-side half of fleet-wide deduplication (the
-// coordinator's shard affinity is the other half).
+// coordinator's shard affinity is the other half). The memo is bounded:
+// completed entries beyond MemoCap are evicted oldest-first, so a
+// long-lived daemon serving many sweeps holds a cap's worth of Stats,
+// not every result it ever computed.
 type Server struct {
 	sem      chan struct{}
+	memoCap  int
+	token    string
 	logf     func(format string, args ...any)
 	draining atomic.Bool
 	running  atomic.Int64
@@ -41,6 +62,7 @@ type Server struct {
 
 	mu   sync.Mutex
 	memo map[string]*memoEntry
+	lru  *list.List // completed memo keys, oldest at the front
 }
 
 // memoEntry is one singleflight slot: done closes once st/err are valid.
@@ -56,14 +78,21 @@ func NewServer(opts ServerOptions) *Server {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	cap := opts.MemoCap
+	if cap <= 0 {
+		cap = defaultMemoCap
+	}
 	logf := opts.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 	return &Server{
-		sem:  make(chan struct{}, par),
-		logf: logf,
-		memo: make(map[string]*memoEntry),
+		sem:     make(chan struct{}, par),
+		memoCap: cap,
+		token:   opts.Token,
+		logf:    logf,
+		memo:    make(map[string]*memoEntry),
+		lru:     list.New(),
 	}
 }
 
@@ -83,12 +112,14 @@ func (s *Server) Health() Health {
 	}
 }
 
-// Handler returns the worker's HTTP API.
+// Handler returns the worker's HTTP API. /run and /drain require the
+// configured token; /healthz answers anyone (it carries liveness and
+// queue depth only, and coordinators probe it unauthenticated).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(RunPath, s.handleRun)
+	mux.HandleFunc(RunPath, requireToken(s.token, s.handleRun))
 	mux.HandleFunc(HealthzPath, s.handleHealthz)
-	mux.HandleFunc(DrainPath, s.handleDrain)
+	mux.HandleFunc(DrainPath, requireToken(s.token, s.handleDrain))
 	return mux
 }
 
@@ -130,37 +161,91 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	start := time.Now()
-	emit := func(m Message) {
+	// emit writes one stream line with an explicit counter snapshot and
+	// reports whether the client is still there: once an Encode fails
+	// (broken pipe — the coordinator gave up and re-dispatched) the
+	// stream is dead and the handler must wind down, not keep writing.
+	streamOK := true
+	emit := func(m Message, running int64, done uint64) bool {
+		if !streamOK {
+			return false
+		}
 		m.T = time.Since(start).Seconds()
-		m.Running = int(s.running.Load())
-		m.Done = int(s.done.Load())
-		enc.Encode(m)
+		m.Running = int(running)
+		m.Done = int(done)
+		if err := enc.Encode(m); err != nil {
+			streamOK = false
+			return false
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
+		return true
 	}
 
-	// Queue for a simulation slot, then stream start → finish → result.
-	// The client's timeout covers the whole exchange, so a saturated
-	// worker eventually fails the request over to another machine.
-	s.sem <- struct{}{}
-	s.running.Add(1)
+	// Queue for a simulation slot — but give up if the client does: a
+	// coordinator that times out and re-dispatches must not leave this
+	// handler camped on the semaphore to later simulate for nobody.
+	ctx := r.Context()
 	label := req.Label()
-	s.logf("sweepd: run %s %s (%d insts)", req.Bench, label, req.Budget)
-	emit(Message{Event: progress.Event{Event: "start", Bench: req.Bench, Config: label, Insts: req.Budget}})
-
-	st, err := s.execute(req)
-
-	s.running.Add(-1)
-	<-s.sem
-	if err != nil {
-		s.logf("sweepd: run %s %s failed: %v", req.Bench, label, err)
-		emit(Message{Event: progress.Event{Event: "error"}, Error: err.Error()})
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.logf("sweepd: run %s %s abandoned while queued", req.Bench, label)
 		return
 	}
-	s.done.Add(1)
-	emit(Message{Event: progress.Event{Event: "finish", Bench: req.Bench, Config: label, Insts: req.Budget}})
-	emit(Message{Event: progress.Event{Event: "result"}, Stats: st})
+	release := func() {
+		s.running.Add(-1)
+		<-s.sem
+	}
+
+	s.running.Add(1)
+	s.logf("sweepd: run %s %s (%d insts)", req.Bench, label, req.Budget)
+	if !emit(Message{Event: progress.Event{Event: "start", Bench: req.Bench, Config: label, Insts: req.Budget}}, s.running.Load(), s.done.Load()) {
+		release()
+		s.logf("sweepd: run %s %s: client gone before start", req.Bench, label)
+		return
+	}
+
+	// Execute in a goroutine so an abandoned request releases its slot
+	// immediately; the memoised computation runs to completion either
+	// way, so a re-dispatch of the same key (or a retry landing back
+	// here) joins the result instead of simulating again.
+	type outcome struct {
+		st  *uarch.Stats
+		err error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		st, err := s.execute(req)
+		res <- outcome{st, err}
+	}()
+	var out outcome
+	select {
+	case out = <-res:
+	case <-ctx.Done():
+		release()
+		s.logf("sweepd: run %s %s abandoned mid-run; finishing for the memo", req.Bench, label)
+		return
+	}
+
+	if out.err != nil {
+		running := s.running.Load()
+		release()
+		s.logf("sweepd: run %s %s failed: %v", req.Bench, label, out.err)
+		emit(Message{Event: progress.Event{Event: "error"}, Error: out.err.Error()}, running, s.done.Load())
+		return
+	}
+	// Snapshot the counters before the decrement so the terminal lines
+	// describe a state that includes this run: Running still counts it,
+	// Done counts it too. Reading the live atomics after release() let
+	// concurrent handlers shift the counters first, so a worker's
+	// reported totals never included the run they were attached to.
+	running := s.running.Load()
+	done := s.done.Add(1)
+	release()
+	emit(Message{Event: progress.Event{Event: "finish", Bench: req.Bench, Config: label, Insts: req.Budget}}, running, done)
+	emit(Message{Event: progress.Event{Event: "result"}, Stats: out.st}, running, done)
 }
 
 // execute runs one request through the shared in-process execution path,
@@ -186,8 +271,31 @@ func (s *Server) execute(req experiments.Request) (st *uarch.Stats, err error) {
 		}
 		e.st, e.err = st, err
 		close(e.done)
+		s.completed(key)
 	}()
 	s.sims.Add(1)
 	st, err = experiments.Execute(req)
 	return st, err
+}
+
+// completed moves a resolved memo entry into the bounded LRU and evicts
+// the oldest completed entries beyond the cap. Only resolved entries
+// are evictable — an in-flight entry is never in the LRU, so
+// singleflight joins always find their computation.
+func (s *Server) completed(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lru.PushBack(key)
+	for s.lru.Len() > s.memoCap {
+		oldest := s.lru.Front()
+		s.lru.Remove(oldest)
+		delete(s.memo, oldest.Value.(string))
+	}
+}
+
+// memoLen reports the memo's current size (for the eviction tests).
+func (s *Server) memoLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.memo)
 }

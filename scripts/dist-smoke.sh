@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Distributed-sweep smoke test (CI and `make dist-smoke`): start two
-# local sweepd workers, run a small figures sweep through the
-# coordinator, and require the output to be byte-identical to the same
-# sweep run serially in-process. Also validates the merged NDJSON
-# progress stream and that both workers contributed events.
+# Distributed-sweep smoke test (CI and `make dist-smoke`), two phases:
+#
+#   1. Static fleet: two local sweepd workers via -workers, one figures
+#      sweep through the coordinator, output byte-identical to the same
+#      sweep run serially in-process; merged NDJSON progress validated
+#      with events from both workers.
+#
+#   2. Fleet churn with auth: token-authenticated workers self-announce
+#      in a registry file, an unauthenticated /run is rejected with 401,
+#      one worker is killed (drain + deregister) and another added
+#      mid-sweep — the output must still be byte-identical to serial.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,6 +17,8 @@ cd "$(dirname "$0")/.."
 insts=${DIST_SMOKE_INSTS:-2000}
 port_a=${DIST_SMOKE_PORT_A:-9771}
 port_b=${DIST_SMOKE_PORT_B:-9772}
+port_c=${DIST_SMOKE_PORT_C:-9773}
+port_d=${DIST_SMOKE_PORT_D:-9774}
 
 tmp=$(mktemp -d)
 worker_pids=""
@@ -26,30 +34,27 @@ trap cleanup EXIT
 trap 'exit 130' INT
 trap 'exit 143' TERM
 
+wait_up() { # port...
+  for port in "$@"; do
+    up=""
+    for _ in $(seq 1 50); do
+      if (exec 3<>"/dev/tcp/localhost/$port") 2>/dev/null; then
+        exec 3>&- 3<&- || true
+        up=1
+        break
+      fi
+      sleep 0.2
+    done
+    if [ -z "$up" ]; then
+      echo "dist-smoke: worker on port $port never came up" >&2
+      exit 1
+    fi
+  done
+}
+
 go build -o "$tmp/sweepd" ./cmd/sweepd
 go build -o "$tmp/figures" ./cmd/figures
-
-"$tmp/sweepd" -addr "localhost:$port_a" &
-worker_pids="$worker_pids $!"
-"$tmp/sweepd" -addr "localhost:$port_b" &
-worker_pids="$worker_pids $!"
-
-# Wait for both workers to accept connections.
-for port in "$port_a" "$port_b"; do
-  up=""
-  for _ in $(seq 1 50); do
-    if (exec 3<>"/dev/tcp/localhost/$port") 2>/dev/null; then
-      exec 3>&- 3<&- || true
-      up=1
-      break
-    fi
-    sleep 0.2
-  done
-  if [ -z "$up" ]; then
-    echo "dist-smoke: worker on port $port never came up" >&2
-    exit 1
-  fi
-done
+go build -o "$tmp/httpprobe" ./scripts/httpprobe
 
 # Both sweeps bypass the durable result store: the point is comparing a
 # real distributed execution against a real serial one, and a cache hit
@@ -57,6 +62,14 @@ done
 # progress stream of worker-sourced events).
 echo "dist-smoke: serial in-process sweep" >&2
 "$tmp/figures" -insts "$insts" -j 1 -quiet -no-cache > "$tmp/serial.txt"
+
+### Phase 1: static -workers fleet ###################################
+
+"$tmp/sweepd" -addr "localhost:$port_a" &
+worker_pids="$worker_pids $!"
+"$tmp/sweepd" -addr "localhost:$port_b" &
+worker_pids="$worker_pids $!"
+wait_up "$port_a" "$port_b"
 
 echo "dist-smoke: distributed sweep via localhost:$port_a,localhost:$port_b" >&2
 "$tmp/figures" -insts "$insts" -j 8 -quiet -no-cache \
@@ -71,4 +84,54 @@ fi
 
 go run ./scripts/ndjsoncheck -sources 2 < "$tmp/progress.ndjson"
 
-echo "dist-smoke: ok — serial and distributed outputs byte-identical" >&2
+### Phase 2: registry + auth + churn #################################
+
+token="dist-smoke-token"
+registry="$tmp/registry"
+
+"$tmp/sweepd" -addr "localhost:$port_c" -token "$token" \
+  -register "$registry" -advertise "localhost:$port_c" &
+churn_pid=$!
+worker_pids="$worker_pids $churn_pid"
+wait_up "$port_c"
+
+grep -q "localhost:$port_c" "$registry" || {
+  echo "dist-smoke: FAIL — worker did not self-announce in the registry" >&2
+  exit 1
+}
+
+echo "dist-smoke: unauthorized /run must be rejected" >&2
+"$tmp/httpprobe" -method POST -body '{}' -expect 401 "http://localhost:$port_c/run" >/dev/null
+"$tmp/httpprobe" -expect 200 "http://localhost:$port_c/healthz" >/dev/null
+
+echo "dist-smoke: registry sweep with churn (kill one worker, add another)" >&2
+"$tmp/figures" -insts "$insts" -j 8 -quiet -no-cache \
+  -registry "$registry" -token "$token" -health-interval 250ms \
+  -progress-json "$tmp/progress2.ndjson" > "$tmp/dist2.txt" &
+sweep_pid=$!
+
+sleep 1
+kill -TERM "$churn_pid" 2>/dev/null || true  # drain + deregister mid-sweep
+"$tmp/sweepd" -addr "localhost:$port_d" -token "$token" \
+  -register "$registry" -advertise "localhost:$port_d" &
+worker_pids="$worker_pids $!"
+
+if ! wait "$sweep_pid"; then
+  echo "dist-smoke: FAIL — sweep failed under fleet churn" >&2
+  exit 1
+fi
+
+if ! cmp "$tmp/serial.txt" "$tmp/dist2.txt"; then
+  echo "dist-smoke: FAIL — churned registry sweep output differs from serial" >&2
+  diff "$tmp/serial.txt" "$tmp/dist2.txt" | head -40 >&2 || true
+  exit 1
+fi
+
+if grep -q "localhost:$port_c" "$registry"; then
+  echo "dist-smoke: FAIL — drained worker still listed in the registry" >&2
+  exit 1
+fi
+
+go run ./scripts/ndjsoncheck < "$tmp/progress2.ndjson"
+
+echo "dist-smoke: ok — serial, static-fleet and churned-registry outputs byte-identical" >&2

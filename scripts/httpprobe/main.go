@@ -1,0 +1,60 @@
+// Command httpprobe issues one HTTP request and checks the response
+// status — the smoke scripts' curl-free way to assert, e.g., that an
+// unauthenticated POST to a token-guarded sweepd endpoint comes back
+// 401 while an authenticated one does not.
+//
+// Usage:
+//
+//	go run ./scripts/httpprobe [-method GET] [-token t] [-expect code] url
+//
+// The status code is printed to stdout; with -expect the exit status is
+// non-zero when it does not match.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	method := flag.String("method", http.MethodGet, "request method")
+	token := flag.String("token", "", "send \"Authorization: Bearer <token>\"")
+	body := flag.String("body", "", "request body")
+	expect := flag.Int("expect", 0, "fail unless the response status matches (0 = report only)")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: httpprobe [flags] url")
+		os.Exit(2)
+	}
+
+	req, err := http.NewRequest(*method, flag.Arg(0), strings.NewReader(*body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpprobe:", err)
+		os.Exit(2)
+	}
+	if *body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if *token != "" {
+		req.Header.Set("Authorization", "Bearer "+*token)
+	}
+	resp, err := (&http.Client{Timeout: *timeout}).Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "httpprobe:", err)
+		os.Exit(1)
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+
+	fmt.Println(resp.StatusCode)
+	if *expect != 0 && resp.StatusCode != *expect {
+		fmt.Fprintf(os.Stderr, "httpprobe: %s %s: status %d, want %d\n", *method, flag.Arg(0), resp.StatusCode, *expect)
+		os.Exit(1)
+	}
+}
