@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt check sweepd dist-smoke cache-smoke
+.PHONY: build test race lint fmt generate check sweepd dist-smoke cache-smoke
 
 build:
 	$(GO) build ./...
@@ -14,14 +14,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# lint runs the repo's own static-analysis suite (see internal/analysis)
-# plus go vet. It exits non-zero on any finding.
+# lint runs the repo's own static-analysis suite — all nine analyzers
+# (go run ./cmd/hpvet -list) plus stale //hp:nolint detection — and go
+# vet. It exits non-zero on any finding.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/hpvet
 
 fmt:
 	gofmt -l -w .
+
+# generate rewrites the generated CPI-stack balance test
+# (internal/uarch/cpistack_balance_gen_test.go) from the current
+# CycleClass constants; it runs as part of the tier-1 `go test ./...`
+# path, and TestCPIStackGeneratedCurrent fails if it goes stale.
+generate:
+	$(GO) run ./cmd/hpvet -write-cpistack-test
 
 # sweepd builds the distributed-sweep worker daemon into bin/.
 sweepd:

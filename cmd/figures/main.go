@@ -5,7 +5,7 @@
 //	figures [flags]
 //
 //	-fig id      which artifact: all (default), t2, 2, 3, 4, 6, t3, 7,
-//	             10, 14, 15, 16, timing
+//	             10, 14, 15, 16, timing, counters, a1..a10, cpi, ablations
 //	-insts n     dynamic instructions per benchmark run (default 500000)
 //	-bench list  comma-separated benchmark subset (default: all twelve)
 //	-kernels     drive the execution-driven assembly kernels instead of
@@ -50,7 +50,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "artifact: all|t2|2|3|4|6|t3|7|10|14|15|16|timing|a1..a10|cpi|ablations")
+	fig := flag.String("fig", "all", "artifact: all|t2|2|3|4|6|t3|7|10|14|15|16|timing|counters|a1..a10|cpi|ablations")
 	insts := flag.Uint64("insts", 500000, "instructions per benchmark run")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset")
 	kernels := flag.Bool("kernels", false, "use execution-driven kernels")
@@ -95,29 +95,30 @@ func main() {
 	r := halfprice.NewRunner(opts)
 
 	artifacts := map[string]func() *halfprice.Result{
-		"t2":     r.Table2BaseIPC,
-		"2":      r.Figure2Formats,
-		"3":      r.Figure3Breakdown,
-		"4":      r.Figure4ReadyAtInsert,
-		"6":      r.Figure6WakeupSlack,
-		"t3":     r.Table3OperandOrder,
-		"7":      r.Figure7PredictorAccuracy,
-		"10":     r.Figure10RegAccess,
-		"14":     r.Figure14SeqWakeup,
-		"15":     r.Figure15SeqRegAccess,
-		"16":     r.Figure16Combined,
-		"timing": experiments.TimingClaims,
-		"a1":     r.AblationSlowBus,
-		"a2":     r.AblationRecovery,
-		"a3":     r.AblationPredictors,
-		"a4":     r.AblationExtensions,
-		"a5":     r.AblationFrequency,
-		"a6":     r.AblationEnergy,
-		"a7":     r.AblationSelect,
-		"a8":     r.AblationSchedulerDesigns,
-		"a9":     r.AblationBranchNoise,
-		"a10":    r.AblationPrefetch,
-		"cpi":    r.CPIStacks,
+		"t2":       r.Table2BaseIPC,
+		"2":        r.Figure2Formats,
+		"3":        r.Figure3Breakdown,
+		"4":        r.Figure4ReadyAtInsert,
+		"6":        r.Figure6WakeupSlack,
+		"t3":       r.Table3OperandOrder,
+		"7":        r.Figure7PredictorAccuracy,
+		"10":       r.Figure10RegAccess,
+		"14":       r.Figure14SeqWakeup,
+		"15":       r.Figure15SeqRegAccess,
+		"16":       r.Figure16Combined,
+		"timing":   experiments.TimingClaims,
+		"counters": r.EventCounters,
+		"a1":       r.AblationSlowBus,
+		"a2":       r.AblationRecovery,
+		"a3":       r.AblationPredictors,
+		"a4":       r.AblationExtensions,
+		"a5":       r.AblationFrequency,
+		"a6":       r.AblationEnergy,
+		"a7":       r.AblationSelect,
+		"a8":       r.AblationSchedulerDesigns,
+		"a9":       r.AblationBranchNoise,
+		"a10":      r.AblationPrefetch,
+		"cpi":      r.CPIStacks,
 	}
 
 	emit := func(res *halfprice.Result) {

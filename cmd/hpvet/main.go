@@ -5,13 +5,21 @@
 // Usage:
 //
 //	go run ./cmd/hpvet [-root dir] [-only a,b] [-format text|json|github] [-list]
+//	go run ./cmd/hpvet [-root dir] -write-cpistack-test
 //
 // Findings print as file:line:col: analyzer: message, with paths
 // relative to the module root. -format=json emits them as a JSON array
 // (-json is a shorthand); -format=github emits GitHub Actions workflow
 // commands (::error file=...,line=...,col=...::message) so CI findings
 // surface as inline annotations on the pull request. Suppress a finding
-// with an //hp:nolint analyzer -- reason comment on or above its line.
+// with an //hp:nolint analyzer -- reason comment on or above its line;
+// markers that no longer suppress anything are themselves reported as
+// stale (analyzer name "nolint"), so suppressions cannot outlive the
+// code they excused.
+//
+// -write-cpistack-test regenerates the CPI-stack balance test
+// (internal/uarch/cpistack_balance_gen_test.go), the runtime half of
+// the cycleacct analyzer's invariant; make generate wraps it.
 package main
 
 import (
@@ -32,6 +40,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array (same as -format=json)")
 		format   = flag.String("format", "text", "output format: text, json, or github (Actions annotations)")
 		listOnly = flag.Bool("list", false, "list analyzers and exit")
+		genCPI   = flag.Bool("write-cpistack-test", false, "regenerate "+analysis.CPIStackTestFile+" and exit")
 	)
 	flag.Parse()
 	if *jsonOut {
@@ -71,26 +80,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	diags := analysis.Run(mod, analyzers)
+	if *genCPI {
+		src, err := analysis.CPIStackTestSource(mod)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(mod.Root, filepath.FromSlash(analysis.CPIStackTestFile))
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("hpvet: wrote", analysis.CPIStackTestFile)
+		return
+	}
+	diags := analysis.RunWithStale(mod, analyzers)
 
 	switch *format {
 	case "json":
-		type finding struct {
-			Analyzer string `json:"analyzer"`
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Message  string `json:"message"`
-		}
-		out := make([]finding, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, finding{d.Analyzer, relFile(mod.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		data, err := renderJSON(mod.Root, diags)
+		if err != nil {
 			fatal(err)
 		}
+		os.Stdout.Write(append(data, '\n'))
 	case "github":
 		for _, d := range diags {
 			fmt.Println(githubAnnotation(relFile(mod.Root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message))
@@ -106,6 +116,28 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// finding is the JSON shape of one diagnostic, stable for downstream
+// tooling: {"analyzer","file","line","col","message"}.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// renderJSON encodes the diagnostics as an indented JSON array with
+// module-relative paths. encoding/json handles all escaping, so paths
+// and messages containing quotes, backslashes or control characters
+// round-trip exactly; an empty run encodes as [], never null.
+func renderJSON(root string, diags []analysis.Diagnostic) ([]byte, error) {
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{d.Analyzer, relFile(root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message})
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // relFile makes a finding's path module-relative (and slash-separated)

@@ -1,6 +1,62 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"halfprice/internal/analysis"
+)
+
+// TestRenderJSONRoundTrip feeds renderJSON hostile analyzer output —
+// quotes, backslashes, newlines, non-ASCII, a comma-riddled path — and
+// asserts every field survives an unmarshal bit-for-bit.
+func TestRenderJSONRoundTrip(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Analyzer: "unitcheck",
+			Pos:      token.Position{Filename: "/mod/internal/timing/a,b.go", Line: 3, Column: 7},
+			Message:  `mixes "ps" vs "ns"; path C:\tmp\x` + "\nsecond line\ttabbed",
+		},
+		{
+			Analyzer: "seedplumb",
+			Pos:      token.Position{Filename: "/elsewhere/outside.go", Line: 1, Column: 1},
+			Message:  "naïve séed — 100%",
+		},
+	}
+	data, err := renderJSON("/mod", diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []finding
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("renderJSON output does not parse: %v\n%s", err, data)
+	}
+	if len(back) != len(diags) {
+		t.Fatalf("%d findings after round trip, want %d", len(back), len(diags))
+	}
+	want := []finding{
+		{"unitcheck", "internal/timing/a,b.go", 3, 7, diags[0].Message},
+		{"seedplumb", "/elsewhere/outside.go", 1, 1, diags[1].Message},
+	}
+	for i := range want {
+		if back[i] != want[i] {
+			t.Errorf("finding %d = %+v\nwant      %+v", i, back[i], want[i])
+		}
+	}
+}
+
+// TestRenderJSONEmpty pins the no-findings encoding to [] — a null
+// would break `jq length`-style CI consumers.
+func TestRenderJSONEmpty(t *testing.T) {
+	data, err := renderJSON("/mod", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty run encodes as %q, want []", data)
+	}
+}
 
 func TestGithubAnnotation(t *testing.T) {
 	got := githubAnnotation("internal/uarch/sim.go", 12, 5, "determinism", "time.Now() in simulation core")

@@ -12,7 +12,9 @@
 // placed at the end of the offending line or on the line directly
 // above. An //hp:nolint with no analyzer list suppresses every
 // analyzer; the optional "-- reason" tail documents why and is
-// strongly encouraged.
+// strongly encouraged. Suppressions are themselves checked: RunWithStale
+// reports markers that no longer suppress anything (analyzer name
+// "nolint"), which is what cmd/hpvet and CI run.
 package analysis
 
 import (
@@ -59,6 +61,10 @@ func All() []*Analyzer {
 		FloatCmp(),
 		PanicPolicy(),
 		ConfigCover(),
+		CycleAcct(),
+		UnitCheck(),
+		SeedPlumb(),
+		TableSchema(),
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as
@@ -84,6 +90,26 @@ func Select(names []string) ([]*Analyzer, error) {
 // Run executes the analyzers over the module, drops findings suppressed
 // by //hp:nolint comments, and returns the rest sorted by position.
 func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	out, _ := run(m, analyzers)
+	return out
+}
+
+// RunWithStale is Run plus suppression hygiene: //hp:nolint markers that
+// suppressed no finding of the executed analyzers are themselves
+// reported (analyzer name "nolint"), so dead suppressions cannot
+// accumulate and quietly widen what a future edit may get away with.
+// Markers are only judged when every analyzer they name ran (a marker
+// for an analyzer outside the run set may still be load-bearing);
+// blanket markers naming no analyzer are judged only when the full suite
+// runs. Markers naming analyzers that do not exist are always reported.
+func RunWithStale(m *Module, analyzers []*Analyzer) []Diagnostic {
+	out, sup := run(m, analyzers)
+	out = append(out, sup.stale(analyzers)...)
+	sortDiagnostics(out)
+	return out
+}
+
+func run(m *Module, analyzers []*Analyzer) ([]Diagnostic, *suppressions) {
 	sup := collectSuppressions(m)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -94,6 +120,11 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	sortDiagnostics(out)
+	return out, sup
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -105,29 +136,103 @@ func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
-// suppressions maps file -> line -> analyzers suppressed on that line.
-// The empty-string key means every analyzer.
-type suppressions map[string]map[int]map[string]bool
+// nolintMarker is one //hp:nolint comment: where it sits, which
+// analyzers it names (none = all), and whether it suppressed anything
+// during the run.
+type nolintMarker struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
 
-func (s suppressions) suppressed(d Diagnostic) bool {
-	lines := s[d.Pos.Filename]
-	if lines == nil {
-		return false
+// matches reports whether the marker covers the analyzer.
+func (mk *nolintMarker) matches(analyzer string) bool {
+	if len(mk.names) == 0 {
+		return true
 	}
-	names := lines[d.Pos.Line]
-	return names != nil && (names[""] || names[d.Analyzer])
+	for _, n := range mk.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions indexes every //hp:nolint marker by the file lines it
+// covers (its own line and the one below).
+type suppressions struct {
+	byLine  map[string]map[int][]*nolintMarker
+	markers []*nolintMarker
+}
+
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	hit := false
+	for _, mk := range s.byLine[d.Pos.Filename][d.Pos.Line] {
+		if mk.matches(d.Analyzer) {
+			mk.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale reports the markers the finished run proved dead, plus markers
+// naming analyzers that do not exist at all.
+func (s *suppressions) stale(analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	fullSuite := true
+	for name := range known {
+		if !ran[name] {
+			fullSuite = false
+		}
+	}
+	var out []Diagnostic
+	for _, mk := range s.markers {
+		judgeable := true
+		for _, n := range mk.names {
+			if !known[n] {
+				out = append(out, Diagnostic{Analyzer: "nolint", Pos: mk.pos,
+					Message: fmt.Sprintf("//hp:nolint names unknown analyzer %q", n)})
+				judgeable = false
+			} else if !ran[n] {
+				judgeable = false
+			}
+		}
+		if len(mk.names) == 0 {
+			judgeable = fullSuite
+		}
+		if !judgeable || mk.used {
+			continue
+		}
+		what := "any analyzer"
+		if len(mk.names) > 0 {
+			what = strings.Join(mk.names, ", ")
+		}
+		out = append(out, Diagnostic{Analyzer: "nolint", Pos: mk.pos,
+			Message: fmt.Sprintf("stale //hp:nolint: no finding from %s on this or the next line; remove the marker", what)})
+	}
+	return out
 }
 
 // collectSuppressions scans every file's comments for //hp:nolint
 // markers. A marker covers its own line and the line below it, so both
 // end-of-line and line-above placements work.
-func collectSuppressions(m *Module) suppressions {
-	sup := suppressions{}
+func collectSuppressions(m *Module) *suppressions {
+	sup := &suppressions{byLine: map[string]map[int][]*nolintMarker{}}
 	for _, p := range m.Pkgs {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
@@ -137,7 +242,7 @@ func collectSuppressions(m *Module) suppressions {
 					if !ok {
 						continue
 					}
-					markSuppressed(sup, m.Fset.Position(c.Slash), rest)
+					sup.add(m.Fset.Position(c.Slash), rest)
 				}
 			}
 		}
@@ -145,29 +250,21 @@ func collectSuppressions(m *Module) suppressions {
 	return sup
 }
 
-// markSuppressed records the analyzers named in one hp:nolint comment.
-func markSuppressed(sup suppressions, pos token.Position, rest string) {
+// add records one hp:nolint comment and the lines it covers.
+func (s *suppressions) add(pos token.Position, rest string) {
 	if reason := strings.Index(rest, "--"); reason >= 0 {
 		rest = rest[:reason]
 	}
 	names := strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' })
-	file := sup[pos.Filename]
+	mk := &nolintMarker{pos: pos, names: names}
+	s.markers = append(s.markers, mk)
+	file := s.byLine[pos.Filename]
 	if file == nil {
-		file = map[int]map[string]bool{}
-		sup[pos.Filename] = file
+		file = map[int][]*nolintMarker{}
+		s.byLine[pos.Filename] = file
 	}
 	for _, line := range []int{pos.Line, pos.Line + 1} {
-		set := file[line]
-		if set == nil {
-			set = map[string]bool{}
-			file[line] = set
-		}
-		if len(names) == 0 {
-			set[""] = true
-		}
-		for _, n := range names {
-			set[n] = true
-		}
+		file[line] = append(file[line], mk)
 	}
 }
 

@@ -67,6 +67,60 @@ func TestSuppressionsNeverFire(t *testing.T) {
 	}
 }
 
+// TestRunWithStale exercises suppression hygiene over the dedicated
+// nolint fixture: a live marker stays silent, a dead marker and a
+// blanket marker are reported stale, and a typoed analyzer name is
+// always reported.
+func TestRunWithStale(t *testing.T) {
+	m, err := LoadModule(filepath.Join("testdata", "nolint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range RunWithStale(m, All()) {
+		got = append(got, d.String(m.Root))
+	}
+	want := []string{
+		`internal/uarch/clock.go:14:2: nolint: stale //hp:nolint: no finding from determinism on this or the next line; remove the marker`,
+		`internal/uarch/clock.go:20:2: nolint: //hp:nolint names unknown analyzer "determinsim"`,
+		`internal/uarch/clock.go:26:2: nolint: stale //hp:nolint: no finding from any analyzer on this or the next line; remove the marker`,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("RunWithStale returned %d diagnostics, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag %d = %s\nwant     %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunWithStalePartialSuite asserts markers are only judged when the
+// analyzers they name actually ran: under -only floatcmp, the dead
+// determinism marker and the blanket marker are off the table, but a
+// typoed name is still reported.
+func TestRunWithStalePartialSuite(t *testing.T) {
+	m, err := LoadModule(filepath.Join("testdata", "nolint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := Select([]string{"floatcmp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunWithStale(m, as)
+	if len(diags) != 1 {
+		var lines []string
+		for _, d := range diags {
+			lines = append(lines, d.String(m.Root))
+		}
+		t.Fatalf("partial suite returned %d diagnostics, want only the unknown-name report:\n%s", len(diags), strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(diags[0].Message, `unknown analyzer "determinsim"`) {
+		t.Fatalf("unexpected diagnostic: %s", diags[0].String(m.Root))
+	}
+}
+
 func TestSelect(t *testing.T) {
 	as, err := Select([]string{"determinism", "floatcmp"})
 	if err != nil || len(as) != 2 {
@@ -90,8 +144,9 @@ func TestAllSortedAndDocumented(t *testing.T) {
 	}
 }
 
-// TestSelfClean runs the whole suite over this repository itself: the
-// tree must stay hpvet-clean, which is the same gate CI enforces via
+// TestSelfClean runs the whole suite over this repository itself,
+// including suppression hygiene: the tree must stay hpvet-clean with no
+// stale //hp:nolint markers, which is the same gate CI enforces via
 // `go run ./cmd/hpvet`.
 func TestSelfClean(t *testing.T) {
 	if testing.Short() {
@@ -101,9 +156,34 @@ func TestSelfClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ds := Run(m, All()); len(ds) > 0 {
+	if ds := RunWithStale(m, All()); len(ds) > 0 {
 		for _, d := range ds {
 			t.Errorf("%s", d.String(m.Root))
 		}
+	}
+}
+
+// TestCPIStackGeneratedCurrent asserts the committed generated balance
+// test (the runtime half of the cycleacct invariant) matches what the
+// generator emits for today's tree, so a new cycle class cannot land
+// without regenerating it.
+func TestCPIStackGeneratedCurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := CPIStackTestSource(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(m.Root, filepath.FromSlash(CPIStackTestFile)))
+	if err != nil {
+		t.Fatalf("reading committed generated test (run go run ./cmd/hpvet -write-cpistack-test): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s is out of date; rerun go run ./cmd/hpvet -write-cpistack-test (make generate)", CPIStackTestFile)
 	}
 }

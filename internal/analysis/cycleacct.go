@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CycleAcct enforces the CPI-stack accounting discipline: every simulated
+// cycle is attributed to exactly one CycleClass, so the stack always sums
+// to Stats.Cycles. The runtime half of the invariant is the generated
+// balance test (see gencpistack.go); this analyzer proves the static
+// half — that no increment site can run a different number of times per
+// cycle than the cycle counter itself:
+//
+//   - uarch.Stats.CycleClasses may only be written inside internal/uarch
+//     (the pipeline is the sole producer);
+//   - every write must be a plain ++ on one indexed class — bulk
+//     assignments, += n, or composite-literal initialisation would credit
+//     a class with something other than exactly one cycle;
+//   - each CycleClasses[...]++ must share a function with a Stats.Cycles
+//     increment and sit in the same innermost loop, so the class
+//     attribution is reachable at most once per simulated cycle;
+//   - Stats.Cycles itself must only advance by ++.
+func CycleAcct() *Analyzer {
+	return &Analyzer{
+		Name: "cycleacct",
+		Doc:  "prove each CPI-stack class increment runs at most once per simulated cycle",
+		Run:  runCycleAcct,
+	}
+}
+
+func runCycleAcct(m *Module) []Diagnostic {
+	producer := m.Path + "/internal/uarch"
+	prodPkg := m.Pkgs[producer]
+	if prodPkg == nil {
+		return nil
+	}
+	_, fields := lookupStruct(prodPkg, "Stats")
+	var classesField, cyclesField *types.Var
+	for _, f := range fields {
+		switch f.Name() {
+		case "CycleClasses":
+			classesField = f
+		case "Cycles":
+			cyclesField = f
+		}
+	}
+	if classesField == nil || cyclesField == nil {
+		return nil
+	}
+
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, Diagnostic{Analyzer: "cycleacct", Pos: m.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+	}
+
+	inspectFiles(m, nil, func(p *Package, f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				// Composite-literal keys in var declarations still count.
+				forEachFieldWrite(p, decl, classesField, func(site fieldWrite) {
+					report(site.node.Pos(), "uarch.Stats.CycleClasses written outside a function body; cycle classes may only be advanced by the pipeline's cycle loop")
+				})
+				continue
+			}
+			checkCycleAcctFunc(m, p, fd, producer, classesField, cyclesField, report)
+		}
+	})
+	return out
+}
+
+// checkCycleAcctFunc applies the accounting rules to one function.
+func checkCycleAcctFunc(m *Module, p *Package, fd *ast.FuncDecl, producer string, classesField, cyclesField *types.Var, report func(token.Pos, string, ...interface{})) {
+	var classIncs []fieldWrite
+	forEachFieldWrite(p, fd, classesField, func(site fieldWrite) {
+		if p.Path != producer {
+			report(site.node.Pos(), "uarch.Stats.CycleClasses written outside internal/uarch; the pipeline is the CPI stack's only producer")
+			return
+		}
+		if !site.isIncrement {
+			report(site.node.Pos(), "uarch.Stats.CycleClasses must only advance by ++ on one indexed class (exactly one cycle per attribution)")
+			return
+		}
+		classIncs = append(classIncs, site)
+	})
+
+	var cycleIncs []fieldWrite
+	forEachFieldWrite(p, fd, cyclesField, func(site fieldWrite) {
+		if !site.isIncrement {
+			report(site.node.Pos(), "uarch.Stats.Cycles must only advance by ++ (one simulated cycle at a time)")
+			return
+		}
+		cycleIncs = append(cycleIncs, site)
+	})
+
+	if len(classIncs) == 0 {
+		return
+	}
+	if len(cycleIncs) == 0 {
+		for _, site := range classIncs {
+			report(site.node.Pos(), "uarch.Stats.CycleClasses incremented in %s, which never increments Stats.Cycles; the class attribution can desync from the cycle count", fd.Name.Name)
+		}
+		return
+	}
+	for _, site := range classIncs {
+		classLoop, classLit := innermostLoop(fd, site.node)
+		if classLit {
+			report(site.node.Pos(), "uarch.Stats.CycleClasses incremented inside a function literal; hoist it so cycleacct can prove at most one attribution per cycle")
+			continue
+		}
+		matched := false
+		for _, cyc := range cycleIncs {
+			cycleLoop, cycleLit := innermostLoop(fd, cyc.node)
+			if !cycleLit && cycleLoop == classLoop {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			report(site.node.Pos(), "uarch.Stats.CycleClasses increment does not share its innermost loop with a Stats.Cycles increment; it can run a different number of times per simulated cycle")
+		}
+	}
+}
+
+// fieldWrite is one write access to a tracked struct field.
+type fieldWrite struct {
+	node        ast.Node // the statement or composite-lit key performing the write
+	isIncrement bool     // a ++ IncDecStmt
+}
+
+// forEachFieldWrite reports every write to the given field under root:
+// assignment LHS (plain, op-assign), ++/--, and composite-literal keys.
+func forEachFieldWrite(p *Package, root ast.Node, field *types.Var, visit func(fieldWrite)) {
+	selectsField := func(e ast.Expr) bool {
+		sel, ok := unwrapTarget(e).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		s, ok := p.Info.Selections[sel]
+		return ok && s.Kind() == types.FieldVal && s.Obj() == field
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if selectsField(lhs) {
+					visit(fieldWrite{node: n})
+				}
+			}
+		case *ast.IncDecStmt:
+			if selectsField(n.X) {
+				visit(fieldWrite{node: n, isIncrement: n.Tok == token.INC})
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj, ok := p.Info.Uses[key].(*types.Var); ok && obj == field {
+					visit(fieldWrite{node: kv})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// innermostLoop returns the innermost for/range statement enclosing
+// target within fn (nil when the target is loop-free), and whether a
+// function literal sits between the target and fn's body — in which case
+// static per-iteration reasoning does not apply.
+func innermostLoop(fn *ast.FuncDecl, target ast.Node) (loop ast.Stmt, insideFuncLit bool) {
+	stack := enclosingStack(fn, target)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.ForStmt:
+			if loop == nil {
+				loop = n
+			}
+		case *ast.RangeStmt:
+			if loop == nil {
+				loop = n
+			}
+		case *ast.FuncLit:
+			return loop, true
+		}
+	}
+	return loop, false
+}
+
+// enclosingStack returns the ancestor chain from root down to target
+// (exclusive of target), or nil if target is not under root.
+func enclosingStack(root ast.Node, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if n == target && found == nil {
+			found = append([]ast.Node(nil), stack...)
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return found
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// docCatalogTables locates every markdown analyzer-catalogue table in
+// the file — a header row whose first cell is "Analyzer" — and returns
+// the backticked names from the first column of its rows.
+func docCatalogTables(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	nameRe := regexp.MustCompile("^\\s*\\|\\s*`([a-z0-9]+)`\\s*\\|")
+	var names []string
+	inTable := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "| Analyzer |"):
+			inTable = true
+		case !strings.HasPrefix(line, "|"):
+			inTable = false
+		case inTable:
+			if m := nameRe.FindStringSubmatch(line); m != nil {
+				names = append(names, m[1])
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+// TestDocAnalyzerCatalog keeps the analyzer catalogue tables in
+// README.md and DESIGN.md honest: each must list exactly the analyzers
+// registered in All(), no more, no fewer.
+func TestDocAnalyzerCatalog(t *testing.T) {
+	var want []string
+	for _, a := range All() {
+		want = append(want, a.Name)
+	}
+	sort.Strings(want)
+
+	for _, doc := range []string{"README.md", "DESIGN.md"} {
+		got := docCatalogTables(t, filepath.Join("..", "..", doc))
+		if len(got) == 0 {
+			t.Errorf("%s: no analyzer catalogue table found (header row \"| Analyzer |...\")", doc)
+			continue
+		}
+		sort.Strings(got)
+		if strings.Join(got, ",") != strings.Join(want, ",") {
+			t.Errorf("%s catalogue lists [%s]\nregistered analyzers are [%s]",
+				doc, strings.Join(got, ", "), strings.Join(want, ", "))
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SeedPlumb enforces explicit seed plumbing through the simulation
+// packages (internal/uarch, internal/trace, internal/vm,
+// internal/experiments): every trace.Profile construction names its
+// Seed, no call hands a seed-typed parameter the constant 0, nothing
+// derives a seed from the clock, and no function quietly substitutes a
+// default when it receives a zero seed. Bit-identical reruns are the
+// repository's core reproducibility claim; an implicit seed anywhere in
+// these packages silently breaks it.
+func SeedPlumb() *Analyzer {
+	return &Analyzer{
+		Name: "seedplumb",
+		Doc:  "require explicit non-zero, non-clock seeds through trace/uarch/vm/experiments",
+		Run:  runSeedPlumb,
+	}
+}
+
+func runSeedPlumb(m *Module) []Diagnostic {
+	scope := map[string]bool{
+		m.Path + "/internal/uarch":       true,
+		m.Path + "/internal/trace":       true,
+		m.Path + "/internal/vm":          true,
+		m.Path + "/internal/experiments": true,
+	}
+	var profileObj types.Object
+	if tp := m.Pkgs[m.Path+"/internal/trace"]; tp != nil && tp.Types != nil {
+		profileObj = tp.Types.Scope().Lookup("Profile")
+	}
+
+	var out []Diagnostic
+	inspectFiles(m, func(p *Package) bool { return scope[p.Path] }, func(p *Package, f *ast.File) {
+		report := func(pos token.Pos, format string, args ...interface{}) {
+			out = append(out, Diagnostic{Analyzer: "seedplumb", Pos: m.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkProfileLit(p, n, profileObj, report)
+			case *ast.CallExpr:
+				checkSeedArgs(p, n, report)
+			case *ast.IfStmt:
+				checkZeroSeedFallback(p, n, report)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// checkProfileLit requires every non-empty trace.Profile literal to name
+// an explicit Seed. Empty Profile{} stays legal as an error-path
+// sentinel value.
+func checkProfileLit(p *Package, lit *ast.CompositeLit, profileObj types.Object, report func(token.Pos, string, ...interface{})) {
+	if profileObj == nil || len(lit.Elts) == 0 || !isNamedType(p.Info.TypeOf(lit), profileObj) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			report(lit.Pos(), "constructs a trace.Profile positionally; use a keyed literal with an explicit Seed")
+			return
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Seed" {
+			continue
+		}
+		if isConstZero(p, kv.Value) {
+			report(kv.Pos(), "sets trace.Profile.Seed to the constant 0, the implicit zero value; thread a real seed")
+		}
+		if clock := timeDerived(p, kv.Value); clock != "" {
+			report(kv.Pos(), "derives trace.Profile.Seed from %s; seeds must be explicit and reproducible", clock)
+		}
+		return
+	}
+	report(lit.Pos(), "constructs a trace.Profile without an explicit Seed; every synthetic workload must thread one")
+}
+
+// checkSeedArgs rejects constant-zero and clock-derived values passed to
+// seed-named parameters.
+func checkSeedArgs(p *Package, call *ast.CallExpr, report func(token.Pos, string, ...interface{})) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		name := sig.Params().At(i).Name()
+		if !strings.Contains(strings.ToLower(name), "seed") {
+			continue
+		}
+		if isConstZero(p, arg) {
+			report(arg.Pos(), "passes the constant 0 as %s to %s; thread an explicit non-zero seed", name, fn.Name())
+		}
+		if clock := timeDerived(p, arg); clock != "" {
+			report(arg.Pos(), "derives the %s argument of %s from %s; seeds must be explicit and reproducible", name, fn.Name(), clock)
+		}
+	}
+}
+
+// checkZeroSeedFallback flags the pattern
+//
+//	if seed == 0 { seed = <default> }
+//
+// on a seed-named variable or Seed field: a silent default turns every
+// forgotten seed into the same run instead of an error.
+func checkZeroSeedFallback(p *Package, ifs *ast.IfStmt, report func(token.Pos, string, ...interface{})) {
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return
+	}
+	target := cond.X
+	if isConstZero(p, target) {
+		target = cond.Y
+	} else if !isConstZero(p, cond.Y) {
+		return
+	}
+	obj := seedObject(p, target)
+	if obj == nil {
+		return
+	}
+	assigned := false
+	ast.Inspect(ifs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if seedObject(p, lhs) == obj {
+				assigned = true
+			}
+		}
+		return true
+	})
+	if assigned {
+		report(ifs.Pos(), "silently replaces a zero %s with a default; reject it instead so every caller threads an explicit seed", obj.Name())
+	}
+}
+
+// seedObject resolves an expression to the object of a seed-named
+// variable or Seed field, or nil.
+func seedObject(p *Package, e ast.Expr) types.Object {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		obj = p.Info.ObjectOf(e.Sel)
+	}
+	if obj == nil || !strings.Contains(strings.ToLower(obj.Name()), "seed") {
+		return nil
+	}
+	return obj
+}
+
+// isConstZero reports whether the expression is a compile-time 0.
+func isConstZero(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil && tv.Value.ExactString() == "0"
+}
+
+// timeDerived reports the clock call an expression depends on ("" when
+// none): any call into package time taints the whole expression.
+func timeDerived(p *Package, e ast.Expr) string {
+	found := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = "time." + fn.Name()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNamedType reports whether t (or its pointer elem) is the named type
+// declared by obj.
+func isNamedType(t types.Type, obj types.Object) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == obj
+}

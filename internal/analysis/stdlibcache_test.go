@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -47,6 +49,70 @@ func TestStdlibCacheUnavailable(t *testing.T) {
 
 	if _, err := LoadModule(filepath.Join("testdata", "determinism")); err != nil {
 		t.Fatalf("load with unavailable cache: %v", err)
+	}
+}
+
+// TestStdlibCacheConcurrentCold re-executes this test binary twice as
+// child processes racing LoadModule through the same cold cache
+// directory: both must succeed, and the cache must end up populated.
+// copyFileAtomic's rename-based install is what keeps a reader in one
+// process from ever seeing the other's half-written export file.
+func TestStdlibCacheConcurrentCold(t *testing.T) {
+	if os.Getenv("HPVET_CACHE_RACE_DIR") != "" {
+		stdlibCacheRaceChild(t)
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns child processes that shell out to the go tool")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "stdlib-cache")
+	fixture, err := filepath.Abs(filepath.Join("testdata", "determinism"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	outs := make([][]byte, 2)
+	errs := make([]error, 2)
+	for i := range outs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cmd := exec.Command(exe, "-test.run", "^TestStdlibCacheConcurrentCold$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"HPVET_CACHE_RACE_DIR="+dir,
+				"HPVET_CACHE_RACE_FIXTURE="+fixture)
+			outs[i], errs[i] = cmd.CombinedOutput()
+		}()
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Errorf("racing process %d failed: %v\n%s", i, errs[i], outs[i])
+		}
+	}
+	if _, err := os.Stat(exportFile(dir, "time")); err != nil {
+		t.Errorf("cache not populated after racing cold loads: %v", err)
+	}
+}
+
+// stdlibCacheRaceChild is the body run inside each racing child
+// process: redirect the cache to the shared cold directory and load the
+// fixture module through it.
+func stdlibCacheRaceChild(t *testing.T) {
+	orig := stdlibCacheRoot
+	stdlibCacheRoot = func() string { return os.Getenv("HPVET_CACHE_RACE_DIR") }
+	defer func() { stdlibCacheRoot = orig }()
+	m, err := LoadModule(os.Getenv("HPVET_CACHE_RACE_FIXTURE"))
+	if err != nil {
+		t.Fatalf("cold load in racing process: %v", err)
+	}
+	if len(m.Pkgs) == 0 {
+		t.Fatal("fixture loaded no packages")
 	}
 }
 

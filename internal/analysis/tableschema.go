@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// TableSchema cross-checks the experiments table schema against the
+// rendering CLIs, so no column or table is silently dropped between the
+// simulation and the paper artifacts:
+//
+//   - every zero-argument exported constructor returning
+//     *experiments.Result must be individually addressable in
+//     cmd/figures' -fig artifact map, and aggregated inside
+//     internal/experiments (All/Ablations) so cmd/report's full document
+//     renders it;
+//   - no constructor writes two series with the same literal label —
+//     Result.Get/Mean/Min return the first match, silently shadowing the
+//     second column;
+//   - every string-literal label passed to Result.Get/Mean/Min in
+//     shipping code must be written by some constructor — an unknown
+//     label returns (0, false) instead of failing loudly. (Labels built
+//     at run time are outside the literal-matching and go unchecked.)
+func TableSchema() *Analyzer {
+	return &Analyzer{
+		Name: "tableschema",
+		Doc:  "cross-check experiments Result columns against the report/figures rendering paths",
+		Run:  runTableSchema,
+	}
+}
+
+func runTableSchema(m *Module) []Diagnostic {
+	expPkg := m.Pkgs[m.Path+"/internal/experiments"]
+	figPkg := m.Pkgs[m.Path+"/cmd/figures"]
+	if expPkg == nil || expPkg.Types == nil {
+		return nil
+	}
+	resultObj := expPkg.Types.Scope().Lookup("Result")
+	seriesObj := expPkg.Types.Scope().Lookup("Series")
+	if resultObj == nil || seriesObj == nil {
+		return nil
+	}
+
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, Diagnostic{Analyzer: "tableschema", Pos: m.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+	}
+
+	constructors := resultConstructors(expPkg, resultObj)
+	for _, fd := range constructors {
+		seriesLabels(expPkg, fd, seriesObj, report)
+	}
+	// The written-label set spans the whole package: helpers outside the
+	// constructors may build series too.
+	labels := map[string]bool{}
+	for _, f := range expPkg.Files {
+		for _, l := range seriesLabels(expPkg, f, seriesObj, nil) {
+			labels[l] = true
+		}
+	}
+
+	// Aggregation coverage: referenced inside experiments (All/Ablations
+	// feed cmd/report) and referenced from cmd/figures (the -fig map).
+	usedInExp := usesOf(expPkg, constructors)
+	usedInFig := map[*types.Func]bool{}
+	if figPkg != nil {
+		usedInFig = usesOf(figPkg, constructors)
+	}
+	for fn, fd := range constructors {
+		if !usedInExp[fn] {
+			report(fd.Pos(), "experiments.%s is not aggregated by any experiments collection (All/Ablations), so cmd/report's full document silently drops its table", fn.Name())
+		}
+		if figPkg != nil && !usedInFig[fn] {
+			report(fd.Pos(), "experiments.%s has no entry in cmd/figures' -fig artifact map; the table cannot be rendered individually", fn.Name())
+		}
+	}
+
+	// Phantom lookups: literal labels read anywhere in shipping code must
+	// be written by some constructor.
+	inspectFiles(m, nil, func(p *Package, f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || !isResultAccessor(fn, resultObj) {
+				return true
+			}
+			if lit := stringLiteral(call.Args[0]); lit != "" && !labels[lit] {
+				report(call.Args[0].Pos(), "looks up series label %q, which no experiments constructor writes; Result.%s silently returns (0, false)", lit, fn.Name())
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// resultConstructors returns the exported zero-argument functions and
+// methods of the experiments package returning exactly *Result.
+func resultConstructors(p *Package, resultObj types.Object) map[*types.Func]*ast.FuncDecl {
+	out := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !fd.Name.IsExported() {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+				continue
+			}
+			if isNamedType(sig.Results().At(0).Type(), resultObj) {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// seriesLabels collects the literal Series labels written under root,
+// reporting duplicates (the shadowed column) when report is non-nil.
+func seriesLabels(p *Package, root ast.Node, seriesObj types.Object, report func(token.Pos, string, ...interface{})) []string {
+	var out []string
+	seen := map[string]bool{}
+	name := "this function"
+	if fd, ok := root.(*ast.FuncDecl); ok {
+		name = fd.Name.Name
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isNamedType(p.Info.TypeOf(lit), seriesObj) {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Label" {
+				continue
+			}
+			l := stringLiteral(kv.Value)
+			if l == "" {
+				continue
+			}
+			if seen[l] {
+				if report != nil {
+					report(kv.Value.Pos(), "duplicate series label %q in %s; Result.Get/Mean return the first match, silently shadowing this column", l, name)
+				}
+				continue
+			}
+			seen[l] = true
+			out = append(out, l)
+		}
+		return true
+	})
+	return out
+}
+
+// usesOf returns which of the given functions the package references.
+func usesOf(p *Package, fns map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	out := map[*types.Func]bool{}
+	for _, obj := range p.Info.Uses {
+		if fn, ok := obj.(*types.Func); ok {
+			if _, tracked := fns[fn]; tracked {
+				out[fn] = true
+			}
+		}
+	}
+	return out
+}
+
+// isResultAccessor reports whether fn is one of Result's label-lookup
+// methods (Get, Mean, Min).
+func isResultAccessor(fn *types.Func, resultObj types.Object) bool {
+	switch fn.Name() {
+	case "Get", "Mean", "Min":
+	default:
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedType(sig.Recv().Type(), resultObj)
+}
+
+// stringLiteral unquotes a string literal expression ("" when e is not
+// one).
+func stringLiteral(e ast.Expr) string {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}

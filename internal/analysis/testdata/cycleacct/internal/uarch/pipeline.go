@@ -1,0 +1,68 @@
+package uarch
+
+// Stats mirrors the simulator's counter block.
+type Stats struct {
+	Cycles       uint64
+	CycleClasses [4]uint64
+	Insts        uint64
+}
+
+// Core is a toy pipeline.
+type Core struct {
+	st Stats
+}
+
+// warm seeds the stack outside any cycle loop.
+var warm = Stats{CycleClasses: [4]uint64{1, 0, 0, 0}}
+
+// Run is the compliant cycle loop: exactly one class attribution per
+// simulated cycle, in the same innermost loop as the cycle counter.
+func (c *Core) Run(n int) {
+	for i := 0; i < n; i++ {
+		c.st.CycleClasses[i%4]++
+		c.st.Cycles++
+		c.st.Insts += 2 // unrelated counters stay free-form
+	}
+}
+
+// Drain books a class in a loop nested deeper than the cycle counter.
+func (c *Core) Drain(n int) {
+	for i := 0; i < n; i++ {
+		c.st.Cycles++
+		for j := 0; j < 2; j++ {
+			c.st.CycleClasses[0]++
+		}
+	}
+}
+
+// Credit books a class without ever advancing the cycle counter.
+func (c *Core) Credit() {
+	c.st.CycleClasses[1]++
+}
+
+// Bulk advances both counters by more than one step at a time.
+func (c *Core) Bulk() {
+	c.st.CycleClasses[2] += 2
+	c.st.Cycles += 2
+}
+
+// Deferred hides the attribution inside a function literal.
+func (c *Core) Deferred(n int) {
+	for i := 0; i < n; i++ {
+		c.st.Cycles++
+		book := func() { c.st.CycleClasses[3]++ }
+		book()
+	}
+}
+
+// Stall re-credits a cycle during replay recovery; the double count is
+// audited by hand, so the finding is suppressed.
+func (c *Core) Stall(n int) {
+	for i := 0; i < n; i++ {
+		c.st.Cycles++
+		if i%8 == 0 {
+			//hp:nolint cycleacct -- replay re-credit audited in the replay tests
+			c.st.CycleClasses[1] = c.st.CycleClasses[1] + 1
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package uarch
+
+import "time"
+
+// Now is wall-clock telemetry; the marker below is live because the
+// call really does trip the determinism analyzer.
+func Now() int64 {
+	//hp:nolint determinism -- wall-clock telemetry, never feeds simulation state
+	return time.Now().UnixNano()
+}
+
+// Calm carries a marker whose finding was fixed long ago.
+func Calm() int {
+	//hp:nolint determinism -- nothing here fires anymore
+	return 4
+}
+
+// Typo names an analyzer that does not exist.
+func Typo() int {
+	//hp:nolint determinsim -- typoed analyzer name
+	return 5
+}
+
+// Blanket suppresses everything and therefore nothing.
+func Blanket() int {
+	//hp:nolint
+	return 6
+}

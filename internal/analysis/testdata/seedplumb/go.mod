@@ -1,0 +1,3 @@
+module halfprice
+
+go 1.21

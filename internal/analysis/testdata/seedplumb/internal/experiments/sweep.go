@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"time"
+
+	"halfprice/internal/trace"
+)
+
+// Good threads an explicit seed.
+func Good() trace.Profile {
+	return trace.Profile{Name: "gzip", Seed: 42}
+}
+
+// Forgot omits the seed entirely.
+func Forgot() trace.Profile {
+	return trace.Profile{Name: "mcf"}
+}
+
+// Zero names the seed but hands it the implicit zero value.
+func Zero() trace.Profile {
+	return trace.Profile{Name: "vpr", Seed: 0}
+}
+
+// Positional construction silently loses the seed on field reorder.
+func Positional() trace.Profile {
+	return trace.Profile{"twolf", 7}
+}
+
+// Clock derives the seed from the wall clock.
+func Clock() trace.Profile {
+	return trace.Profile{Name: "gcc", Seed: uint64(time.Now().UnixNano())}
+}
+
+// ZeroArg hands a constant zero to a seed parameter.
+func ZeroArg() uint64 {
+	return trace.NewRng(0)
+}
+
+// ClockArg derives a seed argument from the clock.
+func ClockArg() uint64 {
+	return trace.NewRng(uint64(time.Now().Unix()))
+}
+
+// Sentinel: the empty literal stays legal as an error-path value.
+func Sentinel() trace.Profile {
+	return trace.Profile{}
+}
+
+// Replay intentionally reuses stream zero to reproduce a calibration
+// artifact; the finding is suppressed with a reason.
+func Replay() trace.Profile {
+	//hp:nolint seedplumb -- calibration replay must share stream zero
+	return trace.Profile{Name: "replay", Seed: 0}
+}

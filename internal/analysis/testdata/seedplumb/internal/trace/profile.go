@@ -1,0 +1,19 @@
+package trace
+
+// Profile describes one synthetic workload.
+type Profile struct {
+	Name string
+	Seed uint64
+}
+
+// NewRng builds the generator state from an explicit seed.
+func NewRng(seed uint64) uint64 { return seed * 2685821657736338717 }
+
+// DefaultRng quietly substitutes a default for a zero seed — every
+// forgotten seed becomes the same run instead of an error.
+func DefaultRng(seed uint64) uint64 {
+	if seed == 0 {
+		seed = 1
+	}
+	return NewRng(seed)
+}

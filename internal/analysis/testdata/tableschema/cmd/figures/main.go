@@ -1,0 +1,19 @@
+// Command figures renders individual artifacts.
+package main
+
+import (
+	"fmt"
+
+	"halfprice/internal/experiments"
+)
+
+func main() {
+	r := &experiments.Runner{}
+	artifacts := map[string]func() *experiments.Result{
+		"t2": r.BaseIPC,
+		"s":  r.Shadow,
+	}
+	res := artifacts["t2"]()
+	ipc, _ := res.Mean("ipc")
+	fmt.Println(ipc)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+// Series is one table column.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Result is one rendered table.
+type Result struct {
+	ID     string
+	Series []Series
+}
+
+// Get returns the series with the given label.
+func (r *Result) Get(label string) ([]float64, bool) {
+	for _, s := range r.Series {
+		if s.Label == label {
+			return s.Values, true
+		}
+	}
+	return nil, false
+}
+
+// Mean returns the mean of a labelled series.
+func (r *Result) Mean(label string) (float64, bool) {
+	vs, ok := r.Get(label)
+	if !ok || len(vs) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs)), true
+}
+
+// Runner produces every table.
+type Runner struct{}
+
+// BaseIPC is fully wired: aggregated by All and addressable in
+// cmd/figures.
+func (r *Runner) BaseIPC() *Result {
+	return &Result{ID: "t2", Series: []Series{{Label: "ipc", Values: []float64{1}}}}
+}
+
+// Orphan is aggregated nowhere: All skips it and cmd/figures has no
+// entry for it.
+func (r *Runner) Orphan() *Result {
+	return &Result{ID: "x", Series: []Series{{Label: "orphan", Values: []float64{1}}}}
+}
+
+// Shadow writes the same label twice; the second column is
+// unreachable through Get/Mean.
+func (r *Runner) Shadow() *Result {
+	return &Result{ID: "s", Series: []Series{
+		{Label: "col", Values: []float64{1}},
+		{Label: "col", Values: []float64{2}},
+	}}
+}
+
+// Scratch is kept out of the document on purpose.
+//
+//hp:nolint tableschema -- scratch table, rendered by hand during calibration
+func (r *Runner) Scratch() *Result {
+	return &Result{ID: "scratch", Series: []Series{{Label: "scratch", Values: []float64{0}}}}
+}
+
+// All aggregates the full document for cmd/report.
+func (r *Runner) All() []*Result {
+	return []*Result{r.BaseIPC(), r.Shadow()}
+}
+
+// Check reads one wired label and one label nobody writes.
+func Check(res *Result) float64 {
+	ipc, _ := res.Mean("ipc")
+	ghost, _ := res.Mean("phantom")
+	return ipc + ghost
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "halfprice/internal/timing"
+
+// Claims mixes the paper's two time domains every way unitcheck
+// rejects.
+func Claims() []float64 {
+	sched := timing.Delay()
+	rf := timing.AccessTime()
+	sum := sched + rf
+	_ = sum
+	cmp := sched > rf
+	_ = cmp
+	ratio := sched / rf
+	_ = ratio
+	total := timing.AccessTime()
+	total += timing.Delay()
+	_ = total
+	cols := []float64{sched, rf}
+	_ = timing.PsToNs(rf)
+	fine := timing.PsToNs(timing.Delay()) + timing.AccessTime()
+	_ = fine
+	return cols
+}
+
+// SchedPs wraps Delay; return-unit inference labels it ps.
+func SchedPs() float64 { return timing.Delay() }
+
+// Derived mixes through the inferred wrapper.
+func Derived() float64 {
+	return SchedPs() - timing.AccessTime()
+}
+
+// Legacy reproduces a historical mixed column for the appendix.
+func Legacy() []float64 {
+	//hp:nolint unitcheck -- appendix table reproduced verbatim from the paper
+	return []float64{timing.Delay(), timing.AccessTime()}
+}

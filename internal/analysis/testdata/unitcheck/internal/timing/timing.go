@@ -1,0 +1,27 @@
+package timing
+
+// Delay returns the scheduler loop's critical path.
+//
+//hp:unit ps
+func Delay() float64 { return 466 }
+
+// AccessTime returns the register-file access time.
+//
+//hp:unit ns
+func AccessTime() float64 { return 1.71 }
+
+// PsToNs converts picoseconds to nanoseconds.
+//
+//hp:unit ps->ns
+func PsToNs(ps float64) float64 { return ps / 1000 }
+
+// Speedup forgot its unit marker.
+func Speedup() float64 { return 1.2 }
+
+// Broken carries a marker that does not parse.
+//
+//hp:unit Pico Seconds
+func Broken() float64 { return 0 }
+
+// ports is unexported, so no marker is required.
+func ports() float64 { return 24 }

@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// UnitCheck is a lightweight unit-consistency pass over internal/timing
+// and its callers. The paper's headline numbers live in two different
+// time domains — the scheduler loop in picoseconds (466→374 ps), the
+// register file in nanoseconds (1.71→1.36 ns) — plus dimensionless
+// ratios and "capacitance unit" energies, and nothing in the type system
+// keeps them apart: every one is a float64.
+//
+// Units are declared with a machine-readable doc-comment marker:
+//
+//	//hp:unit ps        the function returns picoseconds
+//	//hp:unit ps->ns    an explicit conversion helper (takes ps, returns ns)
+//
+// Every exported float64-returning function in internal/timing must
+// carry a marker; return-unit inference then propagates units through
+// unmarked module functions (all returns agree on one unit) and local
+// variables. On that labelling the analyzer rejects:
+//
+//   - adding, subtracting or comparing values of two different units;
+//   - dividing values of two different units (a ps/ns ratio is silently
+//     scale-skewed by 1000);
+//   - mixing units inside one []float64 composite literal — the shape of
+//     every Result series, where a mixed column renders as nonsense;
+//   - passing a value of the wrong unit to a conversion helper.
+func UnitCheck() *Analyzer {
+	return &Analyzer{
+		Name: "unitcheck",
+		Doc:  "keep ps, ns and other float64 unit domains from mixing without explicit conversion",
+		Run:  runUnitCheck,
+	}
+}
+
+// unitSig is the declared or inferred unit signature of one function:
+// the unit of its float64 result, and — for conversion helpers — the
+// unit its argument must have.
+type unitSig struct {
+	result   string
+	convFrom string
+}
+
+// unitFunc is one function body queued for inference and checking.
+type unitFunc struct {
+	p  *Package
+	fd *ast.FuncDecl
+	fn *types.Func
+}
+
+func runUnitCheck(m *Module) []Diagnostic {
+	timingPath := m.Path + "/internal/timing"
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		out = append(out, Diagnostic{Analyzer: "unitcheck", Pos: m.Fset.Position(pos), Message: fmt.Sprintf(format, args...)})
+	}
+
+	// Pass 1: collect //hp:unit markers and enforce coverage in timing.
+	sigs := map[*types.Func]unitSig{}
+	var funcs []unitFunc
+	inspectFiles(m, nil, func(p *Package, f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			if fd.Body != nil {
+				funcs = append(funcs, unitFunc{p: p, fd: fd, fn: fn})
+			}
+			sig, found, err := parseUnitMarker(fd.Doc)
+			switch {
+			case err != nil:
+				report(fd.Pos(), "malformed //hp:unit marker on %s: %v", fd.Name.Name, err)
+			case found:
+				sigs[fn] = sig
+			case p.Path == timingPath && fd.Name.IsExported() && returnsFloat64(fn):
+				report(fd.Pos(), "exported timing function %s returns float64 without an //hp:unit marker; unitcheck cannot classify its callers", fd.Name.Name)
+			}
+		}
+	})
+
+	// Pass 2: return-unit inference for unmarked functions, to fixpoint —
+	// a facade wrapper around a ps function is itself a ps source.
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, uf := range funcs {
+			if _, ok := sigs[uf.fn]; ok {
+				continue
+			}
+			if !singleFloat64Result(uf.fn) {
+				continue
+			}
+			scope := &unitScope{p: uf.p, sigs: sigs, vars: map[types.Object]string{}}
+			if u := scope.check(uf.fd, nil); u != "" {
+				sigs[uf.fn] = unitSig{result: u}
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Pass 3: check every function body against the final labelling.
+	for _, uf := range funcs {
+		scope := &unitScope{p: uf.p, sigs: sigs, vars: map[types.Object]string{}}
+		scope.check(uf.fd, unitReport(report))
+	}
+	return out
+}
+
+// parseUnitMarker extracts an //hp:unit marker from a doc comment. The
+// spec is one unit word, or from->to for a conversion helper.
+func parseUnitMarker(doc *ast.CommentGroup) (unitSig, bool, error) {
+	if doc == nil {
+		return unitSig{}, false, nil
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		spec, ok := strings.CutPrefix(text, "hp:unit")
+		if !ok {
+			continue
+		}
+		spec = strings.TrimSpace(spec)
+		if from, to, isConv := strings.Cut(spec, "->"); isConv {
+			from, to = strings.TrimSpace(from), strings.TrimSpace(to)
+			if !validUnit(from) || !validUnit(to) {
+				return unitSig{}, true, fmt.Errorf("want %q or %q, got %q", "hp:unit UNIT", "hp:unit FROM->TO", spec)
+			}
+			return unitSig{result: to, convFrom: from}, true, nil
+		}
+		if !validUnit(spec) {
+			return unitSig{}, true, fmt.Errorf("want %q or %q, got %q", "hp:unit UNIT", "hp:unit FROM->TO", spec)
+		}
+		return unitSig{result: spec}, true, nil
+	}
+	return unitSig{}, false, nil
+}
+
+// validUnit accepts one lowercase unit word (ps, ns, ratio, cap, ...).
+func validUnit(u string) bool {
+	if u == "" {
+		return false
+	}
+	for _, r := range u {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// returnsFloat64 reports whether any result of fn is a plain float64.
+func returnsFloat64(fn *types.Func) bool {
+	res := fn.Type().(*types.Signature).Results()
+	for i := 0; i < res.Len(); i++ {
+		if isFloat64(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// singleFloat64Result reports whether fn returns exactly one float64.
+func singleFloat64Result(fn *types.Func) bool {
+	res := fn.Type().(*types.Signature).Results()
+	return res.Len() == 1 && isFloat64(res.At(0).Type())
+}
+
+func isFloat64(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+// unitScope evaluates units within one function body.
+type unitScope struct {
+	p    *Package
+	sigs map[*types.Func]unitSig
+	vars map[types.Object]string
+}
+
+type unitReport func(pos token.Pos, format string, args ...interface{})
+
+// check walks the function body in syntactic order, recording local
+// variable units at assignments and reporting unit mixes (nil report
+// runs inference only). It returns the function's result unit when every
+// single-value return agrees on one non-empty unit.
+func (s *unitScope) check(fd *ast.FuncDecl, report unitReport) string {
+	retUnit, retOK := "", true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			s.checkAssign(n, report)
+		case *ast.BinaryExpr:
+			s.checkBinary(n, report)
+		case *ast.CompositeLit:
+			s.checkValueList(n, report)
+		case *ast.CallExpr:
+			s.checkConversion(n, report)
+		case *ast.ReturnStmt:
+			if len(n.Results) == 1 {
+				u := s.unitOf(n.Results[0])
+				if u == "" || (retUnit != "" && u != retUnit) {
+					retOK = false
+				}
+				retUnit = u
+			}
+		}
+		return true
+	})
+	if !retOK {
+		return ""
+	}
+	return retUnit
+}
+
+// checkAssign records units of assigned locals and checks op-assigns.
+func (s *unitScope) checkAssign(n *ast.AssignStmt, report unitReport) {
+	switch n.Tok {
+	case token.ASSIGN, token.DEFINE:
+		if len(n.Lhs) != len(n.Rhs) {
+			return
+		}
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := s.p.Info.ObjectOf(id); obj != nil {
+				s.vars[obj] = s.unitOf(n.Rhs[i])
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		lu, ru := s.unitOf(n.Lhs[0]), s.unitOf(n.Rhs[0])
+		if lu != "" && ru != "" && lu != ru && report != nil {
+			report(n.Pos(), "accumulates a %s value into a %s value; convert with an explicit //hp:unit conversion helper first", ru, lu)
+		}
+	}
+}
+
+// checkBinary rejects additive, comparison and division mixes.
+func (s *unitScope) checkBinary(n *ast.BinaryExpr, report unitReport) {
+	if report == nil {
+		return
+	}
+	lu, ru := s.unitOf(n.X), s.unitOf(n.Y)
+	if lu == "" || ru == "" || lu == ru {
+		return
+	}
+	switch n.Op {
+	case token.ADD, token.SUB:
+		report(n.Pos(), "adds/subtracts a %s value and a %s value; convert with an explicit //hp:unit conversion helper first", lu, ru)
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		report(n.Pos(), "compares a %s value with a %s value; convert with an explicit //hp:unit conversion helper first", lu, ru)
+	case token.QUO:
+		report(n.Pos(), "divides a %s value by a %s value; the ratio is silently scale-skewed — convert to one unit first", lu, ru)
+	}
+}
+
+// checkValueList rejects []float64 literals mixing units — the shape of
+// every Result series, where a mixed column renders as nonsense.
+func (s *unitScope) checkValueList(n *ast.CompositeLit, report unitReport) {
+	if report == nil || !isFloat64SliceOrArray(s.p.Info.TypeOf(n)) {
+		return
+	}
+	seen := map[string]bool{}
+	for _, elt := range n.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			elt = kv.Value
+		}
+		if u := s.unitOf(elt); u != "" {
+			seen[u] = true
+		}
+	}
+	if len(seen) < 2 {
+		return
+	}
+	units := make([]string, 0, len(seen))
+	for u := range seen {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	report(n.Pos(), "mixes units in one float64 value list: %s; convert to a single unit first", strings.Join(units, " vs "))
+}
+
+// checkConversion validates arguments handed to //hp:unit FROM->TO
+// conversion helpers.
+func (s *unitScope) checkConversion(n *ast.CallExpr, report unitReport) {
+	if report == nil || len(n.Args) == 0 {
+		return
+	}
+	fn := calleeFunc(s.p, n)
+	if fn == nil {
+		return
+	}
+	sig := s.sigs[fn]
+	if sig.convFrom == "" {
+		return
+	}
+	if u := s.unitOf(n.Args[0]); u != "" && u != sig.convFrom {
+		report(n.Pos(), "%s converts from %s but was given a %s value", fn.Name(), sig.convFrom, u)
+	}
+}
+
+// unitOf infers the unit of an expression from markers, inferred
+// function signatures and recorded local variables; "" means unknown or
+// dimensionless, which mixes with anything.
+func (s *unitScope) unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return s.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			return s.unitOf(e.X)
+		}
+	case *ast.Ident:
+		if obj := s.p.Info.ObjectOf(e); obj != nil {
+			return s.vars[obj]
+		}
+	case *ast.CallExpr:
+		if tv, ok := s.p.Info.Types[e.Fun]; ok && tv.IsType() {
+			// float64(x) and friends keep x's unit.
+			if len(e.Args) == 1 {
+				return s.unitOf(e.Args[0])
+			}
+			return ""
+		}
+		if fn := calleeFunc(s.p, e); fn != nil {
+			return s.sigs[fn].result
+		}
+	case *ast.BinaryExpr:
+		lu, ru := s.unitOf(e.X), s.unitOf(e.Y)
+		switch e.Op {
+		case token.ADD, token.SUB:
+			// Mixes are reported at the node itself; pick the known unit
+			// so surrounding context keeps propagating.
+			if lu != "" {
+				return lu
+			}
+			return ru
+		case token.MUL:
+			// Scaling by a dimensionless factor preserves the unit.
+			if lu == "" {
+				return ru
+			}
+			if ru == "" || ru == lu {
+				return lu
+			}
+		case token.QUO:
+			if ru == "" {
+				return lu
+			}
+			// Same-unit division is a dimensionless ratio.
+		}
+	}
+	return ""
+}
+
+// isFloat64SliceOrArray reports whether t is []float64 or [N]float64.
+func isFloat64SliceOrArray(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isFloat64(u.Elem())
+	case *types.Array:
+		return isFloat64(u.Elem())
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method, or nil for indirect
+// calls and type conversions.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -356,8 +356,11 @@ func (r *Runner) CPIStacks() *Result {
 	return res
 }
 
-// Ablations runs every ablation study; like All, the studies execute
-// concurrently over the runner's worker pool and return in fixed order.
+// Ablations runs every ablation study plus the CPI-stack companion;
+// like All, the studies execute concurrently over the runner's worker
+// pool and return in fixed order. Every exported Result constructor must
+// be reachable from All or Ablations so cmd/report's full document
+// renders it (enforced by hpvet's tableschema analyzer).
 func (r *Runner) Ablations() []*Result {
 	return r.collect([]func() *Result{
 		r.AblationSlowBus,
@@ -370,5 +373,6 @@ func (r *Runner) Ablations() []*Result {
 		r.AblationSchedulerDesigns,
 		r.AblationBranchNoise,
 		r.AblationPrefetch,
+		r.CPIStacks,
 	})
 }

@@ -167,8 +167,8 @@ func TestAblationPrefetch(t *testing.T) {
 func TestAblationsComplete(t *testing.T) {
 	r := NewRunner(Options{Insts: 4000, Benchmarks: []string{"gzip"}})
 	all := r.Ablations()
-	if len(all) != 10 {
-		t.Fatalf("%d ablations", len(all))
+	if len(all) != 11 {
+		t.Fatalf("%d ablations, want 10 studies + the CPI-stack companion", len(all))
 	}
 	for _, res := range all {
 		if res.ID == "" || len(res.Series) == 0 || res.Notes == "" {

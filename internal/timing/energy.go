@@ -16,6 +16,8 @@ package timing
 // Sequential wakeup halves the comparator load on the fast bus; the slow
 // bus still re-broadcasts, but against an unloaded latch row, modelled by
 // the slowBusFraction of a comparator load.
+//
+//hp:unit cap
 func WakeupEnergyPerBroadcast(p SchedulerParams) float64 {
 	p.validate()
 	return float64(p.Entries)*float64(p.ComparatorsPerEntry)*schedCompFF +
@@ -29,6 +31,8 @@ const slowBusFraction = 0.6
 // SequentialWakeupEnergyPerBroadcast returns the total broadcast energy
 // of the sequential scheme: the fast bus (one comparator per entry) plus
 // the slow re-broadcast.
+//
+//hp:unit cap
 func SequentialWakeupEnergyPerBroadcast(entries, width int) float64 {
 	fast := WakeupEnergyPerBroadcast(SequentialWakeupScheduler(entries, width))
 	slow := slowBusFraction * fast
@@ -39,6 +43,8 @@ func SequentialWakeupEnergyPerBroadcast(entries, width int) float64 {
 // sequential wakeup versus the conventional two-comparator bus. It can be
 // negative in principle (the slow bus is extra activity), but the halved
 // fast-bus comparator load dominates for realistic geometries.
+//
+//hp:unit ratio
 func WakeupEnergySavings(entries, width int) float64 {
 	conv := WakeupEnergyPerBroadcast(ConventionalScheduler(entries, width))
 	seq := SequentialWakeupEnergyPerBroadcast(entries, width)
@@ -48,6 +54,8 @@ func WakeupEnergySavings(entries, width int) float64 {
 // RegfileEnergyPerRead returns the energy of one register-file read:
 // wordline plus bitline swing across the port-scaled array. Fewer ports
 // mean physically smaller cells, so each access switches less wire.
+//
+//hp:unit cap
 func RegfileEnergyPerRead(p RegfileParams) float64 {
 	pitch := p.CellPitch()
 	return float64(p.Entries) * pitch * pitch / rfRefEntries
@@ -55,6 +63,8 @@ func RegfileEnergyPerRead(p RegfileParams) float64 {
 
 // RegfileEnergySavings returns the per-read energy reduction of the
 // half-read-ported file versus the conventional one.
+//
+//hp:unit ratio
 func RegfileEnergySavings(entries, width int) float64 {
 	base := RegfileEnergyPerRead(BaseRegfile(entries, width))
 	half := RegfileEnergyPerRead(HalfPriceRegfile(entries, width))
@@ -65,6 +75,8 @@ func RegfileEnergySavings(entries, width int) float64 {
 // energy per instruction for the sequential-access scheme, given the
 // measured fraction of instructions taking the double read. Double reads
 // access the (smaller) file twice; everything else reads at most once.
+//
+//hp:unit cap
 func SequentialAccessEnergyPerInst(entries, width int, doubleReadFrac, avgReadsPerInst float64) float64 {
 	perRead := RegfileEnergyPerRead(HalfPriceRegfile(entries, width))
 	return perRead * (avgReadsPerInst + doubleReadFrac)

@@ -45,6 +45,8 @@ func (p SchedulerParams) validate() {
 // TagDriveDelay returns the wakeup-bus drive delay in picoseconds: the
 // broadcast driver working against every connected comparator plus the
 // bus wire.
+//
+//hp:unit ps
 func (p SchedulerParams) TagDriveDelay() float64 {
 	p.validate()
 	cap := float64(p.Entries)*float64(p.ComparatorsPerEntry)*schedCompFF +
@@ -53,12 +55,16 @@ func (p SchedulerParams) TagDriveDelay() float64 {
 }
 
 // SelectDelay returns the selection-tree delay in picoseconds.
+//
+//hp:unit ps
 func (p SchedulerParams) SelectDelay() float64 {
 	p.validate()
 	return schedSelBase + schedSelPerLog2*math.Log2(float64(p.Entries))
 }
 
 // Delay returns the atomic wakeup+select loop delay in picoseconds.
+//
+//hp:unit ps
 func (p SchedulerParams) Delay() float64 {
 	return p.TagDriveDelay() + schedMatchDelay + p.SelectDelay()
 }
@@ -78,6 +84,8 @@ func SequentialWakeupScheduler(entries, width int) SchedulerParams {
 // SchedulerSpeedup returns the fractional critical-loop speedup of
 // sequential wakeup over the conventional scheduler for the same geometry:
 // (Tconv - Tseq) / Tseq.
+//
+//hp:unit ratio
 func SchedulerSpeedup(entries, width int) float64 {
 	conv := ConventionalScheduler(entries, width).Delay()
 	seq := SequentialWakeupScheduler(entries, width).Delay()
@@ -90,6 +98,8 @@ func SchedulerSpeedup(entries, width int) float64 {
 // two-comparator load) and the select phase. The machine clocks faster
 // than even sequential wakeup — but loses back-to-back dependent issue,
 // the trade the paper's §3 related-work discussion turns on.
+//
+//hp:unit ps
 func PipelinedSchedulerStageDelay(entries, width int) float64 {
 	p := ConventionalScheduler(entries, width)
 	wake := p.TagDriveDelay() + schedMatchDelay
@@ -123,6 +133,8 @@ func (p RegfileParams) ports() int { return p.ReadPorts + p.WritePorts }
 
 // CellPitch returns the relative cell edge length: each port adds a
 // wordline and bitline pair, growing the cell linearly per dimension.
+//
+//hp:unit ratio
 func (p RegfileParams) CellPitch() float64 {
 	p.validate()
 	return 1 + rfPortGrowth*float64(p.ports()-1)
@@ -131,6 +143,8 @@ func (p RegfileParams) CellPitch() float64 {
 // AccessTime returns the read access time in nanoseconds: a fixed decode/
 // sense component plus wire RC that scales with the square of the array
 // edge (quadratic in cell pitch, linear in entries).
+//
+//hp:unit ns
 func (p RegfileParams) AccessTime() float64 {
 	pitch := p.CellPitch()
 	return rfFixed + rfK*(float64(p.Entries)/rfRefEntries)*pitch*pitch
@@ -138,6 +152,8 @@ func (p RegfileParams) AccessTime() float64 {
 
 // RelativeArea returns the array area relative to a single-ported file of
 // the same entry count: quadratic in ports (the paper's §4 motivation).
+//
+//hp:unit ratio
 func (p RegfileParams) RelativeArea() float64 {
 	pitch := p.CellPitch()
 	one := 1.0 // pitch of a 1-port cell
@@ -159,6 +175,8 @@ func HalfPriceRegfile(entries, width int) RegfileParams {
 // RegfileSpeedup returns the fractional access-time reduction of the
 // half-read-ported file versus the conventional one:
 // (Tbase - Thalf) / Tbase.
+//
+//hp:unit ratio
 func RegfileSpeedup(entries, width int) float64 {
 	base := BaseRegfile(entries, width).AccessTime()
 	half := HalfPriceRegfile(entries, width).AccessTime()

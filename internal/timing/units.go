@@ -1,0 +1,19 @@
+package timing
+
+// Unit domains and explicit conversions. The delay models live in two
+// different time scales — the scheduler loop in picoseconds, the
+// register-file access in nanoseconds, both calibrated to the paper's
+// quoted points — and every value is a bare float64. hpvet's unitcheck
+// analyzer tracks the domains through //hp:unit markers and rejects any
+// addition, comparison or shared value list that mixes them; these
+// helpers are the only sanctioned crossings.
+
+// PsToNs converts a picosecond delay to nanoseconds.
+//
+//hp:unit ps->ns
+func PsToNs(ps float64) float64 { return ps / 1000 }
+
+// NsToPs converts a nanosecond delay to picoseconds.
+//
+//hp:unit ns->ps
+func NsToPs(ns float64) float64 { return ns * 1000 }

@@ -98,6 +98,7 @@ func (p Profile) validate() {
 	checkFrac(p.CallFrac, "CallFrac")
 	checkFrac(p.ColdFrac, "ColdFrac")
 	checkFrac(p.StrideFrac, "StrideFrac")
+	mustf(p.Seed != 0, "trace: profile %s: Seed must be an explicit non-zero value", p.Name)
 	mustf(p.LoadFrac+p.StoreFrac+p.NopFrac <= 0.9, "trace: profile %s: memory+nop mix leaves no ALU slots", p.Name)
 	mustf(p.NumLoops > 0 && p.BlockLen[0] > 0 && p.BlockLen[1] >= p.BlockLen[0] &&
 		p.BlocksPerLoop[0] > 0 && p.BlocksPerLoop[1] >= p.BlocksPerLoop[0],

@@ -18,7 +18,9 @@ func MarshalProfile(w io.Writer, p Profile) error {
 
 // UnmarshalProfile reads a profile from JSON and validates it. Fields not
 // present keep their zero values, so most users start from a calibrated
-// profile (MarshalProfile of ProfileByName) and edit.
+// profile (MarshalProfile of ProfileByName) and edit — except Seed, which
+// validation requires to be explicit and non-zero: a profile that forgot
+// its seed must fail loudly rather than quietly share a default stream.
 func UnmarshalProfile(r io.Reader) (Profile, error) {
 	var p Profile
 	dec := json.NewDecoder(r)

@@ -37,6 +37,17 @@ func TestProfileJSONValidates(t *testing.T) {
 	if _, err := UnmarshalProfile(strings.NewReader("{")); err == nil {
 		t.Fatal("truncated JSON accepted")
 	}
+	// A profile that forgot its Seed must fail loudly, not silently
+	// share a default stream (the seedplumb invariant).
+	p, _ := ProfileByName("gzip")
+	p.Seed = 0
+	var buf bytes.Buffer
+	if err := MarshalProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalProfile(&buf); err == nil || !strings.Contains(err.Error(), "Seed") {
+		t.Fatalf("seedless profile accepted: %v", err)
+	}
 }
 
 func TestProfileJSONDefaultsName(t *testing.T) {

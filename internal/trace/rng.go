@@ -7,10 +7,11 @@ type rng struct {
 	state uint64
 }
 
+// newRng requires an explicit non-zero seed: xorshift64* has no valid
+// zero state, and silently substituting a default would make every
+// forgotten seed the same run instead of an error (hpvet: seedplumb).
 func newRng(seed uint64) *rng {
-	if seed == 0 {
-		seed = 0x9E3779B97F4A7C15
-	}
+	mustf(seed != 0, "trace: rng requires an explicit non-zero seed")
 	return &rng{state: seed}
 }
 

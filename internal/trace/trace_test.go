@@ -70,9 +70,14 @@ func TestRngDeterminism(t *testing.T) {
 			t.Fatal("rng not deterministic")
 		}
 	}
-	if newRng(0).next() == 0 {
-		t.Fatal("zero seed must still work")
-	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero seed must be rejected, not silently defaulted")
+			}
+		}()
+		newRng(0)
+	}()
 	r := newRng(7)
 	for i := 0; i < 1000; i++ {
 		if f := r.float(); f < 0 || f >= 1 {
