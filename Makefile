@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt generate check sweepd dist-smoke cache-smoke
+.PHONY: build test race lint fmt generate check sweepd dist-smoke cache-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -46,5 +46,19 @@ dist-smoke:
 # byte-identical output vs an uninterrupted run.
 cache-smoke:
 	bash scripts/cache-smoke.sh
+
+# bench runs the pinned BENCH_<n>.json matrix (PERF.md, README.md
+# §Benchmarking) into BENCH_dev.json. To commit a trajectory point,
+# rerun with an explicit -id and -baseline: see cmd/bench's doc.
+bench:
+	$(GO) run ./cmd/bench -out BENCH_dev.json
+
+# bench-smoke is the cheap CI shape: a one-cell-per-scheme matrix plus
+# schema validation of the smoke output and every committed report.
+bench-smoke:
+	$(GO) run ./cmd/bench -insts 5000 -repeats 1 -benchmarks gzip \
+		-widths 4 -schemes base,halfprice -quiet -out /tmp/bench-smoke.json
+	$(GO) run ./cmd/bench -check /tmp/bench-smoke.json
+	for f in BENCH_*.json; do $(GO) run ./cmd/bench -check $$f; done
 
 check: build lint race

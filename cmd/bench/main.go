@@ -1,0 +1,157 @@
+// Command bench runs the pinned benchmark matrix through the cycle-level
+// simulator and emits a BENCH_<n>.json perf-trajectory report (schema in
+// internal/benchfmt, documented in PERF.md and README.md §Benchmarking).
+//
+// Typical uses:
+//
+//	go run ./cmd/bench -id 8 -baseline BENCH_7.json -out BENCH_8.json
+//	go run ./cmd/bench -insts 5000 -repeats 1 -benchmarks gzip -widths 4 \
+//	    -schemes base,halfprice -out /tmp/bench.json   # CI bench-smoke
+//	go run ./cmd/bench -check BENCH_7.json             # validate a report
+//
+// The default matrix (no flags) is benchfmt.DefaultMatrix: four
+// workloads × both Table 1 widths × four scheduler schemes, 50k
+// instructions per run, three timed repeats per cell. Reports measured
+// on different matrices refuse to compare, so a trajectory stays
+// apples-to-apples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"halfprice/internal/benchfmt"
+)
+
+func main() {
+	def := benchfmt.DefaultMatrix()
+	var (
+		insts      = flag.Uint64("insts", def.InstsPerRun, "simulated instructions per run")
+		repeats    = flag.Int("repeats", def.Repeats, "timed runs per matrix cell")
+		benchmarks = flag.String("benchmarks", strings.Join(def.Benchmarks, ","), "comma-separated workload names")
+		widths     = flag.String("widths", joinInts(def.Widths), "comma-separated machine widths (4, 8)")
+		schemes    = flag.String("schemes", strings.Join(def.Schemes, ","), "comma-separated schemes (base,halfprice,tagelim,pipelined-rf)")
+		id         = flag.Int("id", 0, "bench_id to stamp into the report (the <n> of BENCH_<n>.json)")
+		out        = flag.String("out", "", "output path (default stdout)")
+		baseline   = flag.String("baseline", "", "previous BENCH_<n>.json to diff against")
+		check      = flag.String("check", "", "validate an existing report instead of measuring")
+		quiet      = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: schema v%d ok\n", *check, benchfmt.SchemaVersion)
+		return
+	}
+
+	m := benchfmt.Matrix{
+		InstsPerRun: *insts,
+		Repeats:     *repeats,
+		Benchmarks:  splitList(*benchmarks),
+		Schemes:     splitList(*schemes),
+	}
+	var err error
+	if m.Widths, err = parseInts(*widths); err != nil {
+		fatal(err)
+	}
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "bench: %d cells × %d repeats × %d insts\n",
+			len(m.Benchmarks)*len(m.Widths)*len(m.Schemes), m.Repeats, m.InstsPerRun)
+	}
+	rep, err := benchfmt.Measure(m)
+	if err != nil {
+		fatal(err)
+	}
+	rep.BenchID = *id
+
+	if *baseline != "" {
+		prev, err := readReport(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.ApplyBaseline(prev); err != nil {
+			fatal(err)
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := benchfmt.Write(w, rep); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "bench: %.0f insts/sec geomean, %.0f ns/cycle geomean, %.0f allocs/op mean\n",
+			rep.Summary.InstsPerSecGeomean, rep.Summary.NsPerCycleGeomean, rep.Summary.AllocsPerOpMean)
+		if rep.Delta != nil {
+			fmt.Fprintf(os.Stderr, "bench: vs BENCH_%d: %.2fx insts/sec, %.2fx fewer allocs/op\n",
+				rep.Delta.BaselineBenchID, rep.Delta.InstsPerSecSpeedup, rep.Delta.AllocsPerOpImprovement)
+		}
+	}
+}
+
+func checkReport(path string) error {
+	_, err := readReport(path)
+	return err
+}
+
+func readReport(path string) (*benchfmt.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := benchfmt.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad width %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func joinInts(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -16,8 +16,9 @@ var determinismScope = []string{
 	"internal/trace",
 	"internal/vm",
 	"internal/experiments",
-	"internal/dist",  // inventoried here, exempted below — see determinismExempt
-	"internal/store", // inventoried here, exempted below — see determinismExempt
+	"internal/dist",     // inventoried here, exempted below — see determinismExempt
+	"internal/store",    // inventoried here, exempted below — see determinismExempt
+	"internal/benchfmt", // inventoried here, exempted below — see determinismExempt
 }
 
 // determinismExempt carves packages out of determinismScope whose whole
@@ -29,14 +30,18 @@ var determinismScope = []string{
 // simulation output. Workers and the store both carry results produced
 // by the same deterministic path as a local run (the store verifies its
 // payload bytes by checksum), and the equivalence tests pin the results
-// bit-identical. The exemption takes precedence over the scope list, so
-// the boundary is explicit in code rather than implied by omission, and
-// re-listing such a package in the scope later cannot silently outlaw
-// its concurrency. internal/uarch, internal/trace and internal/vm stay
-// fully flagged.
+// bit-identical. The benchmark layer (internal/benchfmt) is the perf
+// measurement path behind cmd/bench: its whole purpose is timing
+// simulations with the wall clock, and the Stats it reports come out of
+// the same deterministic simulator entry point as every test. The
+// exemption takes precedence over the scope list, so the boundary is
+// explicit in code rather than implied by omission, and re-listing such
+// a package in the scope later cannot silently outlaw its concurrency.
+// internal/uarch, internal/trace and internal/vm stay fully flagged.
 var determinismExempt = []string{
 	"internal/dist",
 	"internal/store",
+	"internal/benchfmt",
 }
 
 // determinismCoreScope is the inner subset of determinismScope where a

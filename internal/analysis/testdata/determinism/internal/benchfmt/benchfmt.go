@@ -1,0 +1,27 @@
+// Package benchfmt is a fixture for the determinism boundary: its real
+// counterpart is the perf measurement layer behind cmd/bench, so
+// reading the wall clock around a simulation run is its whole job. The
+// package suffix matches the determinismScope inventory but is carved
+// out by determinismExempt, so nothing below may be flagged — while the
+// same constructs in internal/uarch (see ../uarch/clock.go) stay
+// forbidden.
+package benchfmt
+
+import "time"
+
+// Time wall-clocks one run of fn — legal here.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// Summarize ranges over a map of per-cell timings — legal here
+// (measurement bookkeeping, not simulation output).
+func Summarize(cells map[string]time.Duration) time.Duration {
+	var total time.Duration
+	for _, d := range cells {
+		total += d
+	}
+	return total
+}

@@ -28,6 +28,7 @@ func (s *Simulator) commit(c int64) {
 		u.state = stateCommitted
 		s.trace(c, EvCommit, u.seq, u.d.Inst)
 		s.rob = s.rob[1:]
+		s.sched.removeHead(u)
 		if u.isLoad() || u.isStore() {
 			s.unlinkLSQ(u)
 		}

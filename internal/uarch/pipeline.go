@@ -31,13 +31,29 @@ type Simulator struct {
 
 	cycle int64
 
-	pending   *trace.DynInst // lookahead instruction not yet fetched
-	streamEnd bool
+	// Lookahead instruction not yet fetched, held by value: taking the
+	// stream output through a heap pointer costs one allocation per
+	// instruction in the hot loop.
+	pending    trace.DynInst
+	hasPending bool
+	streamEnd  bool
 
 	frontQ []fqEntry
 	rob    []*uop
 	lsq    []*uop
 	regMap [isa.NumArchRegs]*uop
+
+	// sched is the SoA/bitmap issue-queue core (schedcore.go): per-slot
+	// wake cycles, the waiting/issued/priority bitmaps the wakeup and
+	// select stages run on, and the per-producer listener bitmaps.
+	sched *schedCore
+	// issuedBuf collects this cycle's grants for tag-elimination fault
+	// recovery (reused each cycle; no per-cycle allocation).
+	issuedBuf []*uop
+	// uopSlab chunk-allocates window entries: uops are pointer-shared
+	// (regMap, rob, lsq) so they cannot be pooled, but carving them from
+	// 256-entry slabs cuts allocator traffic 256x.
+	uopSlab []uop
 
 	// Fetch control.
 	fetchResume   int64
@@ -62,6 +78,10 @@ type Simulator struct {
 
 	// onCommit, when set, observes every committed uop (test hook).
 	onCommit func(*uop)
+	// issueOverride, when set, replaces the issue stage (test hook: the
+	// scheduler-core equivalence test runs the reference slice-and-sort
+	// select through it against the production bitmap core).
+	issueOverride func(c int64)
 	// tracer, when set, observes every pipeline event (SetTracer).
 	tracer Tracer
 	// hot, when set, profiles events per static PC (EnableHotSpots).
@@ -83,6 +103,7 @@ func New(cfg Config, stream trace.Stream) *Simulator {
 	}
 	return &Simulator{
 		cfg:               cfg,
+		sched:             newSchedCore(cfg.WindowSize),
 		stream:            stream,
 		hier:              mem.NewHierarchy(cfg.Mem),
 		bp:                bpred.New(cfg.Bpred),
@@ -132,7 +153,11 @@ func (s *Simulator) Run() *Stats {
 		s.st.CycleClasses[s.classifyCycle(s.st.Committed-before, c)]++
 		s.verifyLoads(c)
 		s.complete(c)
-		s.issue(c)
+		if s.issueOverride != nil {
+			s.issueOverride(c)
+		} else {
+			s.issue(c)
+		}
 		s.dispatch(c)
 		s.fetch(c)
 		s.cycle++
@@ -140,8 +165,13 @@ func (s *Simulator) Run() *Stats {
 
 		if s.st.Committed == lastCommitted {
 			idleCycles++
-			mustf(idleCycles <= 100000, "uarch: no commit progress for %d cycles at cycle %d (rob=%d, fq=%d): %s",
-				idleCycles, s.cycle, len(s.rob), len(s.frontQ), s.describeHead())
+			// The guard stays out of mustf's variadic call: boxing the
+			// arguments and formatting describeHead every cycle costs more
+			// allocation than the whole scheduler.
+			if idleCycles > 100000 {
+				mustf(false, "uarch: no commit progress for %d cycles at cycle %d (rob=%d, fq=%d): %s",
+					idleCycles, s.cycle, len(s.rob), len(s.frontQ), s.describeHead())
+			}
 		} else {
 			idleCycles = 0
 			lastCommitted = s.st.Committed
@@ -151,7 +181,7 @@ func (s *Simulator) Run() *Stats {
 }
 
 func (s *Simulator) drained() bool {
-	return s.streamEnd && s.pending == nil && len(s.frontQ) == 0 && len(s.rob) == 0
+	return s.streamEnd && !s.hasPending && len(s.frontQ) == 0 && len(s.rob) == 0
 }
 
 func (s *Simulator) describeHead() string {
@@ -165,15 +195,19 @@ func (s *Simulator) describeHead() string {
 // ---- fetch ----
 
 func (s *Simulator) peek() *trace.DynInst {
-	if s.pending == nil && !s.streamEnd {
+	if !s.hasPending && !s.streamEnd {
 		d, ok := s.stream.Next()
 		if !ok {
 			s.streamEnd = true
 		} else {
-			s.pending = &d
+			s.pending = d
+			s.hasPending = true
 		}
 	}
-	return s.pending
+	if !s.hasPending {
+		return nil
+	}
+	return &s.pending
 }
 
 func (s *Simulator) fetch(c int64) {
@@ -209,7 +243,7 @@ func (s *Simulator) fetch(c int64) {
 				return
 			}
 		}
-		s.pending = nil
+		s.hasPending = false
 		s.st.Fetched++
 		e := fqEntry{d: *d, arrive: c + int64(s.cfg.FrontEndStages)}
 		s.trace(c, EvFetch, d.Seq, d.Inst)
@@ -315,6 +349,7 @@ func (s *Simulator) dispatch(c int64) {
 		s.frontQ = s.frontQ[1:]
 		u := s.buildUop(e, c)
 		s.rob = append(s.rob, u)
+		s.schedInsert(u)
 		s.trace(c, EvDispatch, u.seq, u.d.Inst)
 		if isMem {
 			s.lsq = append(s.lsq, u)
@@ -328,7 +363,12 @@ func (s *Simulator) dispatch(c int64) {
 
 func (s *Simulator) buildUop(e fqEntry, c int64) *uop {
 	in := e.d.Inst
-	u := &uop{
+	if len(s.uopSlab) == 0 {
+		s.uopSlab = make([]uop, 256)
+	}
+	u := &s.uopSlab[0]
+	s.uopSlab = s.uopSlab[1:]
+	*u = uop{
 		seq:            e.d.Seq,
 		d:              e.d,
 		class:          in.Op.Class(),
@@ -379,16 +419,21 @@ func (s *Simulator) buildUop(e fqEntry, c int64) *uop {
 // ---- completion ----
 
 func (s *Simulator) complete(c int64) {
-	for _, u := range s.rob {
-		if u.state != stateIssued {
-			continue
-		}
+	// Only issued entries can complete: scan the issued bitmap in age
+	// order (the same order the old full-window scan visited them)
+	// instead of walking every window entry.
+	sc := s.sched
+	sc.order = sc.order[:0]
+	sc.order = sc.appendAge(sc.order, sc.issuedW)
+	for _, slot := range sc.order {
+		u := sc.ent[slot]
 		done := u.resultCycle
 		if u.isLoad() {
 			done = u.actualResultCycle
 		}
 		if done <= c {
 			u.state = stateDone
+			sc.markDone(u.slot)
 			s.trace(c, EvComplete, u.seq, u.d.Inst)
 			if u == s.redirect {
 				extra := int64(s.cfg.ExtraMispredictPenalty)

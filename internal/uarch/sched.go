@@ -1,7 +1,7 @@
 package uarch
 
 import (
-	"sort"
+	"math/bits"
 
 	"halfprice/internal/isa"
 )
@@ -28,31 +28,73 @@ func (s *Simulator) effSrcAvail(u *uop, i int) int64 {
 	return ra
 }
 
-// eligible reports whether entry u may request issue at cycle c.
-func (s *Simulator) eligible(u *uop, c int64) bool {
-	if u.state != stateWaiting || u.dispatchCycle >= c {
-		return false
-	}
+// wakeCycleOf computes the earliest cycle a waiting entry may request
+// issue: the cycle after dispatch, or the latest effective operand
+// arrival, whichever is later. It is the closed form of the per-cycle
+// eligibility test — an entry is eligible at c iff it is waiting and
+// wakeCycleOf(u) <= c — cached per slot in schedCore.wakeCycle and
+// refreshed by schedRecompute whenever a producer event changes an
+// input (issue, squash, load-miss rebroadcast, tag-elim fault).
+func (s *Simulator) wakeCycleOf(u *uop) int64 {
+	e := u.dispatchCycle + 1
 	if s.cfg.Wakeup == WakeupTagElim && u.nsrc == 2 && !u.teScoreboard {
 		// Single comparator watching the predicted-last operand; the
 		// other side is invisible after dispatch. The scoreboard check
 		// happens at issue.
-		return u.srcAvail(sideIndex(u.fastSide)) <= c
+		if a := u.srcAvail(sideIndex(u.fastSide)); a > e {
+			e = a
+		}
+		return e
 	}
 	for i := 0; i < u.nsrc; i++ {
-		if s.effSrcAvail(u, i) > c {
-			return false
+		if a := s.effSrcAvail(u, i); a > e {
+			e = a
 		}
 	}
-	return true
+	return e
 }
 
-// issuePriority orders candidates: loads and branches first, then oldest.
-func issuePriority(u *uop) int {
-	if u.isLoad() || u.isBranch() {
-		return 0
+// schedInsert files a freshly dispatched entry in the scheduler core:
+// it takes a window slot, registers on each in-flight producer's
+// listener bitmap, and caches its wake cycle (producers that already
+// issued, or retired, contribute their known timing immediately).
+func (s *Simulator) schedInsert(u *uop) {
+	sc := s.sched
+	sc.insert(u)
+	for i := 0; i < u.nsrc; i++ {
+		if p := u.src[i]; p != nil && p.state != stateCommitted {
+			sc.listen(p.slot, u.slot)
+		}
 	}
-	return 1
+	sc.wakeCycle[u.slot] = s.wakeCycleOf(u)
+}
+
+// schedRecompute refreshes one slot's cached wake cycle. It is safe to
+// call on any slot: only a currently waiting occupant is recomputed, so
+// stale listener bits (a retired producer's slot reused, a consumer
+// that issued meanwhile) cost a recompute and nothing else.
+func (s *Simulator) schedRecompute(slot int32) {
+	sc := s.sched
+	if u := sc.ent[slot]; u != nil && u.state == stateWaiting {
+		sc.wakeCycle[slot] = s.wakeCycleOf(u)
+	}
+}
+
+// schedBroadcast is the wakeup stage: producer p's result timing
+// changed (it issued, was squashed, or rebroadcast after a load miss),
+// so every waiting consumer on its listener bitmap re-evaluates its
+// wake cycle — a masked broadcast over the source-match bitmap instead
+// of a per-cycle scan over producer pointers.
+func (s *Simulator) schedBroadcast(p *uop) {
+	sc := s.sched
+	row := sc.srcMatch[int(p.slot)*sc.words:]
+	for w := 0; w < sc.words; w++ {
+		m := row[w]
+		for m != 0 {
+			s.schedRecompute(int32(w<<6 + bits.TrailingZeros64(m)))
+			m &= m - 1
+		}
+	}
 }
 
 // fu tracks per-cycle functional unit availability.
@@ -150,7 +192,11 @@ func (s *Simulator) lsqReadyForLoad(u *uop, c int64) (forward, ok bool) {
 	return forward, true
 }
 
-// issue is the wakeup/select stage: one pass of per-cycle selection.
+// issue is the wakeup/select stage: one pass of per-cycle selection
+// over the SoA scheduler core. Requests are gathered with bitmap words
+// (waiting ∧ wake-cycle-arrived), ordered by the select policy with
+// TrailingZeros64 age scans, and granted under the same structural
+// checks as before — no candidate slices, no sort.
 func (s *Simulator) issue(c int64) {
 	s.disabledSlots = s.disabledSlotsNext
 	s.disabledSlotsNext = 0
@@ -162,42 +208,58 @@ func (s *Simulator) issue(c int64) {
 		return
 	}
 
-	var cands []*uop
-	for _, u := range s.rob {
-		if s.eligible(u, c) {
-			cands = append(cands, u)
+	// Wakeup gather: an entry requests issue when it is waiting and its
+	// cached wake cycle has arrived. One compare per waiting entry; the
+	// expensive producer-timing work already happened event-wise in
+	// schedBroadcast.
+	sc := s.sched
+	nReq := 0
+	for w := 0; w < sc.words; w++ {
+		var r uint64
+		m := sc.waitW[w]
+		for m != 0 {
+			b := m & -m
+			m &= m - 1
+			if sc.wakeCycle[w<<6+bits.TrailingZeros64(b)] <= c {
+				r |= b
+			}
 		}
+		sc.reqW[w] = r
+		nReq += bits.OnesCount64(r)
 	}
-	if len(cands) == 0 {
+	if nReq == 0 {
 		return
 	}
+
+	// Select order: age scans over the request bitmap. Loads/branches
+	// first splits the requests with the priority-class bitmap; the
+	// positional tree is the age list read from a cycle-rotated start.
+	sc.order = sc.order[:0]
+	rot := 0
 	switch s.cfg.Select {
 	case SelectOldestFirst:
-		sort.Slice(cands, func(i, j int) bool { return cands[i].seq < cands[j].seq })
+		sc.order = sc.appendAge(sc.order, sc.reqW)
 	case SelectPositional:
-		// Window-position order: cands was gathered by scanning the ROB,
-		// whose slice order is age order here; emulate a positional tree
-		// by rotating on the cycle so picks decorrelate from age.
-		if len(cands) > 1 {
-			rot := int(c) % len(cands)
-			cands = append(cands[rot:], cands[:rot]...)
-		}
+		sc.order = sc.appendAge(sc.order, sc.reqW)
+		rot = int(c) % nReq
 	default: // SelectLoadBranchFirst
-		sort.Slice(cands, func(i, j int) bool {
-			pi, pj := issuePriority(cands[i]), issuePriority(cands[j])
-			if pi != pj {
-				return pi < pj
-			}
-			return cands[i].seq < cands[j].seq
-		})
+		for w := 0; w < sc.words; w++ {
+			sc.scratchW[w] = sc.reqW[w] & sc.prioW[w]
+		}
+		sc.order = sc.appendAge(sc.order, sc.scratchW)
+		for w := 0; w < sc.words; w++ {
+			sc.scratchW[w] = sc.reqW[w] &^ sc.prioW[w]
+		}
+		sc.order = sc.appendAge(sc.order, sc.scratchW)
 	}
 
 	fu := s.newFUState(c)
 	crossbarPorts := s.cfg.Width // RFHalfCrossbar: total read ports per cycle
 	issued := 0
-	var issuedThisCycle []*uop
+	s.issuedBuf = s.issuedBuf[:0]
 
-	for _, u := range cands {
+	for k := 0; k < nReq; k++ {
+		u := sc.ent[sc.order[(k+rot)%nReq]]
 		if issued >= slots {
 			break
 		}
@@ -247,13 +309,13 @@ func (s *Simulator) issue(c int64) {
 		if s.cfg.Wakeup == WakeupTagElim && u.nsrc == 2 && !u.teScoreboard {
 			other := 1 - sideIndex(u.fastSide)
 			if u.srcAvail(other) > c {
-				s.tagElimFault(u, c, issuedThisCycle)
+				s.tagElimFault(u, c, s.issuedBuf)
 				return // selection aborted; shadow flushes the next cycle
 			}
 		}
 
 		s.issueOne(u, c, lat, forward)
-		issuedThisCycle = append(issuedThisCycle, u)
+		s.issuedBuf = append(s.issuedBuf, u)
 	}
 }
 
@@ -313,6 +375,7 @@ func (s *Simulator) issueOne(u *uop, c int64, lat int, forward bool) {
 
 	u.state = stateIssued
 	u.issueCycle = c
+	s.sched.markIssued(u.slot)
 	s.st.Issued++
 	s.trace(c, EvIssue, u.seq, u.d.Inst)
 
@@ -352,6 +415,8 @@ func (s *Simulator) issueOne(u *uop, c int64, lat int, forward bool) {
 	default:
 		u.resultCycle = c + int64(lat+extra)
 	}
+	// The result tag is on the bus: wake the listening consumers.
+	s.schedBroadcast(u)
 }
 
 // tagElimFault handles a tag-elimination scoreboard fault: the faulting
@@ -362,6 +427,9 @@ func (s *Simulator) tagElimFault(u *uop, c int64, issuedThisCycle []*uop) {
 	s.st.TagElimMispreds++
 	s.trace(c, EvTEFault, u.seq, u.d.Inst)
 	u.teScoreboard = true
+	// Scoreboard-gated mode watches all operands, not just the fast
+	// side: the entry's wake cycle changes rule.
+	s.schedRecompute(u.slot)
 	for _, v := range issuedThisCycle {
 		if v.seq > u.seq {
 			s.squash(v, true)
@@ -378,6 +446,11 @@ func (s *Simulator) squash(u *uop, tagElim bool) {
 	}
 	u.state = stateWaiting
 	u.seqRegAccess = false
+	s.sched.markWaiting(u.slot)
+	// Its producers may have changed while it was in flight, and its own
+	// result tag is off the bus again: refresh it, then its listeners.
+	s.schedRecompute(u.slot)
+	s.schedBroadcast(u)
 	s.trace(s.cycle, EvSquash, u.seq, u.d.Inst)
 	if s.hot != nil {
 		s.hot.note(u.d.PC, u.d.Inst, s.hot.squashes)
@@ -414,6 +487,7 @@ func (s *Simulator) verifyLoads(c int64) {
 		if u.missed {
 			// The load's tag rebroadcasts when data truly arrives.
 			u.resultCycle = u.actualResultCycle
+			s.schedBroadcast(u)
 			missed = append(missed, u)
 		}
 	}
@@ -430,7 +504,16 @@ func (s *Simulator) verifyLoads(c int64) {
 // matrices, Figure 5) squashes only the load's dependents.
 func (s *Simulator) recoverFrom(load *uop, c int64) {
 	selective := s.cfg.Recovery == RecoverySelective
-	squashed := map[*uop]bool{load: true}
+	// The squashed set as a slot bitmap: in-flight entries map one-to-one
+	// onto window slots, and a committed producer (whose slot may already
+	// be reused) can never be in the set, so membership is the slot bit
+	// guarded by the producer still being in flight.
+	sc := s.sched
+	for i := range sc.squashW {
+		sc.squashW[i] = 0
+	}
+	w, m := bit(load.slot)
+	sc.squashW[w] |= m
 	for _, u := range s.rob {
 		if u == load || (u.state != stateIssued && u.state != stateDone) {
 			continue
@@ -441,7 +524,11 @@ func (s *Simulator) recoverFrom(load *uop, c int64) {
 		if selective {
 			dep := false
 			for i := 0; i < u.nsrc; i++ {
-				if u.src[i] != nil && squashed[u.src[i]] {
+				p := u.src[i]
+				if p == nil || p.state == stateCommitted {
+					continue
+				}
+				if pw, pm := bit(p.slot); sc.squashW[pw]&pm != 0 {
 					dep = true
 					break
 				}
@@ -449,7 +536,8 @@ func (s *Simulator) recoverFrom(load *uop, c int64) {
 			if !dep {
 				continue
 			}
-			squashed[u] = true
+			uw, um := bit(u.slot)
+			sc.squashW[uw] |= um
 		}
 		s.squash(u, false)
 	}

@@ -28,6 +28,11 @@ type uop struct {
 	seq   uint64
 	d     trace.DynInst
 	class isa.ExecClass
+	// slot is the entry's stable window position in the SoA scheduler
+	// core (schedcore.go), assigned at dispatch, freed at commit. It
+	// indexes every scheduler bitmap and column; after commit it may be
+	// reused, so slot-based lookups guard on state != stateCommitted.
+	slot int32
 
 	// Scheduling sources. Stores schedule on the base register only (the
 	// split agen+move of §2.3); the data register is tracked separately
