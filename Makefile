@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt generate check sweepd dist-smoke cache-smoke bench bench-smoke
+.PHONY: build test race lint fmt generate check sweepd hpserve dist-smoke cache-smoke serve-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,10 @@ generate:
 sweepd:
 	$(GO) build -o bin/sweepd ./cmd/sweepd
 
+# hpserve builds the simulation-as-a-service daemon into bin/.
+hpserve:
+	$(GO) build -o bin/hpserve ./cmd/hpserve
+
 # dist-smoke runs the distributed-sweep equivalence check CI runs: two
 # local sweepd workers, one figures sweep through the coordinator,
 # byte-identical output vs the serial run, well-formed merged NDJSON.
@@ -47,9 +51,17 @@ dist-smoke:
 cache-smoke:
 	bash scripts/cache-smoke.sh
 
+# serve-smoke runs the simulation-as-a-service check CI runs: hpserve
+# over a two-worker token-authenticated fleet, two tenants end to end —
+# auth, NDJSON streaming, a cross-tenant result-CDN hit, and a 429 with
+# Retry-After from a one-slot admission queue.
+serve-smoke:
+	bash scripts/serve-smoke.sh
+
 # bench runs the pinned BENCH_<n>.json matrix (PERF.md, README.md
-# §Benchmarking) into BENCH_dev.json. To commit a trajectory point,
-# rerun with an explicit -id and -baseline: see cmd/bench's doc.
+# §Benchmarking) into BENCH_dev.json, diffed against the newest
+# committed BENCH_<n>.json automatically. To commit a trajectory point,
+# rerun with an explicit -id: see cmd/bench's doc.
 bench:
 	$(GO) run ./cmd/bench -out BENCH_dev.json
 

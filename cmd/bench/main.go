@@ -14,12 +14,19 @@
 // instructions per run, three timed repeats per cell. Reports measured
 // on different matrices refuse to compare, so a trajectory stays
 // apples-to-apples.
+//
+// With -baseline omitted, the newest committed BENCH_<n>.json in the
+// working directory is used automatically (skipped with a warning when
+// its matrix differs, e.g. a smoke-sized run vs the full trajectory);
+// -baseline none disables the diff. An explicit -baseline that does
+// not compare is still fatal.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -36,7 +43,7 @@ func main() {
 		schemes    = flag.String("schemes", strings.Join(def.Schemes, ","), "comma-separated schemes (base,halfprice,tagelim,pipelined-rf)")
 		id         = flag.Int("id", 0, "bench_id to stamp into the report (the <n> of BENCH_<n>.json)")
 		out        = flag.String("out", "", "output path (default stdout)")
-		baseline   = flag.String("baseline", "", "previous BENCH_<n>.json to diff against")
+		baseline   = flag.String("baseline", "", "previous BENCH_<n>.json to diff against (default: the newest committed BENCH_<n>.json; \"none\" disables)")
 		check      = flag.String("check", "", "validate an existing report instead of measuring")
 		quiet      = flag.Bool("quiet", false, "suppress per-cell progress on stderr")
 	)
@@ -71,7 +78,31 @@ func main() {
 	}
 	rep.BenchID = *id
 
-	if *baseline != "" {
+	// Baseline selection: an explicit -baseline must apply (a mismatch
+	// is fatal — the user asked for that comparison). With the flag
+	// omitted, diff against the newest committed BENCH_<n>.json so
+	// `make bench` always reports deltas against the last trajectory
+	// point; auto mode warns and skips when the matrices differ (a
+	// smoke-sized matrix cannot compare against the full one) instead
+	// of failing the run. -baseline none disables the diff entirely.
+	switch *baseline {
+	case "none":
+	case "":
+		if path := newestCommittedReport(*out); path != "" {
+			prev, err := readReport(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: skipping auto-baseline: %v\n", err)
+				break
+			}
+			if err := rep.ApplyBaseline(prev); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: skipping auto-baseline %s: %v\n", path, err)
+				break
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "bench: auto-baseline %s\n", path)
+			}
+		}
+	default:
 		prev, err := readReport(*baseline)
 		if err != nil {
 			fatal(err)
@@ -101,6 +132,32 @@ func main() {
 				rep.Delta.BaselineBenchID, rep.Delta.InstsPerSecSpeedup, rep.Delta.AllocsPerOpImprovement)
 		}
 	}
+}
+
+// newestCommittedReport picks the auto-baseline: the highest-numbered
+// BENCH_<n>.json in the working directory, excluding the report being
+// written right now (re-running with the same -out must not diff a
+// report against its own previous bytes).
+func newestCommittedReport(out string) string {
+	paths := benchfmt.CommittedReportPaths(".")
+	for i := len(paths) - 1; i >= 0; i-- {
+		if out != "" && sameFile(paths[i], out) {
+			continue
+		}
+		return paths[i]
+	}
+	return ""
+}
+
+// sameFile reports whether two paths name the same file, tolerating
+// spelling differences like "./BENCH_8.json" vs "BENCH_8.json".
+func sameFile(a, b string) bool {
+	ai, err1 := os.Stat(a)
+	bi, err2 := os.Stat(b)
+	if err1 == nil && err2 == nil {
+		return os.SameFile(ai, bi)
+	}
+	return filepath.Clean(a) == filepath.Clean(b)
 }
 
 func checkReport(path string) error {

@@ -19,6 +19,7 @@ var determinismScope = []string{
 	"internal/dist",     // inventoried here, exempted below — see determinismExempt
 	"internal/store",    // inventoried here, exempted below — see determinismExempt
 	"internal/benchfmt", // inventoried here, exempted below — see determinismExempt
+	"internal/serve",    // inventoried here, exempted below — see determinismExempt
 }
 
 // determinismExempt carves packages out of determinismScope whose whole
@@ -34,6 +35,11 @@ var determinismScope = []string{
 // measurement path behind cmd/bench: its whole purpose is timing
 // simulations with the wall clock, and the Stats it reports come out of
 // the same deterministic simulator entry point as every test. The
+// service layer (internal/serve) is a long-running multi-tenant daemon:
+// job timestamps, queue-drain estimates and journal replay are
+// inherently wall-clock and concurrent, while every simulation it
+// serves goes through the same experiments.Backend seam as a local
+// sweep — the service schedules work, it never computes results. The
 // exemption takes precedence over the scope list, so the boundary is
 // explicit in code rather than implied by omission, and re-listing such
 // a package in the scope later cannot silently outlaw its concurrency.
@@ -42,6 +48,7 @@ var determinismExempt = []string{
 	"internal/dist",
 	"internal/store",
 	"internal/benchfmt",
+	"internal/serve",
 }
 
 // determinismCoreScope is the inner subset of determinismScope where a

@@ -1,0 +1,41 @@
+// Package serve is a fixture for the determinism boundary: its real
+// counterpart is the simulation-as-a-service layer — a long-running
+// multi-tenant daemon whose job timestamps, queue-drain estimates and
+// dispatch workers are inherently wall-clock and concurrent, while the
+// simulations it serves all run through the deterministic
+// experiments.Backend seam. The package suffix matches the
+// determinismScope inventory but is carved out by determinismExempt,
+// so nothing below may be flagged — while the same constructs in
+// internal/uarch (see ../uarch/clock.go) and internal/experiments stay
+// forbidden.
+package serve
+
+import "time"
+
+// SubmitStamp records when a job entered the queue — legal here
+// (service metadata, not simulation output).
+func SubmitStamp() time.Time {
+	return time.Now()
+}
+
+// RetryAfter estimates when a rejected client should come back from
+// the queue's age — legal here.
+func RetryAfter(oldest time.Time) time.Duration {
+	return time.Since(oldest)
+}
+
+// Dispatch fans queued work out to a worker goroutine — legal here
+// (the service schedules simulations, it never computes them).
+func Dispatch(run func()) {
+	go run()
+}
+
+// QuotaDepths ranges over per-tenant queue depths — legal here
+// (admission bookkeeping, not simulation output).
+func QuotaDepths(queued map[string]int) int {
+	n := 0
+	for _, c := range queued {
+		n += c
+	}
+	return n
+}

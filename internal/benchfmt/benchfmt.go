@@ -116,8 +116,11 @@ func Schemes() []string {
 	return []string{"base", "halfprice", "tagelim", "pipelined-rf"}
 }
 
-// schemeConfig applies a named scheme to a width's Table 1 machine.
-func schemeConfig(width int, scheme string) (uarch.Config, error) {
+// SchemeConfig applies a named scheme to a width's Table 1 machine.
+// Exported because it is the one mapping from the user-facing
+// (width, scheme) pair to a full machine description — cmd/bench cells
+// and hpserve job submissions both resolve through it.
+func SchemeConfig(width int, scheme string) (uarch.Config, error) {
 	var cfg uarch.Config
 	switch width {
 	case 4:
@@ -194,7 +197,7 @@ func measureCell(bench string, width int, scheme string, insts uint64, repeats i
 	if !ok {
 		return Result{}, fmt.Errorf("benchfmt: unknown benchmark %q", bench)
 	}
-	cfg, err := schemeConfig(width, scheme)
+	cfg, err := SchemeConfig(width, scheme)
 	if err != nil {
 		return Result{}, err
 	}

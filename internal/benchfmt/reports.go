@@ -1,0 +1,49 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// reportName matches a committed trajectory report file name and
+// captures its sequence number.
+var reportName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// CommittedReportPaths lists the BENCH_<n>.json trajectory reports in
+// dir, sorted by ascending n — the newest committed report is the last
+// element. Only the name pattern is checked; callers parse and validate
+// with Read. A missing or unreadable dir is an empty list.
+func CommittedReportPaths(dir string) []string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var found []numbered
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		m := reportName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		found = append(found, numbered{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	paths := make([]string, len(found))
+	for i, f := range found {
+		paths[i] = f.path
+	}
+	return paths
+}

@@ -1,0 +1,46 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCommittedReportPaths(t *testing.T) {
+	dir := t.TempDir()
+	// Names deliberately out of lexical order: numeric 10 sorts after 9
+	// even though "BENCH_10" < "BENCH_9" as strings.
+	for _, name := range []string{
+		"BENCH_10.json", "BENCH_2.json", "BENCH_9.json",
+		"BENCH_dev.json",   // working copy, not a committed report
+		"BENCH_3.json.bak", // wrong suffix
+		"bench_4.json",     // wrong case
+		"NOTES.md",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "BENCH_7.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	got := CommittedReportPaths(dir)
+	want := []string{
+		filepath.Join(dir, "BENCH_2.json"),
+		filepath.Join(dir, "BENCH_9.json"),
+		filepath.Join(dir, "BENCH_10.json"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CommittedReportPaths = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CommittedReportPaths = %v, want %v", got, want)
+		}
+	}
+
+	if got := CommittedReportPaths(filepath.Join(dir, "missing")); got != nil {
+		t.Fatalf("missing dir: got %v, want nil", got)
+	}
+}

@@ -157,6 +157,23 @@ func (c *Coordinator) Close() { c.pool.close() }
 // HealthyWorkers reports how many workers are currently in dispatch.
 func (c *Coordinator) HealthyWorkers() int { return c.pool.healthyCount() }
 
+// FleetLoad sums the fleet's probe-cached telemetry: how many workers
+// are healthy and how many simulations they reported in flight at
+// their last health probe (Health.Running). It never touches the
+// network — the numbers are at most one health interval stale — so it
+// is cheap enough to call on every admission decision. hpserve's
+// admission control and /v1/stats autoscaling signals read it.
+func (c *Coordinator) FleetLoad() (workers int, running int64) {
+	for _, w := range c.pool.snapshot() {
+		if !w.isHealthy() {
+			continue
+		}
+		workers++
+		running += w.loadNow()
+	}
+	return workers, running
+}
+
 // Execute implements experiments.Backend: serve from the durable result
 // store when one is wired, else dispatch to the request's preferred
 // worker, re-dispatch on failure, and degrade to local execution when

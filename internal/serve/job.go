@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"halfprice/internal/experiments"
+	"halfprice/internal/progress"
+	"halfprice/internal/uarch"
+)
+
+// Priority is a job's admission class. Higher values dispatch first:
+// every interactive job issues before any batch job, which issues
+// before any background job. Within one class, tenants share capacity
+// round-robin (see jobQueue), so one tenant's burst cannot starve
+// another tenant of the same class.
+type Priority uint8
+
+const (
+	// Background is bulk work with no one waiting on it.
+	Background Priority = iota
+	// Batch is the default class: a sweep someone will look at later.
+	Batch
+	// Interactive is a user waiting on the result right now.
+	Interactive
+
+	numPriorities = 3
+)
+
+// String returns the priority's wire name.
+func (p Priority) String() string {
+	switch p {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	}
+	return "background"
+}
+
+// ParsePriority parses a wire name ("" defaults to batch).
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "interactive":
+		return Interactive, nil
+	case "batch", "":
+		return Batch, nil
+	case "background":
+		return Background, nil
+	}
+	return Batch, fmt.Errorf("unknown priority %q (want interactive, batch or background)", s)
+}
+
+// Job states. A job is terminal in StateDone, StateFailed and
+// StateCanceled; only StateQueued jobs can be canceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// terminalState reports whether a job in this state will never change
+// again.
+func terminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one submitted simulation. Immutable identity fields are set at
+// submit; the mutable state fields are guarded by the owning Server's
+// mutex.
+type Job struct {
+	ID       string
+	Seq      uint64
+	Tenant   string
+	Priority Priority
+	// Spec is the request as the tenant submitted it (bench, width,
+	// scheme, budgets); Request is its resolved executable form.
+	Spec    SubmitRequest
+	Request experiments.Request
+
+	// Guarded by the Server's mu.
+	state     string
+	cached    bool // result served from the shared result store
+	errMsg    string
+	submitted time.Time
+	finished  time.Time
+	result    *uarch.Stats
+
+	events *eventLog
+}
+
+// View is the JSON shape of a job in API responses.
+type View struct {
+	ID        string  `json:"id"`
+	Tenant    string  `json:"tenant"`
+	Priority  string  `json:"priority"`
+	State     string  `json:"state"`
+	Bench     string  `json:"bench"`
+	Width     int     `json:"width"`
+	Scheme    string  `json:"scheme"`
+	Config    string  `json:"config"`
+	Insts     uint64  `json:"insts"`
+	Warmup    uint64  `json:"warmup,omitempty"`
+	Kernels   bool    `json:"kernels,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Submitted float64 `json:"submitted"`         // unix seconds
+	Elapsed   float64 `json:"elapsed,omitempty"` // seconds submit→terminal
+}
+
+// viewLocked renders the job for the API; the Server's mu must be held.
+func (j *Job) viewLocked() View {
+	v := View{
+		ID:        j.ID,
+		Tenant:    j.Tenant,
+		Priority:  j.Priority.String(),
+		State:     j.state,
+		Bench:     j.Spec.Bench,
+		Width:     j.Spec.Width,
+		Scheme:    j.Spec.Scheme,
+		Config:    j.Request.Label(),
+		Insts:     j.Spec.Insts,
+		Warmup:    j.Spec.Warmup,
+		Kernels:   j.Spec.Kernels,
+		Cached:    j.cached,
+		Error:     j.errMsg,
+		Submitted: float64(j.submitted.UnixNano()) / 1e9,
+	}
+	if !j.finished.IsZero() {
+		v.Elapsed = j.finished.Sub(j.submitted).Seconds()
+	}
+	return v
+}
+
+// Event is one line of a job's NDJSON event stream: the internal/progress
+// wire format (the same events a local sweep's -progress-json emits,
+// source-tagged with the worker that produced them, or "cache" for store
+// hits) extended with the job's identity and, on the terminal line, its
+// final state. Queued/Running/Done carry service-wide gauges at emission
+// time, so a streamed job doubles as a load signal.
+type Event struct {
+	progress.Event
+	Job    string `json:"job,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	State  string `json:"state,omitempty"` // set on the terminal line
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// eventLog buffers a job's events and fans them out to any number of
+// live subscribers. The buffer is complete — a subscriber always gets
+// every event from "queued" to the terminal line, however late it
+// attaches. Safe for concurrent use.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	subs   map[chan Event]struct{}
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{subs: map[chan Event]struct{}{}}
+}
+
+// subBuffer bounds a subscriber channel. A job emits a handful of
+// events over its lifetime, so a subscriber this far behind is not
+// reading at all; publish drops it rather than blocking dispatch.
+const subBuffer = 64
+
+// publish appends one event and delivers it to every subscriber. An
+// event carrying a terminal State closes the log: subscribers' channels
+// are closed after delivery and later subscribers get the buffer only.
+func (l *eventLog) publish(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, e)
+	for ch := range l.subs {
+		select {
+		case ch <- e:
+		default:
+			// Not consuming; cut it loose so dispatch never blocks.
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+	if e.State != "" {
+		l.closed = true
+		for ch := range l.subs {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the events so far and, when the log is still open,
+// a channel delivering every later event (closed after the terminal
+// event). cancel detaches the subscriber; it is safe to call twice.
+func (l *eventLog) subscribe() (past []Event, live <-chan Event, cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	past = append([]Event(nil), l.events...)
+	if l.closed {
+		return past, nil, func() {}
+	}
+	ch := make(chan Event, subBuffer)
+	l.subs[ch] = struct{}{}
+	return past, ch, func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if _, ok := l.subs[ch]; ok {
+			delete(l.subs, ch)
+			close(ch)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"halfprice/internal/experiments"
+)
+
+// The journal is the queue's durability layer: an append-only NDJSON
+// file of job-lifecycle records, fsynced per append. Replaying it
+// rebuilds the queue after a crash — a job whose last record is
+// "submit" or "start" was not finished and goes back to the queued
+// state (re-dispatching a run is safe: simulations are deterministic
+// and the result store dedupes the work). "done" records embed the
+// result Stats, so a restarted server serves finished results even
+// when the result store is disabled or wiped.
+//
+// Open compacts on replay: terminal jobs beyond the retained history
+// cap are dropped via a tmp+rename rewrite, so the journal's size is
+// bounded by live work plus bounded history rather than by lifetime
+// traffic.
+
+// journalRecord is one NDJSON line.
+type journalRecord struct {
+	Op string `json:"op"` // submit | start | done | fail | cancel
+	// Job is set on submit records only.
+	Job *jobRecord `json:"job,omitempty"`
+	// ID identifies the job on non-submit records.
+	ID     string          `json:"id,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+	Stats  json.RawMessage `json:"stats,omitempty"` // done records
+	Error  string          `json:"error,omitempty"` // fail records
+}
+
+// jobRecord is the durable identity of a job: everything needed to
+// re-create and re-dispatch it after a restart.
+type jobRecord struct {
+	ID        string              `json:"id"`
+	Seq       uint64              `json:"seq"`
+	Tenant    string              `json:"tenant"`
+	Priority  string              `json:"priority"`
+	Spec      SubmitRequest       `json:"spec"`
+	Request   experiments.Request `json:"request"`
+	Submitted float64             `json:"submitted"` // unix seconds
+}
+
+// journal is the append handle plus the replayed state. Appends are
+// serialized by the owning Server's mu.
+type journal struct {
+	path string
+	f    *os.File
+}
+
+// replayedJob is one job reconstructed by openJournal.
+type replayedJob struct {
+	rec    jobRecord
+	state  string // StateQueued (incl. crashed mid-run) or terminal
+	cached bool
+	stats  json.RawMessage
+	errMsg string
+}
+
+// openJournal replays (tolerating a torn trailing line from a crash
+// mid-append), compacts, and reopens the journal for appending.
+// historyCap bounds how many terminal jobs survive compaction; the
+// most recently submitted are kept.
+func openJournal(dir string, historyCap int) (*journal, []replayedJob, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: creating state dir: %w", err)
+	}
+	path := filepath.Join(dir, "jobs.journal")
+	jobs, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compactJournal(path, jobs, historyCap); err != nil {
+		return nil, nil, err
+	}
+	// Re-derive the retained set so the in-memory view matches the file.
+	jobs, err = replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	return &journal{path: path, f: f}, jobs, nil
+}
+
+// replayJournal reads the journal into per-job state, submit order
+// preserved. A missing file is an empty journal. A torn final line
+// (crash mid-append) is ignored; a corrupt interior line is an error —
+// that is damage, not a crash artifact.
+func replayJournal(path string) ([]replayedJob, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening journal: %w", err)
+	}
+	defer f.Close()
+
+	byID := map[string]*replayedJob{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var torn string
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if torn != "" {
+			return nil, fmt.Errorf("serve: corrupt journal line (not at tail): %s", torn)
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// Possibly a torn tail from a crash mid-append; only an
+			// error if more lines follow.
+			torn = fmt.Sprintf("%.80s", line)
+			continue
+		}
+		switch rec.Op {
+		case "submit":
+			if rec.Job == nil {
+				return nil, fmt.Errorf("serve: journal submit record without job")
+			}
+			if _, dup := byID[rec.Job.ID]; dup {
+				return nil, fmt.Errorf("serve: duplicate journal submit for %s", rec.Job.ID)
+			}
+			byID[rec.Job.ID] = &replayedJob{rec: *rec.Job, state: StateQueued}
+			order = append(order, rec.Job.ID)
+		case "start":
+			// A start without a terminal record means the server died
+			// mid-run; the job replays as queued and re-dispatches.
+		case "done":
+			if j := byID[rec.ID]; j != nil {
+				j.state, j.cached, j.stats = StateDone, rec.Cached, rec.Stats
+			}
+		case "fail":
+			if j := byID[rec.ID]; j != nil {
+				j.state, j.errMsg = StateFailed, rec.Error
+			}
+		case "cancel":
+			if j := byID[rec.ID]; j != nil {
+				j.state = StateCanceled
+			}
+		default:
+			return nil, fmt.Errorf("serve: unknown journal op %q", rec.Op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: reading journal: %w", err)
+	}
+	out := make([]replayedJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, *byID[id])
+	}
+	return out, nil
+}
+
+// compactJournal rewrites the journal keeping every non-terminal job
+// and the historyCap most recent terminal jobs, via tmp+rename so a
+// crash mid-compaction leaves the old journal intact.
+func compactJournal(path string, jobs []replayedJob, historyCap int) error {
+	var terminal []int
+	for i := range jobs {
+		if terminalState(jobs[i].state) {
+			terminal = append(terminal, i)
+		}
+	}
+	if len(jobs) == 0 || len(terminal) <= historyCap && fileLineCount(path) <= len(jobs)*2 {
+		// Nothing to drop and no redundant records worth rewriting.
+		return nil
+	}
+	drop := map[int]bool{}
+	if len(terminal) > historyCap {
+		// Keep the most recently submitted terminal jobs.
+		sort.Ints(terminal)
+		for _, i := range terminal[:len(terminal)-historyCap] {
+			drop[i] = true
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: compacting journal: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	for i := range jobs {
+		if drop[i] {
+			continue
+		}
+		j := &jobs[i]
+		if err := enc.Encode(journalRecord{Op: "submit", Job: &j.rec}); err != nil {
+			f.Close()
+			return fmt.Errorf("serve: compacting journal: %w", err)
+		}
+		var term *journalRecord
+		switch j.state {
+		case StateDone:
+			term = &journalRecord{Op: "done", ID: j.rec.ID, Cached: j.cached, Stats: j.stats}
+		case StateFailed:
+			term = &journalRecord{Op: "fail", ID: j.rec.ID, Error: j.errMsg}
+		case StateCanceled:
+			term = &journalRecord{Op: "cancel", ID: j.rec.ID}
+		}
+		if term != nil {
+			if err := enc.Encode(*term); err != nil {
+				f.Close()
+				return fmt.Errorf("serve: compacting journal: %w", err)
+			}
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: compacting journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: compacting journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: compacting journal: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// fileLineCount counts newline-terminated lines; 0 on any error (the
+// caller only uses it to decide whether a rewrite is worthwhile).
+func fileLineCount(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, b := range data {
+		if b == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// append durably writes one record: encode, write, fsync. The caller
+// holds the Server's mu, so appends never interleave.
+func (jl *journal) append(rec journalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("serve: encoding journal record: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := jl.f.Write(data); err != nil {
+		return fmt.Errorf("serve: appending journal: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("serve: syncing journal: %w", err)
+	}
+	return nil
+}
+
+func (jl *journal) close() error { return jl.f.Close() }
+
+// syncDir fsyncs a directory so a rename is durable. Some filesystems
+// reject directory fsync; that is not worth failing startup over.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// submittedTime converts a jobRecord's unix-seconds stamp back to
+// time.Time.
+func (r *jobRecord) submittedTime() time.Time {
+	sec := int64(r.Submitted)
+	nsec := int64((r.Submitted - float64(sec)) * 1e9)
+	return time.Unix(sec, nsec)
+}

@@ -1,0 +1,121 @@
+package serve
+
+// jobQueue orders queued jobs for dispatch: strict priority between
+// classes, round-robin between tenants within a class, FIFO within one
+// tenant's jobs of a class. Strict priority means an interactive job
+// always dispatches before any batch job; round-robin means two tenants
+// flooding the batch class alternate rather than the earlier flood
+// draining first. Not safe for concurrent use — the owning Server's mu
+// guards every method.
+type jobQueue struct {
+	classes [numPriorities]tenantRing
+	n       int
+}
+
+// tenantRing is one priority class: a FIFO per tenant plus a rotation
+// order. next indexes the tenant whose turn it is.
+type tenantRing struct {
+	fifos map[string][]*Job
+	order []string
+	next  int
+}
+
+// push appends the job to its tenant's FIFO in its priority class.
+func (q *jobQueue) push(j *Job) {
+	r := &q.classes[j.Priority]
+	if r.fifos == nil {
+		r.fifos = map[string][]*Job{}
+	}
+	if _, ok := r.fifos[j.Tenant]; !ok {
+		r.order = append(r.order, j.Tenant)
+	}
+	r.fifos[j.Tenant] = append(r.fifos[j.Tenant], j)
+	q.n++
+}
+
+// pop removes and returns the next job to dispatch, or nil when the
+// queue is empty.
+func (q *jobQueue) pop() *Job {
+	for p := int(numPriorities) - 1; p >= 0; p-- {
+		if j := q.classes[p].pop(); j != nil {
+			q.n--
+			return j
+		}
+	}
+	return nil
+}
+
+// pop takes the head job of the next tenant in rotation, advancing the
+// rotation and dropping tenants whose FIFOs have drained.
+func (r *tenantRing) pop() *Job {
+	for len(r.order) > 0 {
+		if r.next >= len(r.order) {
+			r.next = 0
+		}
+		t := r.order[r.next]
+		fifo := r.fifos[t]
+		if len(fifo) == 0 {
+			delete(r.fifos, t)
+			r.order = append(r.order[:r.next], r.order[r.next+1:]...)
+			continue
+		}
+		j := fifo[0]
+		fifo[0] = nil
+		r.fifos[t] = fifo[1:]
+		if len(fifo) == 1 {
+			delete(r.fifos, t)
+			r.order = append(r.order[:r.next], r.order[r.next+1:]...)
+		} else {
+			r.next++
+		}
+		return j
+	}
+	return nil
+}
+
+// remove deletes a specific queued job (cancel path). Returns false if
+// the job is not in the queue.
+func (q *jobQueue) remove(j *Job) bool {
+	r := &q.classes[j.Priority]
+	fifo, ok := r.fifos[j.Tenant]
+	if !ok {
+		return false
+	}
+	for i, cand := range fifo {
+		if cand == j {
+			copy(fifo[i:], fifo[i+1:])
+			fifo[len(fifo)-1] = nil
+			fifo = fifo[:len(fifo)-1]
+			if len(fifo) == 0 {
+				delete(r.fifos, j.Tenant)
+				for oi, t := range r.order {
+					if t == j.Tenant {
+						r.order = append(r.order[:oi], r.order[oi+1:]...)
+						if r.next > oi {
+							r.next--
+						}
+						break
+					}
+				}
+			} else {
+				r.fifos[j.Tenant] = fifo
+			}
+			q.n--
+			return true
+		}
+	}
+	return false
+}
+
+// depth is the number of queued jobs across all classes.
+func (q *jobQueue) depth() int { return q.n }
+
+// tenantDepth counts one tenant's queued jobs across all classes
+// (quota accounting).
+func (q *jobQueue) tenantDepth(tenant string) int {
+	n := 0
+	for p := 0; p < numPriorities; p++ {
+		n += len(q.classes[p].fifos[tenant])
+	}
+	return n
+}

@@ -1,0 +1,720 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"halfprice/internal/experiments"
+	"halfprice/internal/uarch"
+)
+
+// fakeBackend is a controllable experiments.Backend: it records every
+// executed request's Budget (tests give each submission a unique
+// budget, so the record doubles as an execution order), optionally
+// blocks on a gate, and fires the observer lifecycle like a real
+// backend.
+type fakeBackend struct {
+	gate chan struct{} // nil = never block
+
+	mu       sync.Mutex
+	executed []uint64
+}
+
+func (b *fakeBackend) Execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+	b.mu.Lock()
+	b.executed = append(b.executed, req.Budget)
+	b.mu.Unlock()
+	if b.gate != nil {
+		<-b.gate
+	}
+	if obs != nil {
+		obs.RunStarted(req.Bench, req.Label(), req.Budget)
+	}
+	st := &uarch.Stats{Committed: req.Budget, Cycles: req.Budget / 2}
+	if obs != nil {
+		obs.RunFinished(req.Bench, req.Label(), req.Budget)
+	}
+	return st, nil
+}
+
+func (b *fakeBackend) executions() []uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]uint64(nil), b.executed...)
+}
+
+// newTestServer starts a Server plus an httptest front end. Tests with
+// a gated backend must open the gate before returning so Close can
+// drain the dispatch pool.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// doJSON performs one API request and returns status plus body.
+func doJSON(t *testing.T, method, url, token string, body any) (int, []byte, http.Header) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data, resp.Header
+}
+
+// submitJob POSTs a job and decodes the response view, asserting the
+// expected status.
+func submitJob(t *testing.T, ts *httptest.Server, token string, spec map[string]any, wantStatus int) View {
+	t.Helper()
+	status, body, _ := doJSON(t, "POST", ts.URL+"/v1/jobs", token, spec)
+	if status != wantStatus {
+		t.Fatalf("submit %v: status %d, want %d (body %s)", spec, status, wantStatus, body)
+	}
+	var v View
+	if wantStatus == http.StatusCreated {
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	}
+	return v
+}
+
+// waitJobState polls until the job reaches want (or fails the test
+// after ~10s).
+func waitJobState(t *testing.T, ts *httptest.Server, token, id, want string) View {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		status, body, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id, token, nil)
+		if status != http.StatusOK {
+			t.Fatalf("get %s: status %d (body %s)", id, status, body)
+		}
+		var v View
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.State == want {
+			return v
+		}
+		if terminalState(v.State) {
+			t.Fatalf("job %s reached %q (error %q), want %q", id, v.State, v.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, v.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// jobEvents fetches a terminal job's full NDJSON event stream.
+func jobEvents(t *testing.T, ts *httptest.Server, token, id string) []Event {
+	t.Helper()
+	status, body, hdr := doJSON(t, "GET", ts.URL+"/v1/jobs/"+id+"/events", token, nil)
+	if status != http.StatusOK {
+		t.Fatalf("events %s: status %d (body %s)", id, status, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var events []Event
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+func eventKinds(events []Event) []string {
+	kinds := make([]string, len(events))
+	for i, e := range events {
+		kinds[i] = e.Event.Event
+	}
+	return kinds
+}
+
+func TestSubmitRunsJobEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Options{Backend: experiments.LocalBackend{}})
+
+	spec := map[string]any{"bench": "gzip", "insts": 2000}
+	v := submitJob(t, ts, "", spec, http.StatusCreated)
+	if v.State != StateQueued && v.State != StateRunning && v.State != StateDone {
+		t.Fatalf("fresh job state %q", v.State)
+	}
+	if v.Tenant != anonTenant || v.Width != 4 || v.Scheme != "base" {
+		t.Fatalf("defaults not applied: %+v", v)
+	}
+
+	done := waitJobState(t, ts, "", v.ID, StateDone)
+	if done.Cached {
+		t.Fatal("first run reported cached")
+	}
+
+	// The result must be the exact bytes of the deterministic local
+	// simulation.
+	sr := SubmitRequest{Bench: "gzip", Insts: 2000}
+	req, err := sr.resolve(defaultMaxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/result", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("result status %d (body %s)", status, body)
+	}
+	if got := bytes.TrimSpace(body); !bytes.Equal(got, wantJSON) {
+		t.Fatalf("result bytes differ:\n got %s\nwant %s", got, wantJSON)
+	}
+
+	kinds := eventKinds(jobEvents(t, ts, "", v.ID))
+	want4 := []string{"queued", "start", "finish", "done"}
+	if fmt.Sprint(kinds) != fmt.Sprint(want4) {
+		t.Fatalf("event kinds %v, want %v", kinds, want4)
+	}
+
+	status, body, _ = doJSON(t, "GET", ts.URL+"/v1/stats", "", nil)
+	if status != http.StatusOK {
+		t.Fatal("stats unavailable")
+	}
+	var sv StatsView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Done != 1 || sv.Dispatched != 1 || sv.StoreHits != 0 {
+		t.Fatalf("stats counters %+v", sv)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Backend: &fakeBackend{}, MaxInsts: 10_000})
+	cases := []map[string]any{
+		{},                                  // missing bench
+		{"bench": "no-such-bench"},          // unknown benchmark
+		{"bench": "gzip", "scheme": "warp"}, // unknown scheme
+		{"bench": "gzip", "width": 6},       // unsupported width
+		{"bench": "gzip", "insts": 20_000},  // over the server cap
+		{"bench": "gzip", "insts": 100, "warmup": 100}, // warmup eats the budget
+		{"bench": "gzip", "priority": "urgent"},        // unknown priority
+		{"bench": "gzip", "frobnicate": true},          // unknown field
+		{"bench": "gzip", "kernels": true},             // not a kernel name
+	}
+	for _, spec := range cases {
+		submitJob(t, ts, "", spec, http.StatusBadRequest)
+	}
+}
+
+func TestAuthAndTenantIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Backend: &fakeBackend{},
+		Tenants: map[string]string{"tok-alice": "alice", "tok-bob": "bob"},
+	})
+
+	for _, token := range []string{"", "wrong"} {
+		status, _, hdr := doJSON(t, "GET", ts.URL+"/v1/jobs", token, nil)
+		if status != http.StatusUnauthorized {
+			t.Fatalf("token %q: status %d, want 401", token, status)
+		}
+		if hdr.Get("WWW-Authenticate") == "" {
+			t.Fatal("401 without WWW-Authenticate")
+		}
+	}
+
+	v := submitJob(t, ts, "tok-alice", map[string]any{"bench": "gzip", "insts": 1000}, http.StatusCreated)
+	if v.Tenant != "alice" {
+		t.Fatalf("tenant %q, want alice", v.Tenant)
+	}
+	waitJobState(t, ts, "tok-alice", v.ID, StateDone)
+
+	// Bob cannot see, stream, fetch or cancel Alice's job.
+	for _, path := range []string{"", "/events", "/result"} {
+		status, _, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+v.ID+path, "tok-bob", nil)
+		if status != http.StatusNotFound {
+			t.Fatalf("bob GET %s%s: status %d, want 404", v.ID, path, status)
+		}
+	}
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/"+v.ID+"/cancel", "tok-bob", nil); status != http.StatusNotFound {
+		t.Fatalf("bob cancel: status %d, want 404", status)
+	}
+
+	var list struct {
+		Jobs []View `json:"jobs"`
+	}
+	_, body, _ := doJSON(t, "GET", ts.URL+"/v1/jobs", "tok-bob", nil)
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 0 {
+		t.Fatalf("bob sees %d jobs", len(list.Jobs))
+	}
+	_, body, _ = doJSON(t, "GET", ts.URL+"/v1/jobs", "tok-alice", nil)
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 {
+		t.Fatalf("alice sees %d jobs, want 1", len(list.Jobs))
+	}
+}
+
+// blockFirstJob submits a sacrificial job and waits until the single
+// dispatch worker is blocked inside the backend on it, so everything
+// submitted afterwards stacks up in the queue in a known state.
+func blockFirstJob(t *testing.T, ts *httptest.Server, backend *fakeBackend, token string) {
+	t.Helper()
+	submitJob(t, ts, token, map[string]any{"bench": "gzip", "insts": 9999, "priority": "interactive"}, http.StatusCreated)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(backend.executions()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocker job never dispatched")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	_, ts := newTestServer(t, Options{Backend: backend, Workers: 1})
+
+	blockFirstJob(t, ts, backend, "")
+	// Budgets encode the expected dispatch order.
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 3000, "priority": "background"}, http.StatusCreated)
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 2000, "priority": "batch"}, http.StatusCreated)
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1000, "priority": "interactive"}, http.StatusCreated)
+	openGate()
+
+	for _, id := range []string{"j000001", "j000002", "j000003"} {
+		waitJobState(t, ts, "", id, StateDone)
+	}
+	got := backend.executions()
+	want := []uint64{9999, 1000, 2000, 3000} // blocker, then interactive > batch > background
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want %v", got, want)
+	}
+}
+
+func TestTenantFairShare(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	_, ts := newTestServer(t, Options{
+		Backend: backend,
+		Workers: 1,
+		Tenants: map[string]string{"tok-alice": "alice", "tok-bob": "bob"},
+	})
+
+	blockFirstJob(t, ts, backend, "tok-alice")
+	// Alice floods first; Bob queues behind her. Fair-share must
+	// alternate tenants instead of draining Alice's burst first.
+	ids := []string{}
+	for i := 0; i < 3; i++ {
+		v := submitJob(t, ts, "tok-alice", map[string]any{"bench": "gzip", "insts": 1000 + i}, http.StatusCreated)
+		ids = append(ids, v.ID)
+	}
+	for i := 0; i < 3; i++ {
+		v := submitJob(t, ts, "tok-bob", map[string]any{"bench": "gzip", "insts": 2000 + i}, http.StatusCreated)
+		ids = append(ids, v.ID)
+	}
+	openGate()
+	for i, id := range ids {
+		token := "tok-alice"
+		if i >= 3 {
+			token = "tok-bob"
+		}
+		waitJobState(t, ts, token, id, StateDone)
+	}
+
+	got := backend.executions()[1:] // drop the blocker
+	want := []uint64{1000, 2000, 1001, 2001, 1002, 2002}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want alternating %v", got, want)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	_, ts := newTestServer(t, Options{Backend: backend, Workers: 1, MaxQueue: 2})
+
+	blockFirstJob(t, ts, backend, "")
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1001}, http.StatusCreated)
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1002}, http.StatusCreated)
+
+	status, body, hdr := doJSON(t, "POST", ts.URL+"/v1/jobs", "", map[string]any{"bench": "gzip", "insts": 1003})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-queue submit: status %d, want 429 (body %s)", status, body)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", hdr.Get("Retry-After"))
+	}
+	var e struct {
+		Error         string  `json:"error"`
+		RetryAfterSec float64 `json:"retry_after_sec"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.RetryAfterSec < 1 {
+		t.Fatalf("429 body %s", body)
+	}
+}
+
+func TestAdmissionTenantQuota(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	_, ts := newTestServer(t, Options{
+		Backend:     backend,
+		Workers:     1,
+		TenantQuota: 1,
+		Tenants:     map[string]string{"tok-alice": "alice", "tok-bob": "bob"},
+	})
+
+	blockFirstJob(t, ts, backend, "tok-alice")
+	submitJob(t, ts, "tok-alice", map[string]any{"bench": "gzip", "insts": 1001}, http.StatusCreated)
+	// Alice is at quota; Bob is not.
+	submitJob(t, ts, "tok-alice", map[string]any{"bench": "gzip", "insts": 1002}, http.StatusTooManyRequests)
+	submitJob(t, ts, "tok-bob", map[string]any{"bench": "gzip", "insts": 1003}, http.StatusCreated)
+}
+
+func TestAdmissionFleetSaturation(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	saturated := false
+	var mu sync.Mutex
+	_, ts := newTestServer(t, Options{
+		Backend:  backend,
+		Workers:  1,
+		MaxQueue: 8,
+		FleetStats: func() (int, int64) {
+			mu.Lock()
+			defer mu.Unlock()
+			if saturated {
+				return 2, 100 // way past fleetOverloadPerWorker × 2
+			}
+			return 2, 0
+		},
+	})
+
+	blockFirstJob(t, ts, backend, "")
+	// Idle fleet: queue two deep, fine.
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1001}, http.StatusCreated)
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1002}, http.StatusCreated)
+	// Saturated fleet: the early cutoff (MaxQueue/4 = 2 queued) rejects.
+	mu.Lock()
+	saturated = true
+	mu.Unlock()
+	submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1003}, http.StatusTooManyRequests)
+
+	status, body, _ := doJSON(t, "GET", ts.URL+"/v1/stats", "", nil)
+	if status != http.StatusOK {
+		t.Fatal("stats unavailable")
+	}
+	var sv StatsView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if !sv.Saturated || sv.FleetWorkers != 2 || sv.FleetRunning != 100 || sv.RetryAfterSec < 1 {
+		t.Fatalf("stats %+v, want saturated with fleet telemetry", sv)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	_, ts := newTestServer(t, Options{Backend: backend, Workers: 1})
+
+	blockFirstJob(t, ts, backend, "")
+	queued := submitJob(t, ts, "", map[string]any{"bench": "gzip", "insts": 1001}, http.StatusCreated)
+
+	// Cancel the queued job.
+	status, body, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/"+queued.ID+"/cancel", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("cancel: status %d (body %s)", status, body)
+	}
+	var v View
+	if err := json.Unmarshal(body, &v); err != nil || v.State != StateCanceled {
+		t.Fatalf("cancel response %s", body)
+	}
+	kinds := eventKinds(jobEvents(t, ts, "", queued.ID))
+	if fmt.Sprint(kinds) != fmt.Sprint([]string{"queued", "canceled"}) {
+		t.Fatalf("canceled job events %v", kinds)
+	}
+
+	// The running blocker cannot be canceled.
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/j000000/cancel", "", nil); status != http.StatusConflict {
+		t.Fatalf("cancel running: status %d, want 409", status)
+	}
+	// Unknown job.
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/j999999/cancel", "", nil); status != http.StatusNotFound {
+		t.Fatalf("cancel unknown: status %d, want 404", status)
+	}
+	openGate()
+	done := waitJobState(t, ts, "", "j000000", StateDone)
+	// A terminal job cannot be canceled either.
+	if status, _, _ := doJSON(t, "POST", ts.URL+"/v1/jobs/"+done.ID+"/cancel", "", nil); status != http.StatusConflict {
+		t.Fatalf("cancel done: status %d, want 409", status)
+	}
+	// Its result endpoint refused while the canceled one reports state.
+	if status, _, _ := doJSON(t, "GET", ts.URL+"/v1/jobs/"+queued.ID+"/result", "", nil); status != http.StatusConflict {
+		t.Fatalf("result of canceled job: status %d, want 409", status)
+	}
+}
+
+// TestEventStreamLive attaches to the NDJSON stream while the job is
+// still running and must see the start/finish/terminal lines arrive
+// live, then the stream close.
+func TestEventStreamLive(t *testing.T) {
+	backend := &fakeBackend{gate: make(chan struct{})}
+	openGate := sync.OnceFunc(func() { close(backend.gate) })
+	defer openGate()
+	_, ts := newTestServer(t, Options{Backend: backend, Workers: 1})
+
+	blockFirstJob(t, ts, backend, "")
+
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/j000000/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sc := bufio.NewScanner(resp.Body)
+	next := func() Event {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		return e
+	}
+	if e := next(); e.Event.Event != "queued" {
+		t.Fatalf("first event %q, want queued", e.Event.Event)
+	}
+	openGate()
+	if e := next(); e.Event.Event != "start" {
+		t.Fatalf("second event %q, want start", e.Event.Event)
+	}
+	if e := next(); e.Event.Event != "finish" {
+		t.Fatalf("third event %q, want finish", e.Event.Event)
+	}
+	e := next()
+	if e.Event.Event != "done" || e.State != StateDone {
+		t.Fatalf("terminal event %+v", e)
+	}
+	if sc.Scan() {
+		t.Fatalf("unexpected line after terminal event: %q", sc.Text())
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q jobQueue
+	mk := func(tenant string, pri Priority, seq uint64) *Job {
+		return &Job{ID: fmt.Sprintf("j%d", seq), Seq: seq, Tenant: tenant, Priority: pri}
+	}
+	a1 := mk("a", Batch, 1)
+	a2 := mk("a", Batch, 2)
+	b1 := mk("b", Batch, 3)
+	bg := mk("a", Background, 4)
+	it := mk("b", Interactive, 5)
+	for _, j := range []*Job{a1, a2, b1, bg, it} {
+		q.push(j)
+	}
+	if q.depth() != 5 || q.tenantDepth("a") != 3 || q.tenantDepth("b") != 2 {
+		t.Fatalf("depths: total %d, a %d, b %d", q.depth(), q.tenantDepth("a"), q.tenantDepth("b"))
+	}
+	want := []*Job{it, a1, b1, a2, bg}
+	for i, w := range want {
+		got := q.pop()
+		if got != w {
+			t.Fatalf("pop %d: got %v, want %v", i, got.ID, w.ID)
+		}
+	}
+	if q.pop() != nil || q.depth() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q jobQueue
+	mk := func(tenant string, seq uint64) *Job {
+		return &Job{ID: fmt.Sprintf("j%d", seq), Seq: seq, Tenant: tenant, Priority: Batch}
+	}
+	a1, a2, b1 := mk("a", 1), mk("a", 2), mk("b", 3)
+	q.push(a1)
+	q.push(a2)
+	q.push(b1)
+	if !q.remove(a1) {
+		t.Fatal("remove a1 failed")
+	}
+	if q.remove(a1) {
+		t.Fatal("double remove succeeded")
+	}
+	if q.depth() != 2 {
+		t.Fatalf("depth %d after remove", q.depth())
+	}
+	if got := q.pop(); got != a2 && got != b1 {
+		t.Fatalf("pop after remove: %v", got.ID)
+	}
+}
+
+func TestLoadTenants(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		path := filepath.Join(dir, "tenants")
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	got, err := LoadTenants(write("# fleet tenants\nalice: tok-a \n\nbob:tok-b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["tok-a"] != "alice" || got["tok-b"] != "bob" {
+		t.Fatalf("parsed %v", got)
+	}
+
+	for _, bad := range []string{"alice\n", "alice:\n", ":tok\n", "alice:t1\nalice:t2\n", "alice:t1\nbob:t1\n"} {
+		if _, err := LoadTenants(write(bad)); err == nil {
+			t.Fatalf("content %q: want error", bad)
+		}
+	}
+	if _, err := LoadTenants(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file: want error")
+	}
+}
+
+func TestResolveNormalizesSpec(t *testing.T) {
+	sr := SubmitRequest{Bench: "gzip"}
+	req, err := sr.resolve(defaultMaxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Width != 4 || sr.Scheme != "base" || sr.Insts != defaultSubmitInsts || sr.Priority != "batch" {
+		t.Fatalf("normalized spec %+v", sr)
+	}
+	if req.Bench != "gzip" || req.Budget != defaultSubmitInsts || req.UseKernels {
+		t.Fatalf("resolved request %+v", req)
+	}
+
+	hp := SubmitRequest{Bench: "mcf", Width: 8, Scheme: "halfprice", Insts: 5000, Warmup: 1000, Priority: "interactive"}
+	req, err = hp.resolve(defaultMaxInsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Config.WarmupInsts != 1000 || req.Config.Wakeup != uarch.WakeupSequential {
+		t.Fatalf("halfprice scheme not applied: %+v", req.Config)
+	}
+	if hp.priority != Interactive {
+		t.Fatalf("priority %v", hp.priority)
+	}
+}
+
+func TestPriorityRoundTrip(t *testing.T) {
+	for _, p := range []Priority{Background, Batch, Interactive} {
+		got, err := ParsePriority(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParsePriority("asap"); err == nil {
+		t.Fatal("want error for unknown priority")
+	}
+	if p, err := ParsePriority(""); err != nil || p != Batch {
+		t.Fatalf("empty priority: %v, %v", p, err)
+	}
+}
+
+func TestEventLogDropsSlowSubscriber(t *testing.T) {
+	l := newEventLog()
+	_, live, cancel := l.subscribe()
+	defer cancel()
+	// Fill far past the buffer without reading; publish must never
+	// block and must close the abandoned channel.
+	for i := 0; i < subBuffer+8; i++ {
+		l.publish(Event{})
+	}
+	drained := 0
+	for range live {
+		drained++
+	}
+	if drained != subBuffer {
+		t.Fatalf("drained %d buffered events, want %d", drained, subBuffer)
+	}
+}
+
+func TestStrayWakeTokens(t *testing.T) {
+	// Submits that are rejected or served from cache must not leave the
+	// dispatch pool spinning; and a wake with an empty queue is a no-op.
+	s, _ := newTestServer(t, Options{Backend: &fakeBackend{}})
+	s.wakeOne()
+	s.wakeOne()
+	time.Sleep(20 * time.Millisecond) // workers wake, find nothing, block again
+	if got := s.Stats(); got.Queued != 0 || got.Running != 0 {
+		t.Fatalf("stray wake left state %+v", got)
+	}
+}

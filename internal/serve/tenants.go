@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Tenant identity is bearer-token based, mirroring the fleet's worker
+// auth (internal/dist): the hpserve operator hands each tenant a token,
+// and every API request carries it as "Authorization: Bearer <token>".
+// Quotas, fair-share rotation and job visibility are all keyed by the
+// tenant name the token resolves to. With no tenants configured the
+// service runs open: every request is the "anonymous" tenant — fine for
+// localhost use, not for a shared deployment.
+
+// anonTenant is the identity of every request when no tenants are
+// configured.
+const anonTenant = "anonymous"
+
+// LoadTenants reads a tenants file: one "name:token" per line, blank
+// lines and #-comments ignored. Names and tokens must be non-empty;
+// names must be unique (tokens too — a shared token would make the
+// resolved identity ambiguous).
+func LoadTenants(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: opening tenants file: %w", err)
+	}
+	defer f.Close()
+	tenants := map[string]string{} // token -> name
+	names := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, token, ok := strings.Cut(line, ":")
+		name, token = strings.TrimSpace(name), strings.TrimSpace(token)
+		if !ok || name == "" || token == "" {
+			return nil, fmt.Errorf("serve: %s:%d: want \"name:token\", got %q", path, lineNo, line)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("serve: %s:%d: duplicate tenant %q", path, lineNo, name)
+		}
+		if _, dup := tenants[token]; dup {
+			return nil, fmt.Errorf("serve: %s:%d: token for %q already assigned to another tenant", path, lineNo, name)
+		}
+		names[name] = true
+		tenants[token] = name
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: reading tenants file: %w", err)
+	}
+	return tenants, nil
+}
+
+// resolveTenant maps a request to its tenant name, or "" when the
+// credential is missing/unknown. Comparison hashes both sides and uses
+// a constant-time compare (the internal/dist auth pattern), so timing
+// does not leak token prefixes; the sha256 pre-hash also equalizes
+// lengths.
+func (s *Server) resolveTenant(r *http.Request) string {
+	if len(s.opts.Tenants) == 0 {
+		return anonTenant
+	}
+	auth := r.Header.Get("Authorization")
+	const prefix = "Bearer "
+	if !strings.HasPrefix(auth, prefix) {
+		return ""
+	}
+	presented := sha256.Sum256([]byte(strings.TrimSpace(auth[len(prefix):])))
+	name := ""
+	for token, n := range s.opts.Tenants {
+		want := sha256.Sum256([]byte(token))
+		if subtle.ConstantTimeCompare(presented[:], want[:]) == 1 {
+			name = n
+		}
+	}
+	return name
+}

@@ -1,0 +1,206 @@
+#!/usr/bin/env bash
+# Simulation-as-a-service smoke test (CI and `make serve-smoke`):
+# hpserve in front of a two-worker token-authenticated sweepd fleet,
+# exercised end to end over HTTP as two tenants:
+#
+#   1. Auth: a missing or wrong bearer token gets 401; a real tenant
+#      token gets through.
+#   2. Streaming: tenant alice submits a job and follows its NDJSON
+#      event stream to the terminal "done" event; the "start" event is
+#      attributed to a fleet worker; the result downloads as JSON.
+#   3. Result CDN: tenant bob submits the identical config and is
+#      served from the shared store — cached, a "hit" event, zero
+#      extra fleet dispatches, response bytes identical to alice's.
+#   4. Admission control: a second hpserve with a one-slot queue
+#      rejects the overflow submit with 429 + Retry-After.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+insts=${SERVE_SMOKE_INSTS:-20000}
+port_a=${SERVE_SMOKE_PORT_A:-9781}   # sweepd worker
+port_b=${SERVE_SMOKE_PORT_B:-9782}   # sweepd worker
+port_s=${SERVE_SMOKE_PORT_S:-9783}   # hpserve
+port_t=${SERVE_SMOKE_PORT_T:-9784}   # hpserve with a tiny queue
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+  kill $pids $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+wait_up() { # port...
+  for port in "$@"; do
+    up=""
+    for _ in $(seq 1 50); do
+      if (exec 3<>"/dev/tcp/localhost/$port") 2>/dev/null; then
+        exec 3>&- 3<&- || true
+        up=1
+        break
+      fi
+      sleep 0.2
+    done
+    if [ -z "$up" ]; then
+      echo "serve-smoke: server on port $port never came up" >&2
+      exit 1
+    fi
+  done
+}
+
+go build -o "$tmp/sweepd" ./cmd/sweepd
+go build -o "$tmp/hpserve" ./cmd/hpserve
+go build -o "$tmp/httpprobe" ./scripts/httpprobe
+
+fleet_token="serve-smoke-fleet"
+cat > "$tmp/tenants" <<EOF
+# serve-smoke tenants
+alice:tok-alice
+bob:tok-bob
+EOF
+
+"$tmp/sweepd" -addr "localhost:$port_a" -token "$fleet_token" &
+pids="$pids $!"
+"$tmp/sweepd" -addr "localhost:$port_b" -token "$fleet_token" &
+pids="$pids $!"
+wait_up "$port_a" "$port_b"
+
+"$tmp/hpserve" -addr "localhost:$port_s" \
+  -state-dir "$tmp/state" -cache-dir "$tmp/cache" \
+  -tenants "$tmp/tenants" \
+  -workers "localhost:$port_a,localhost:$port_b" -token "$fleet_token" \
+  -health-interval 250ms &
+pids="$pids $!"
+wait_up "$port_s"
+
+base="http://localhost:$port_s"
+
+### Phase 1: auth ####################################################
+
+echo "serve-smoke: unauthenticated and wrong-token requests must 401" >&2
+"$tmp/httpprobe" -expect 401 "$base/v1/jobs" >/dev/null
+"$tmp/httpprobe" -token wrong -expect 401 "$base/v1/jobs" >/dev/null
+"$tmp/httpprobe" -token tok-alice -expect 200 "$base/v1/jobs" >/dev/null
+"$tmp/httpprobe" -expect 200 "$base/healthz" >/dev/null
+
+### Phase 2: submit, stream, fetch as alice ##########################
+
+spec='{"bench":"gzip","insts":'"$insts"'}'
+echo "serve-smoke: alice submits $spec" >&2
+curl -sf -X POST -H "Authorization: Bearer tok-alice" \
+  -H 'Content-Type: application/json' -d "$spec" \
+  "$base/v1/jobs" > "$tmp/alice-job.json"
+job_a=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$tmp/alice-job.json")
+if [ -z "$job_a" ]; then
+  echo "serve-smoke: FAIL — no job id in submit response" >&2
+  cat "$tmp/alice-job.json" >&2
+  exit 1
+fi
+
+# The stream ends at the job's terminal event, so this curl returning
+# IS the wait-for-completion.
+echo "serve-smoke: streaming $job_a events" >&2
+curl -sf --max-time 120 -H "Authorization: Bearer tok-alice" \
+  "$base/v1/jobs/$job_a/events" > "$tmp/alice-events.ndjson"
+for kind in queued start finish done; do
+  if ! grep -q "\"event\":\"$kind\"" "$tmp/alice-events.ndjson" && \
+     ! grep -q "\"state\":\"$kind\"" "$tmp/alice-events.ndjson"; then
+    echo "serve-smoke: FAIL — no \"$kind\" event in the stream" >&2
+    cat "$tmp/alice-events.ndjson" >&2
+    exit 1
+  fi
+done
+if ! grep "\"event\":\"start\"" "$tmp/alice-events.ndjson" | grep -q "$port_a\|$port_b"; then
+  echo "serve-smoke: FAIL — start event not attributed to a fleet worker" >&2
+  cat "$tmp/alice-events.ndjson" >&2
+  exit 1
+fi
+
+curl -sf -H "Authorization: Bearer tok-alice" \
+  "$base/v1/jobs/$job_a/result" > "$tmp/alice-result.json"
+grep -q '"Cycles"' "$tmp/alice-result.json" || {
+  echo "serve-smoke: FAIL — result payload has no cycles field" >&2
+  exit 1
+}
+
+### Phase 3: cross-tenant CDN hit as bob #############################
+
+echo "serve-smoke: bob resubmits the identical config" >&2
+curl -sf -X POST -H "Authorization: Bearer tok-bob" \
+  -H 'Content-Type: application/json' -d "$spec" \
+  "$base/v1/jobs" > "$tmp/bob-job.json"
+job_b=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$tmp/bob-job.json")
+grep -q '"cached":true' "$tmp/bob-job.json" || {
+  echo "serve-smoke: FAIL — cross-tenant resubmit was not a cache hit" >&2
+  cat "$tmp/bob-job.json" >&2
+  exit 1
+}
+curl -sf --max-time 30 -H "Authorization: Bearer tok-bob" \
+  "$base/v1/jobs/$job_b/events" > "$tmp/bob-events.ndjson"
+grep -q '"event":"hit"' "$tmp/bob-events.ndjson" || {
+  echo "serve-smoke: FAIL — cached job stream has no hit event" >&2
+  cat "$tmp/bob-events.ndjson" >&2
+  exit 1
+}
+curl -sf -H "Authorization: Bearer tok-bob" \
+  "$base/v1/jobs/$job_b/result" > "$tmp/bob-result.json"
+if ! cmp "$tmp/alice-result.json" "$tmp/bob-result.json"; then
+  echo "serve-smoke: FAIL — cached result differs between tenants" >&2
+  exit 1
+fi
+
+curl -sf -H "Authorization: Bearer tok-alice" "$base/v1/stats" > "$tmp/stats.json"
+grep -q '"store_hits":1' "$tmp/stats.json" || {
+  echo "serve-smoke: FAIL — stats do not show the store hit" >&2
+  cat "$tmp/stats.json" >&2
+  exit 1
+}
+grep -q '"fleet_workers":2' "$tmp/stats.json" || {
+  echo "serve-smoke: FAIL — stats do not show the two-worker fleet" >&2
+  cat "$tmp/stats.json" >&2
+  exit 1
+}
+
+# Tenants only see their own jobs.
+"$tmp/httpprobe" -token tok-bob -expect 404 "$base/v1/jobs/$job_a" >/dev/null
+
+### Phase 4: admission control #######################################
+
+echo "serve-smoke: overflow submit must be rejected with 429 + Retry-After" >&2
+"$tmp/hpserve" -addr "localhost:$port_t" \
+  -state-dir "$tmp/state-tiny" -no-cache \
+  -j 1 -max-queue 1 &
+pids="$pids $!"
+wait_up "$port_t"
+
+tiny="http://localhost:$port_t"
+big='{"bench":"gzip","insts":1000000}'
+curl -sf -X POST -H 'Content-Type: application/json' -d "$big" \
+  "$tiny/v1/jobs" >/dev/null                       # occupies the worker
+curl -sf -X POST -H 'Content-Type: application/json' \
+  -d '{"bench":"gzip","insts":999999}' \
+  "$tiny/v1/jobs" >/dev/null                       # fills the queue
+code=$(curl -s -o "$tmp/429.json" -D "$tmp/429.hdr" -w '%{http_code}' \
+  -X POST -H 'Content-Type: application/json' \
+  -d '{"bench":"gzip","insts":999998}' "$tiny/v1/jobs")
+if [ "$code" != 429 ]; then
+  echo "serve-smoke: FAIL — overflow submit got $code, want 429" >&2
+  cat "$tmp/429.json" >&2
+  exit 1
+fi
+grep -qi '^retry-after:' "$tmp/429.hdr" || {
+  echo "serve-smoke: FAIL — 429 without a Retry-After header" >&2
+  cat "$tmp/429.hdr" >&2
+  exit 1
+}
+grep -q '"retry_after_sec"' "$tmp/429.json" || {
+  echo "serve-smoke: FAIL — 429 body without retry_after_sec" >&2
+  cat "$tmp/429.json" >&2
+  exit 1
+}
+
+echo "serve-smoke: ok — auth, streaming, cross-tenant CDN hit and 429 admission all verified" >&2
