@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt generate check sweepd hpserve dist-smoke cache-smoke serve-smoke bench bench-smoke
+.PHONY: build test race lint fmt generate check sweepd hpserve dist-smoke cache-smoke serve-smoke chaos-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,14 @@ cache-smoke:
 # Retry-After from a one-slot admission queue.
 serve-smoke:
 	bash scripts/serve-smoke.sh
+
+# chaos-smoke runs the deterministic fault-storm check CI runs: the
+# internal/chaos storm tests (a seeded faulty transport over a
+# two-worker fleet — results byte-identical to serial, exactly-once
+# accounting, bounded time) plus a process-level sweep through sweepd
+# workers injecting seeded -chaos-seed pre-run delays.
+chaos-smoke:
+	bash scripts/chaos-smoke.sh
 
 # bench runs the pinned BENCH_<n>.json matrix (PERF.md, README.md
 # §Benchmarking) into BENCH_dev.json, diffed against the newest

@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -170,7 +171,7 @@ func runCached(tr *progress.Tracker, cache *store.Store, cfg halfprice.Config, b
 		tr.RunQueued(bench, req.Label(), budget)
 	}
 	st, cached, err := cache.GetOrCompute(req.Key(), func() (*halfprice.Stats, error) {
-		return experiments.LocalBackend{}.Execute(req, obs)
+		return experiments.LocalBackend{}.Execute(context.Background(), req, obs)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halfprice:", err)
@@ -200,7 +201,7 @@ func runDistributed(tracker *progress.Tracker, cache *store.Store, cfg halfprice
 		obs = tracker
 		tracker.RunQueued(bench, req.Label(), budget)
 	}
-	st, err := coord.Execute(req, obs)
+	st, err := coord.Execute(context.Background(), req, obs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "halfprice:", err)
 		os.Exit(1)

@@ -27,10 +27,13 @@
 //	-quiet            suppress operational logging
 //
 // Plus the shared fleet flags (-workers, -registry, -worker-timeout,
-// -token, -tls-ca, -health-interval): with a fleet configured, jobs
-// dispatch to sweepd workers through the dist coordinator and the
-// fleet's probe-cached load telemetry feeds admission control and
-// /v1/stats; without one, jobs simulate in-process.
+// -token, -tls-ca, -health-interval, -hedge, -hedge-after): with a
+// fleet configured, jobs dispatch to sweepd workers through the dist
+// coordinator and the fleet's probe-cached load telemetry feeds
+// admission control and /v1/stats; without one, jobs simulate
+// in-process. Unlike the batch sweep commands, hpserve turns -hedge on
+// by default — interactive tenants feel tail latency, and the
+// coordinator keeps hedged runs exactly-once.
 package main
 
 import (
@@ -63,6 +66,14 @@ func main() {
 	tenantsFile := flag.String("tenants", "", `tenants file, one "name:token" per line; empty = open mode`)
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
 	fleet := dist.AddFlags()
+	// hpserve fronts interactive tenants, so hedged dispatch defaults on
+	// here (batch sweep commands keep it opt-in: their equivalence
+	// checks count raw dispatches). -hedge=false restores single-shot
+	// dispatch.
+	flag.Set("hedge", "true")
+	if fl := flag.Lookup("hedge"); fl != nil {
+		fl.DefValue = "true"
+	}
 	flag.Parse()
 
 	logf := log.New(os.Stderr, "", log.LstdFlags).Printf

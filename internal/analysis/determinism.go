@@ -20,6 +20,7 @@ var determinismScope = []string{
 	"internal/store",    // inventoried here, exempted below — see determinismExempt
 	"internal/benchfmt", // inventoried here, exempted below — see determinismExempt
 	"internal/serve",    // inventoried here, exempted below — see determinismExempt
+	"internal/chaos",    // inventoried here, exempted below — see determinismExempt
 }
 
 // determinismExempt carves packages out of determinismScope whose whole
@@ -40,15 +41,23 @@ var determinismScope = []string{
 // inherently wall-clock and concurrent, while every simulation it
 // serves goes through the same experiments.Backend seam as a local
 // sweep — the service schedules work, it never computes results. The
-// exemption takes precedence over the scope list, so the boundary is
-// explicit in code rather than implied by omission, and re-listing such
-// a package in the scope later cannot silently outlaw its concurrency.
-// internal/uarch, internal/trace and internal/vm stay fully flagged.
+// chaos harness (internal/chaos) is the fault-injection layer: its
+// System clock and injected delays are real time by definition, yet its
+// fault *decisions* are already deterministic by construction — every
+// verdict is a stateless hash of (seed, op, target, call index), never
+// a wall-clock or global-rand read (Plan.ScheduleDigest pins this), so
+// the analyzer's rules would only flag the clock plumbing the harness
+// exists to provide. The exemption takes precedence over the scope
+// list, so the boundary is explicit in code rather than implied by
+// omission, and re-listing such a package in the scope later cannot
+// silently outlaw its concurrency. internal/uarch, internal/trace and
+// internal/vm stay fully flagged.
 var determinismExempt = []string{
 	"internal/dist",
 	"internal/store",
 	"internal/benchfmt",
 	"internal/serve",
+	"internal/chaos",
 }
 
 // determinismCoreScope is the inner subset of determinismScope where a

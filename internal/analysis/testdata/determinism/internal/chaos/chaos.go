@@ -1,0 +1,34 @@
+// Package chaos is a fixture for the determinism boundary: its real
+// counterpart is the fault-injection harness, whose System clock and
+// injected delays are real time by definition — while its fault
+// decisions stay deterministic by construction (a stateless hash of
+// seed, op, target and call index, pinned by Plan.ScheduleDigest). The
+// package suffix matches the determinismScope inventory but is carved
+// out by determinismExempt, so nothing below may be flagged — while the
+// same constructs in internal/uarch (see ../uarch/clock.go) and
+// internal/experiments stay forbidden.
+package chaos
+
+import "time"
+
+// Now reads the wall clock for the System clock seam — legal here (the
+// harness exists to hand real or fake time to the layers under test).
+func Now() time.Time {
+	return time.Now()
+}
+
+// InjectDelay sleeps out an injected latency fault — legal here (the
+// delay's length was decided by the seeded hash, not the clock).
+func InjectDelay(d time.Duration) {
+	time.Sleep(d)
+}
+
+// FaultCounts ranges over the per-target fault log — legal here
+// (injection bookkeeping, not simulation output).
+func FaultCounts(byTarget map[string]int) int {
+	n := 0
+	for _, c := range byTarget {
+		n += c
+	}
+	return n
+}

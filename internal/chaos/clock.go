@@ -1,0 +1,98 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for components that must be testable under
+// chaos: the dist coordinator's backoff, hedging and breaker cooldowns
+// and the serve deadline bookkeeping all read time through one of
+// these instead of the time package directly.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+}
+
+// System returns the real clock.
+func System() Clock { return systemClock{} }
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Skewed wraps a clock so Now reads offset from the base — the
+// "worker with a wrong wall clock" fault. Sleep and After pass
+// through: skew shifts the epoch, it does not dilate durations.
+func Skewed(base Clock, offset time.Duration) Clock {
+	return skewedClock{base: base, offset: offset}
+}
+
+type skewedClock struct {
+	base   Clock
+	offset time.Duration
+}
+
+func (c skewedClock) Now() time.Time                         { return c.base.Now().Add(c.offset) }
+func (c skewedClock) Sleep(d time.Duration)                  { c.base.Sleep(d) }
+func (c skewedClock) After(d time.Duration) <-chan time.Time { return c.base.After(d) }
+
+// Fake is a manually advanced clock for deterministic tests: Now
+// reads a counter, Sleep and After only complete when Advance moves
+// the counter past their deadline. The zero value is not usable; use
+// NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFake returns a fake clock reading start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Advance moves the clock forward, firing every waiter whose deadline
+// has passed.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	var kept []*fakeWaiter
+	for _, w := range f.waiters {
+		if !w.at.After(f.now) {
+			w.ch <- f.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	f.waiters = kept
+	f.mu.Unlock()
+}
+
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- f.now
+		return ch
+	}
+	f.waiters = append(f.waiters, &fakeWaiter{at: f.now.Add(d), ch: ch})
+	return ch
+}

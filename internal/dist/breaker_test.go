@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"halfprice/internal/chaos"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	clk := chaos.NewFake(time.Unix(1000, 0))
+	br := newBreaker(2, 10*time.Second)
+
+	// Birth: unknown — probeable but not dispatchable until a probe
+	// verdict arrives.
+	if br.dispatchable(clk.Now()) {
+		t.Fatal("unknown worker must not be dispatchable before its first probe")
+	}
+	if !br.allowProbe(clk.Now()) {
+		t.Fatal("unknown worker must be probeable")
+	}
+
+	// First success closes it.
+	if !br.success() {
+		t.Fatal("first success should report a state change")
+	}
+	if br.success() {
+		t.Fatal("repeated success on a closed breaker is not a change")
+	}
+	if !br.dispatchable(clk.Now()) || !br.allowDispatch(clk.Now()) {
+		t.Fatal("closed breaker must admit dispatch")
+	}
+
+	// One failure under threshold 2: still closed.
+	if br.failure(clk.Now()) {
+		t.Fatal("failure under threshold must not open the breaker")
+	}
+	if !br.dispatchable(clk.Now()) {
+		t.Fatal("breaker should stay closed below the failure threshold")
+	}
+	// Second consecutive failure opens it.
+	if !br.failure(clk.Now()) {
+		t.Fatal("threshold-th failure must open the breaker")
+	}
+	if br.dispatchable(clk.Now()) || br.allowDispatch(clk.Now()) {
+		t.Fatal("open breaker must refuse dispatch")
+	}
+	if br.allowProbe(clk.Now()) {
+		t.Fatal("open breaker must suppress probes during cooldown")
+	}
+
+	// Cooldown expiry admits a half-open trial.
+	clk.Advance(10*time.Second + time.Millisecond)
+	if !br.dispatchable(clk.Now()) {
+		t.Fatal("expired cooldown must admit a half-open trial")
+	}
+	if !br.allowDispatch(clk.Now()) {
+		t.Fatal("allowDispatch must commit the half-open transition")
+	}
+	if got := br.snapshot(); got != brHalfOpen {
+		t.Fatalf("state after trial admission = %v, want half-open", got)
+	}
+
+	// A failed trial re-opens with a doubled cooldown.
+	if !br.failure(clk.Now()) {
+		t.Fatal("failed half-open trial must re-open the breaker")
+	}
+	clk.Advance(10*time.Second + time.Millisecond)
+	if br.dispatchable(clk.Now()) {
+		t.Fatal("re-opened breaker must hold for the doubled cooldown")
+	}
+	clk.Advance(10 * time.Second)
+	if !br.allowDispatch(clk.Now()) {
+		t.Fatal("doubled cooldown expired; trial must be admitted")
+	}
+
+	// A successful trial closes it and resets the trip history.
+	if !br.success() {
+		t.Fatal("successful trial should close the breaker")
+	}
+	if s := br.snapshot(); s != brClosed {
+		t.Fatalf("state after successful trial = %v, want closed", s)
+	}
+	if br.fails != 0 || br.trips != 0 {
+		t.Fatalf("failure history after close: fails=%d trips=%d, want clean", br.fails, br.trips)
+	}
+}
+
+func TestBreakerCooldownCapped(t *testing.T) {
+	clk := chaos.NewFake(time.Unix(0, 0))
+	br := newBreaker(1, time.Minute)
+	for i := 0; i < 10; i++ {
+		br.failure(clk.Now())
+		clk.Advance(maxBreakerCooldown + time.Second)
+		if !br.allowDispatch(clk.Now()) {
+			t.Fatalf("trip %d: cooldown exceeded the %s cap", i, maxBreakerCooldown)
+		}
+	}
+}

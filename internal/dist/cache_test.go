@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -39,7 +40,7 @@ func TestFallbackWarnsOncePerSweep(t *testing.T) {
 
 	for _, b := range trace.BenchmarkNames[:4] {
 		req := experiments.Request{Bench: b, Config: testConfig(), Budget: 2000}
-		if _, err := coord.Execute(req, nil); err != nil {
+		if _, err := coord.Execute(context.Background(), req, nil); err != nil {
 			t.Fatalf("Execute with unreachable fleet: %v", err)
 		}
 	}
@@ -75,7 +76,7 @@ func TestCoordinatorStoreTier(t *testing.T) {
 	defer coord.Close()
 
 	req := experiments.Request{Bench: "gzip", Config: testConfig(), Budget: 2000}
-	first, err := coord.Execute(req, nil)
+	first, err := coord.Execute(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestCoordinatorStoreTier(t *testing.T) {
 	defer coord2.Close()
 
 	obs := &cachedCountingObserver{}
-	second, err := coord2.Execute(req, obs)
+	second, err := coord2.Execute(context.Background(), req, obs)
 	if err != nil {
 		t.Fatal(err)
 	}

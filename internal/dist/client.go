@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/tls"
 	"encoding/json"
 	"fmt"
@@ -10,10 +11,13 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"halfprice/internal/chaos"
 	"halfprice/internal/experiments"
 	"halfprice/internal/store"
 	"halfprice/internal/uarch"
@@ -27,16 +31,15 @@ type Options struct {
 	Timeout time.Duration
 	// Attempts is how many workers a request is dispatched to before the
 	// coordinator degrades to local execution (default 3; each failure
-	// re-dispatches to the next healthy worker in ring order).
+	// re-dispatches to the next dispatchable worker in ring order).
 	Attempts int
 	// Backoff is the base delay between dispatch attempts; attempt n
 	// waits in [Backoff<<n / 2, Backoff<<n), jittered to keep a fleet of
 	// retrying requests from thundering in lockstep (default 100ms).
 	Backoff time.Duration
 	// HealthInterval is the period of the background /healthz sweep that
-	// evicts dead workers and re-admits recovered ones, and of the
-	// registry re-read that lets workers join and leave the running
-	// sweep (default 5s).
+	// feeds worker circuit breakers and of the registry re-read that
+	// lets workers join and leave the running sweep (default 5s).
 	HealthInterval time.Duration
 	// Registry names a dynamic worker-membership source — a file or an
 	// http(s):// endpoint listing one worker address per line — re-read
@@ -58,6 +61,39 @@ type Options struct {
 	// when its probed queue depth exceeds the fleet median by more than
 	// this (0 = default 4).
 	LoadThreshold int64
+	// BreakerThreshold is how many consecutive probe or dispatch
+	// failures open a worker's circuit breaker (default 1: the first
+	// failure evicts, as the pre-breaker coordinator did).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker keeps its worker out
+	// of dispatch and probing before admitting a half-open trial; it
+	// doubles on every consecutive re-open (default: HealthInterval).
+	BreakerCooldown time.Duration
+	// Hedge enables hedged dispatch: once a request has been in flight
+	// longer than the fleet's p95 latency estimate (or HedgeAfter, when
+	// set), a second attempt launches on the least-loaded other worker;
+	// the first result wins and the loser is canceled. The worker-side
+	// runKey singleflight dedups the work, and the coordinator's
+	// forwarder keeps observer events exactly-once, but the raw
+	// dispatch count is no longer one-per-run — so hedging is opt-in
+	// (hpserve turns it on; batch sweep equivalence tests leave it off).
+	Hedge bool
+	// HedgeAfter, when > 0, pins the hedge delay instead of the
+	// adaptive p95 estimate.
+	HedgeAfter time.Duration
+	// Transport, when non-nil, replaces the coordinator's underlying
+	// HTTP transport for runs and probes — the chaos harness's
+	// fault-injection seam (chaos.Injector.Transport).
+	Transport http.RoundTripper
+	// Clock is the coordinator's time source for backoff, breaker
+	// cooldowns and hedge timers (default: the system clock). The chaos
+	// harness injects skewed or fake clocks here.
+	Clock chaos.Clock
+	// Jitter, when non-nil, seeds the backoff jitter — chaos runs pass
+	// a seeded rand so retry schedules replay byte-identically. Default:
+	// a clock-seeded rand (jitter decorrelates fleets; it never affects
+	// results).
+	Jitter *rand.Rand
 	// Logf receives eviction, retry and fallback warnings (default:
 	// stderr).
 	Logf func(format string, args ...any)
@@ -83,6 +119,12 @@ func (o Options) withDefaults() Options {
 	if o.HealthInterval <= 0 {
 		o.HealthInterval = 5 * time.Second
 	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = o.HealthInterval
+	}
+	if o.Clock == nil {
+		o.Clock = chaos.System()
+	}
 	if o.Logf == nil {
 		o.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -91,16 +133,29 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// DeadlineHeader carries the request's remaining execution budget to
+// the worker as integer milliseconds; the worker bounds its own
+// queueing and simulation context by it, so a deadline is honored even
+// when the client connection lingers.
+const DeadlineHeader = "X-Halfprice-Deadline-Ms"
+
 // Coordinator implements experiments.Backend over a fleet of sweepd
 // workers: requests shard by their canonical key onto a preferred worker
 // (fleet-level singleflight affinity), failures re-dispatch with
-// backoff, and when no worker is reachable execution degrades to the
-// local machine with a warning instead of failing the sweep. Safe for
-// concurrent use; Close releases the health checker.
+// backoff and feed per-worker circuit breakers, slow requests hedge to
+// a second worker when enabled, and when no worker is reachable
+// execution degrades to the local machine with a warning instead of
+// failing the sweep. Safe for concurrent use; Close releases the health
+// checker.
 type Coordinator struct {
-	opts Options
-	pool *pool
-	hc   *http.Client
+	opts  Options
+	pool  *pool
+	hc    *http.Client
+	clock chaos.Clock
+	lat   latencyTracker
+
+	hedges    atomic.Uint64 // hedge attempts launched
+	hedgeWins atomic.Uint64 // hedges that produced the winning result
 
 	fallbackOnce sync.Once
 
@@ -131,23 +186,35 @@ func NewCoordinator(addrs []string, opts Options) *Coordinator {
 	if strings.TrimSpace(opts.Registry) != "" {
 		reg = NewRegistry(opts.Registry)
 	}
-	hc := &http.Client{Timeout: opts.Timeout}
-	if opts.TLS != nil {
+	hc := &http.Client{}
+	switch {
+	case opts.Transport != nil:
+		hc.Transport = opts.Transport
+	case opts.TLS != nil:
 		hc.Transport = &http.Transport{TLSClientConfig: opts.TLS}
+	}
+	jitter := opts.Jitter
+	if jitter == nil {
+		jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	return &Coordinator{
 		opts: opts,
 		pool: newPool(poolConfig{
-			addrs:         addrs,
-			registry:      reg,
-			interval:      opts.HealthInterval,
-			probeTimeout:  probeTimeout,
-			tls:           opts.TLS,
-			loadThreshold: opts.LoadThreshold,
-			logf:          opts.Logf,
+			addrs:            addrs,
+			registry:         reg,
+			interval:         opts.HealthInterval,
+			probeTimeout:     probeTimeout,
+			tls:              opts.TLS,
+			transport:        opts.Transport,
+			clock:            opts.Clock,
+			loadThreshold:    opts.LoadThreshold,
+			breakerThreshold: opts.BreakerThreshold,
+			breakerCooldown:  opts.BreakerCooldown,
+			logf:             opts.Logf,
 		}),
 		hc:     hc,
-		jitter: rand.New(rand.NewSource(time.Now().UnixNano())),
+		clock:  opts.Clock,
+		jitter: jitter,
 	}
 }
 
@@ -157,6 +224,12 @@ func (c *Coordinator) Close() { c.pool.close() }
 // HealthyWorkers reports how many workers are currently in dispatch.
 func (c *Coordinator) HealthyWorkers() int { return c.pool.healthyCount() }
 
+// HedgeStats reports how many hedged attempts this coordinator has
+// launched and how many of them beat their primary.
+func (c *Coordinator) HedgeStats() (launched, won uint64) {
+	return c.hedges.Load(), c.hedgeWins.Load()
+}
+
 // FleetLoad sums the fleet's probe-cached telemetry: how many workers
 // are healthy and how many simulations they reported in flight at
 // their last health probe (Health.Running). It never touches the
@@ -164,8 +237,9 @@ func (c *Coordinator) HealthyWorkers() int { return c.pool.healthyCount() }
 // is cheap enough to call on every admission decision. hpserve's
 // admission control and /v1/stats autoscaling signals read it.
 func (c *Coordinator) FleetLoad() (workers int, running int64) {
+	now := c.clock.Now()
 	for _, w := range c.pool.snapshot() {
-		if !w.isHealthy() {
+		if !w.dispatchableAt(now) {
 			continue
 		}
 		workers++
@@ -178,8 +252,13 @@ func (c *Coordinator) FleetLoad() (workers int, running int64) {
 // store when one is wired, else dispatch to the request's preferred
 // worker, re-dispatch on failure, and degrade to local execution when
 // the fleet is unreachable. Observer events fire exactly once per run
-// regardless of retries.
-func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+// regardless of retries or hedging. ctx bounds the whole attempt
+// sequence — one budget decremented across retries, not one per
+// attempt; a done ctx stops retrying, backing off and falling back.
+func (c *Coordinator) Execute(ctx context.Context, req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := req.Key()
 	if c.opts.Store != nil {
 		if st, ok := c.opts.Store.Get(key); ok {
@@ -187,7 +266,7 @@ func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer)
 			return st, nil
 		}
 	}
-	st, err := c.execute(req, obs)
+	st, err := c.execute(ctx, req, obs)
 	if err != nil {
 		return nil, err
 	}
@@ -199,36 +278,47 @@ func (c *Coordinator) Execute(req experiments.Request, obs experiments.Observer)
 	return st, nil
 }
 
-// execute is Execute past the store tier: the dispatch/retry/fallback
-// state machine.
-func (c *Coordinator) execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+// execute is Execute past the store tier: the dispatch/retry/hedge/
+// fallback state machine.
+func (c *Coordinator) execute(ctx context.Context, req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
 	fw := &forwarder{obs: obs, bench: req.Bench, label: req.Label(), insts: req.Budget}
 	sh := shard(req.Key())
 	for attempt := 0; attempt < c.opts.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dist: deadline spent after %d attempts: %w", attempt, err)
+		}
 		w := c.pool.pick(sh, attempt)
 		if w == nil {
 			break
 		}
 		if attempt > 0 {
-			c.sleepBackoff(attempt - 1)
+			if err := c.sleepBackoff(ctx, attempt-1); err != nil {
+				return nil, err
+			}
 		}
-		st, err := c.runOn(w, req, fw)
+		st, err := c.runMaybeHedged(ctx, w, req, fw)
 		if err == nil {
-			fw.finish(w.addr)
 			return st, nil
 		}
-		// Lost or failed: evict the worker from dispatch (the health
-		// checker re-admits it if it recovers) and re-dispatch.
+		if ctx.Err() != nil {
+			// The failure is the caller's expired deadline, not the
+			// worker's: don't charge its breaker.
+			return nil, fmt.Errorf("dist: deadline spent mid-dispatch: %w", ctx.Err())
+		}
 		c.opts.Logf("dist: worker %s: %s %s: %v; re-dispatching", w.addr, req.Bench, fw.label, err)
-		if w.setHealthy(false) {
-			c.opts.Logf("dist: worker %s evicted after failed request", w.addr)
+		if w.br.failure(c.clock.Now()) {
+			c.opts.Logf("dist: worker %s breaker opened after failed request", w.addr)
 		}
 	}
 
-	// Graceful degradation: no healthy worker, or every attempt failed.
-	// A dead fleet degrades every request of the sweep the same way, so
-	// the warning fires once per coordinator, not once per request; the
-	// per-worker eviction lines above already say which workers failed.
+	// Graceful degradation: no dispatchable worker, or every attempt
+	// failed. A dead fleet degrades every request of the sweep the same
+	// way, so the warning fires once per coordinator, not once per
+	// request; the per-worker breaker lines above already say which
+	// workers failed.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: deadline spent before local fallback: %w", err)
+	}
 	c.fallbackOnce.Do(func() {
 		c.opts.Logf("dist: warning: no healthy worker completed %s %s; falling back to local execution (warned once per sweep)", req.Bench, fw.label)
 	})
@@ -241,22 +331,135 @@ func (c *Coordinator) execute(req experiments.Request, obs experiments.Observer)
 	return st, nil
 }
 
+// runMaybeHedged runs one dispatch attempt, racing a hedged second
+// attempt against the primary when hedging is enabled and the primary
+// outlives the hedge delay. First result wins; the loser's request
+// context is canceled. A canceled loser never counts against its
+// worker's breaker — only the attempt that actually failed does, and
+// that accounting happens here because only this function knows which
+// worker produced which error.
+func (c *Coordinator) runMaybeHedged(ctx context.Context, primary *worker, req experiments.Request, fw *forwarder) (*uarch.Stats, error) {
+	delay, ok := c.hedgeDelay()
+	if !ok {
+		return c.timedRunOn(ctx, primary, req, fw)
+	}
+
+	type outcome struct {
+		st  *uarch.Stats
+		err error
+		w   *worker
+		ctx context.Context
+	}
+	results := make(chan outcome, 2)
+	pctx, pcancel := context.WithCancel(ctx)
+	defer pcancel()
+	go func() {
+		st, err := c.timedRunOn(pctx, primary, req, fw)
+		results <- outcome{st, err, primary, pctx}
+	}()
+
+	inFlight := 1
+	var hcancel context.CancelFunc
+	timer := c.clock.After(delay)
+	var firstErr error
+	for inFlight > 0 {
+		select {
+		case r := <-results:
+			inFlight--
+			if r.err == nil {
+				pcancel()
+				if hcancel != nil {
+					hcancel()
+				}
+				if r.w != primary {
+					c.hedgeWins.Add(1)
+				}
+				return r.st, nil
+			}
+			// A loser canceled by the winner (or by our own deadline)
+			// isn't the worker's fault; everything else opens its way
+			// toward the breaker.
+			if r.ctx.Err() == nil || ctx.Err() != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+			}
+			if r.ctx.Err() == nil && r.w != primary {
+				c.opts.Logf("dist: hedged attempt on %s failed: %v", r.w.addr, r.err)
+				if r.w.br.failure(c.clock.Now()) {
+					c.opts.Logf("dist: worker %s breaker opened after failed hedge", r.w.addr)
+				}
+			}
+		case <-timer:
+			timer = nil
+			peer := c.pool.leastLoadedExcept(primary)
+			if peer == nil {
+				continue
+			}
+			c.hedges.Add(1)
+			var hctx context.Context
+			hctx, hcancel = context.WithCancel(ctx)
+			defer hcancel()
+			inFlight++
+			go func() {
+				st, err := c.timedRunOn(hctx, peer, req, fw)
+				results <- outcome{st, err, peer, hctx}
+			}()
+		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("request canceled")
+	}
+	return nil, firstErr
+}
+
+// hedgeDelay returns the in-flight duration after which a request
+// hedges, and whether hedging applies at all right now.
+func (c *Coordinator) hedgeDelay() (time.Duration, bool) {
+	if !c.opts.Hedge {
+		return 0, false
+	}
+	if c.opts.HedgeAfter > 0 {
+		return c.opts.HedgeAfter, true
+	}
+	return c.lat.estimate()
+}
+
+// timedRunOn is runOn plus latency accounting for the hedge trigger.
+func (c *Coordinator) timedRunOn(ctx context.Context, w *worker, req experiments.Request, fw *forwarder) (*uarch.Stats, error) {
+	t0 := c.clock.Now()
+	st, err := c.runOn(ctx, w, req, fw)
+	if err == nil {
+		c.lat.observe(c.clock.Now().Sub(t0))
+	}
+	return st, err
+}
+
 // runOn sends one request to one worker and consumes its NDJSON stream:
 // progress events are forwarded to the observer, the terminal line
 // yields the result. Every failure mode a worker can present — refused
 // connection, death mid-stream, a hang past the timeout, corrupt JSON,
 // a non-200 status, a stream that ends without a result — comes back as
-// an error for the caller to re-dispatch.
-func (c *Coordinator) runOn(w *worker, req experiments.Request, fw *forwarder) (*uarch.Stats, error) {
+// an error for the caller to re-dispatch. The request context is
+// bounded by both the caller's deadline and Options.Timeout, and the
+// tighter of the two rides to the worker in DeadlineHeader.
+func (c *Coordinator) runOn(ctx context.Context, w *worker, req experiments.Request, fw *forwarder) (*uarch.Stats, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("marshaling request: %v", err)
 	}
-	hreq, err := http.NewRequest(http.MethodPost, w.base+RunPath, bytes.NewReader(body))
+	rctx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, w.base+RunPath, bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("building request: %v", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if dl, ok := rctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			hreq.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	if c.opts.Token != "" {
 		hreq.Header.Set("Authorization", authorization(c.opts.Token))
 	}
@@ -290,6 +493,7 @@ func (c *Coordinator) runOn(w *worker, req experiments.Request, fw *forwarder) (
 			if m.Stats == nil {
 				return nil, fmt.Errorf("result message without stats")
 			}
+			fw.finish(w.addr)
 			return m.Stats, nil
 		case "error":
 			return nil, fmt.Errorf("worker error: %s", m.Error)
@@ -325,33 +529,49 @@ func (c *Coordinator) backoffDelay(n int) time.Duration {
 
 // sleepBackoff waits backoffDelay(n) jittered into [d/2, d):
 // exponential growth spaces retries out, jitter decorrelates a fleet
-// of them.
-func (c *Coordinator) sleepBackoff(n int) {
+// of them. It returns early — with the context's error — when ctx is
+// canceled, so an abandoned sweep never sits out a 30s backoff.
+func (c *Coordinator) sleepBackoff(ctx context.Context, n int) error {
 	d := c.backoffDelay(n)
 	c.jmu.Lock()
 	j := time.Duration(c.jitter.Int63n(int64(d/2) + 1))
 	c.jmu.Unlock()
-	time.Sleep(d/2 + j)
+	select {
+	case <-c.clock.After(d/2 + j):
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("dist: canceled during backoff: %w", ctx.Err())
+	}
 }
 
 // forwarder fires observer events for one request exactly once each,
-// however many dispatch attempts it takes. It is confined to the one
-// goroutine executing the request.
+// however many dispatch attempts — sequential retries or concurrent
+// hedges — it takes.
 type forwarder struct {
 	obs          experiments.Observer
 	bench, label string
 	insts        uint64
-	started      bool
+
+	mu       sync.Mutex
+	started  bool
+	finished bool
 }
 
 // start forwards the run's start event, attributed to source when the
 // observer supports attribution. Later calls are no-ops, so a retry
-// after a worker died post-start cannot double-count the run.
+// after a worker died post-start — or a hedge racing its primary —
+// cannot double-count the run.
 func (f *forwarder) start(source string) {
-	if f.obs == nil || f.started {
+	if f.obs == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.started {
+		f.mu.Unlock()
 		return
 	}
 	f.started = true
+	f.mu.Unlock()
 	if so, ok := f.obs.(sourcedObserver); ok && source != "" {
 		so.RunStartedFrom(source, f.bench, f.label, f.insts)
 		return
@@ -367,6 +587,13 @@ func (f *forwarder) finish(source string) {
 		return
 	}
 	f.start(source)
+	f.mu.Lock()
+	if f.finished {
+		f.mu.Unlock()
+		return
+	}
+	f.finished = true
+	f.mu.Unlock()
 	if so, ok := f.obs.(sourcedObserver); ok && source != "" {
 		so.RunFinishedFrom(source, f.bench, f.label, f.insts)
 		return

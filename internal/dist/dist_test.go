@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -99,13 +100,13 @@ func TestWorkerMemoSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := coord.Execute(req, nil); err != nil {
+			if _, err := coord.Execute(context.Background(), req, nil); err != nil {
 				t.Errorf("Execute: %v", err)
 			}
 		}()
 	}
 	wg.Wait()
-	if _, err := coord.Execute(req, nil); err != nil {
+	if _, err := coord.Execute(context.Background(), req, nil); err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
 	h := srv.Health()
@@ -136,7 +137,7 @@ func TestNoWorkersFallsBackLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := coord.Execute(req, nil)
+	got, err := coord.Execute(context.Background(), req, nil)
 	if err != nil {
 		t.Fatalf("Execute with unreachable fleet: %v", err)
 	}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -104,7 +105,7 @@ func runFaultScenario(t *testing.T, mode faultMode) {
 
 	req := requestFor(t, 0, 2) // worker 0 = faulty
 	obs := &countingObserver{}
-	got, err := coord.Execute(req, obs)
+	got, err := coord.Execute(context.Background(), req, obs)
 	if err != nil {
 		t.Fatalf("Execute did not recover from fault: %v", err)
 	}

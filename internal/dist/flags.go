@@ -21,6 +21,8 @@ type Flags struct {
 	Token          string
 	TLSCA          string
 	HealthInterval time.Duration
+	Hedge          bool
+	HedgeAfter     time.Duration
 }
 
 // AddFlags registers the distributed-execution flags on the default
@@ -33,6 +35,8 @@ func AddFlags() *Flags {
 	flag.StringVar(&f.Token, "token", os.Getenv(TokenEnv), "shared auth token presented to workers (default $"+TokenEnv+")")
 	flag.StringVar(&f.TLSCA, "tls-ca", "", "PEM file with CA certificate(s) to trust for https:// workers (e.g. the fleet's self-signed cert)")
 	flag.DurationVar(&f.HealthInterval, "health-interval", 5*time.Second, "fleet health-probe and registry re-read period")
+	flag.BoolVar(&f.Hedge, "hedge", false, "hedge slow requests: once a dispatch outlives the fleet's p95 latency estimate, race a second attempt on the least-loaded other worker (first result wins)")
+	flag.DurationVar(&f.HedgeAfter, "hedge-after", 0, "fixed hedge delay overriding the adaptive p95 estimate (0 = adaptive; needs -hedge)")
 	return f
 }
 
@@ -58,6 +62,8 @@ func (f *Flags) Coordinator(st *store.Store) (*Coordinator, func(), error) {
 		Registry:       f.Registry,
 		Token:          f.Token,
 		HealthInterval: f.HealthInterval,
+		Hedge:          f.Hedge,
+		HedgeAfter:     f.HedgeAfter,
 		Store:          st,
 	}
 	if f.TLSCA != "" {

@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"halfprice/internal/chaos"
 	"halfprice/internal/experiments"
 	"halfprice/internal/trace"
 )
@@ -140,7 +141,7 @@ func TestRegistryChurn(t *testing.T) {
 
 	check := func(req experiments.Request) {
 		t.Helper()
-		got, err := coord.Execute(req, nil)
+		got, err := coord.Execute(context.Background(), req, nil)
 		if err != nil {
 			t.Fatalf("Execute: %v", err)
 		}
@@ -247,7 +248,7 @@ func TestAuthRejectsUnauthorized(t *testing.T) {
 	coord := NewCoordinator([]string{ts.URL}, opts)
 	defer coord.Close()
 	req := experiments.Request{Bench: "gzip", Config: testConfig(), Budget: 2000}
-	got, err := coord.Execute(req, nil)
+	got, err := coord.Execute(context.Background(), req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestTLSWorker(t *testing.T) {
 	}
 
 	req := experiments.Request{Bench: "mcf", Config: testConfig(), Budget: 2000}
-	got, err := coord.Execute(req, nil)
+	got, err := coord.Execute(context.Background(), req, nil)
 	if err != nil {
 		t.Fatalf("Execute over TLS: %v", err)
 	}
@@ -299,11 +300,16 @@ func TestTLSWorker(t *testing.T) {
 // --- load-aware dispatch ---
 
 func TestLoadAwarePick(t *testing.T) {
-	p := &pool{loadThreshold: defaultLoadThreshold, logf: t.Logf}
+	p := &pool{
+		loadThreshold:   defaultLoadThreshold,
+		clock:           chaos.System(),
+		breakerCooldown: time.Hour, // an opened breaker stays open for the test
+		logf:            t.Logf,
+	}
 	ws := make([]*worker, 3)
 	for i := range ws {
-		ws[i] = newWorker(fmt.Sprintf("w%d:1", i))
-		ws[i].setHealthy(true)
+		ws[i] = p.newWorker(fmt.Sprintf("w%d:1", i))
+		ws[i].br.success() // probed up: breaker closed
 		p.workers = append(p.workers, ws[i])
 	}
 
@@ -333,8 +339,8 @@ func TestLoadAwarePick(t *testing.T) {
 		t.Fatalf("pick(2) = %s, want preferred w2", got.addr)
 	}
 
-	// Load shedding never elects an unhealthy worker.
-	ws[1].setHealthy(false)
+	// Load shedding never elects a worker behind an open breaker.
+	ws[1].br.failure(p.clock.Now())
 	if got := p.pick(0, 0); got != ws[2] {
 		t.Fatalf("pick with w1 down = %s, want w2", got.addr)
 	}

@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyTracker estimates the fleet's p95 request latency with an
+// asymmetric EWMA: samples above the estimate pull it up quickly,
+// samples below decay it slowly (19:1, matching the 95/5 mass split),
+// so the estimate rides the upper tail rather than the mean. The
+// hedging policy dispatches a backup request once a primary has been
+// in flight longer than this estimate.
+type latencyTracker struct {
+	mu  sync.Mutex
+	n   int
+	p95 time.Duration
+}
+
+// hedgeWarmup is how many completed requests the tracker needs before
+// the estimate is trusted: hedging on a cold estimate would double
+// dispatch the first requests of every sweep.
+const hedgeWarmup = 8
+
+// latencyAlpha is the upward EWMA gain; the downward gain is 1/19 of
+// it.
+const latencyAlpha = 0.2
+
+// observe records one completed request's latency.
+func (l *latencyTracker) observe(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.n++
+	if l.n == 1 {
+		l.p95 = d
+		return
+	}
+	diff := float64(d - l.p95)
+	if diff > 0 {
+		l.p95 += time.Duration(latencyAlpha * diff)
+	} else {
+		l.p95 += time.Duration(latencyAlpha / 19 * diff)
+	}
+}
+
+// estimate returns the current p95 estimate and whether it is warm
+// enough to hedge on.
+func (l *latencyTracker) estimate() (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n < hedgeWarmup {
+		return 0, false
+	}
+	d := l.p95
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d, true
+}

@@ -9,32 +9,25 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"halfprice/internal/chaos"
 )
 
-// worker is one sweepd instance in the coordinator's fleet.
+// worker is one sweepd instance in the coordinator's fleet. Its
+// standing in dispatch is owned by a per-worker circuit breaker
+// (breaker.go): probe and dispatch failures open it, a cooldown plus a
+// successful half-open trial closes it again.
 type worker struct {
 	addr string // as given in -workers or the registry, e.g. "host:9771"
 	base string // request URL prefix, e.g. "http://host:9771"
+	br   *breaker
 
-	mu      sync.Mutex
-	healthy bool
-	load    int64 // Health.Running from the last successful probe
+	mu   sync.Mutex
+	load int64 // Health.Running from the last successful probe
 }
 
-func (w *worker) isHealthy() bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.healthy
-}
-
-// setHealthy updates the worker's state and reports whether it changed.
-func (w *worker) setHealthy(ok bool) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	changed := w.healthy != ok
-	w.healthy = ok
-	return changed
-}
+// dispatchableAt reports whether the breaker would admit a request now.
+func (w *worker) dispatchableAt(now time.Time) bool { return w.br.dispatchable(now) }
 
 // setLoad caches the worker's reported queue depth for load-aware pick.
 func (w *worker) setLoad(n int64) {
@@ -55,27 +48,34 @@ const defaultLoadThreshold = 4
 
 // poolConfig carries the coordinator options the pool needs.
 type poolConfig struct {
-	addrs         []string      // static membership (-workers)
-	registry      *Registry     // dynamic membership source; nil = static only
-	interval      time.Duration // health-probe and registry re-read period
-	probeTimeout  time.Duration
-	tls           *tls.Config // client TLS for https:// workers
-	loadThreshold int64       // <= 0 means defaultLoadThreshold
-	logf          func(format string, args ...any)
+	addrs            []string      // static membership (-workers)
+	registry         *Registry     // dynamic membership source; nil = static only
+	interval         time.Duration // health-probe and registry re-read period
+	probeTimeout     time.Duration
+	tls              *tls.Config // client TLS for https:// workers
+	transport        http.RoundTripper
+	clock            chaos.Clock
+	loadThreshold    int64 // <= 0 means defaultLoadThreshold
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	logf             func(format string, args ...any)
 }
 
-// pool tracks fleet membership, worker health and worker load, and
+// pool tracks fleet membership, worker standing and worker load, and
 // picks dispatch targets. Membership is the static -workers list plus
 // whatever the registry currently names; both are re-evaluated on every
-// health interval, so workers join and leave a running sweep. Workers
-// marked unhealthy — by a failed health probe or a failed request — are
-// evicted from dispatch until a later probe finds them serving again.
+// health interval, so workers join and leave a running sweep. A worker
+// whose breaker opens — consecutive failed probes or requests — leaves
+// dispatch until its cooldown expires and a half-open trial succeeds.
 type pool struct {
-	static        []string // addresses pinned for the pool's lifetime
-	registry      *Registry
-	probeHC       *http.Client // short-timeout client for health probes
-	logf          func(format string, args ...any)
-	loadThreshold int64
+	static           []string // addresses pinned for the pool's lifetime
+	registry         *Registry
+	probeHC          *http.Client // short-timeout client for health probes
+	clock            chaos.Clock
+	logf             func(format string, args ...any)
+	loadThreshold    int64
+	breakerThreshold int
+	breakerCooldown  time.Duration
 
 	wmu     sync.Mutex
 	workers []*worker // current membership, static first
@@ -94,13 +94,19 @@ func newPool(cfg poolConfig) *pool {
 	if thr <= 0 {
 		thr = defaultLoadThreshold
 	}
+	if cfg.clock == nil {
+		cfg.clock = chaos.System()
+	}
 	p := &pool{
-		registry:      cfg.registry,
-		probeHC:       probeClient(cfg.probeTimeout, cfg.tls),
-		logf:          cfg.logf,
-		loadThreshold: thr,
-		interval:      cfg.interval,
-		stop:          make(chan struct{}),
+		registry:         cfg.registry,
+		probeHC:          probeClient(cfg.probeTimeout, cfg.tls, cfg.transport),
+		clock:            cfg.clock,
+		logf:             cfg.logf,
+		loadThreshold:    thr,
+		breakerThreshold: cfg.breakerThreshold,
+		breakerCooldown:  cfg.breakerCooldown,
+		interval:         cfg.interval,
+		stop:             make(chan struct{}),
 	}
 	for _, a := range cfg.addrs {
 		a = strings.TrimSpace(a)
@@ -108,7 +114,7 @@ func newPool(cfg poolConfig) *pool {
 			continue
 		}
 		p.static = append(p.static, a)
-		p.workers = append(p.workers, newWorker(a))
+		p.workers = append(p.workers, p.newWorker(a))
 	}
 	p.refresh()
 	go p.loop()
@@ -116,10 +122,14 @@ func newPool(cfg poolConfig) *pool {
 }
 
 // probeClient builds the short-timeout health-probe client, with the
-// fleet's TLS configuration when one is set.
-func probeClient(timeout time.Duration, tc *tls.Config) *http.Client {
+// fleet's TLS configuration when one is set and the injected transport
+// (chaos or otherwise) when one is given.
+func probeClient(timeout time.Duration, tc *tls.Config, rt http.RoundTripper) *http.Client {
 	hc := &http.Client{Timeout: timeout}
-	if tc != nil {
+	switch {
+	case rt != nil:
+		hc.Transport = rt
+	case tc != nil:
 		hc.Transport = &http.Transport{TLSClientConfig: tc}
 	}
 	return hc
@@ -128,12 +138,16 @@ func probeClient(timeout time.Duration, tc *tls.Config) *http.Client {
 // newWorker builds a worker from its address, defaulting bare
 // host:port to http:// (a registry or -workers entry may carry an
 // explicit https:// scheme for a TLS-serving worker).
-func newWorker(addr string) *worker {
+func (p *pool) newWorker(addr string) *worker {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &worker{addr: addr, base: strings.TrimSuffix(base, "/")}
+	return &worker{
+		addr: addr,
+		base: strings.TrimSuffix(base, "/"),
+		br:   newBreaker(p.breakerThreshold, p.breakerCooldown),
+	}
 }
 
 // refresh is one membership-and-health pass: reconcile with the
@@ -146,7 +160,7 @@ func (p *pool) refresh() {
 // syncRegistry reconciles membership with the registry listing: newly
 // listed addresses join (probed by the caller's probeAll before they
 // can win a pick), delisted ones leave dispatch. Static -workers
-// addresses are pinned regardless. Health state survives for workers
+// addresses are pinned regardless. Breaker state survives for workers
 // that stay. A registry read failure keeps the current membership — a
 // briefly unreadable file must not evict a healthy fleet.
 func (p *pool) syncRegistry() {
@@ -179,7 +193,7 @@ func (p *pool) syncRegistry() {
 	}
 	for _, a := range addrs {
 		if have[a] == nil {
-			w := newWorker(a)
+			w := p.newWorker(a)
 			kept = append(kept, w)
 			have[a] = w
 			p.logf("dist: worker %s joined from the registry", a)
@@ -197,10 +211,14 @@ func (p *pool) snapshot() []*worker {
 }
 
 // probeAll health-checks every worker concurrently and waits for the
-// verdicts.
+// verdicts. Workers behind an unexpired open breaker are skipped — the
+// breaker's cooldown, not the probe cadence, owns re-admission pacing.
 func (p *pool) probeAll() {
 	var wg sync.WaitGroup
 	for _, w := range p.snapshot() {
+		if !w.br.allowProbe(p.clock.Now()) {
+			continue
+		}
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
@@ -210,10 +228,10 @@ func (p *pool) probeAll() {
 	wg.Wait()
 }
 
-// probe asks one worker for /healthz and updates its standing: evicted
-// on failure or drain (503), re-admitted once it answers 200 again. A
-// successful probe also caches the worker's queue depth for load-aware
-// dispatch.
+// probe asks one worker for /healthz and feeds the verdict to its
+// breaker: a failure or drain (503) counts toward opening it, a 200
+// closes it (re-admission). A successful probe also caches the
+// worker's queue depth for load-aware dispatch.
 func (p *pool) probe(w *worker) {
 	ok := false
 	if resp, err := p.probeHC.Get(w.base + HealthzPath); err == nil {
@@ -225,12 +243,12 @@ func (p *pool) probe(w *worker) {
 			w.setLoad(h.Running)
 		}
 	}
-	if w.setHealthy(ok) {
-		if ok {
-			p.logf("dist: worker %s is up", w.addr)
-		} else {
-			p.logf("dist: worker %s is unreachable or draining; evicted", w.addr)
+	if ok {
+		if w.br.success() {
+			p.logf("dist: worker %s is up; breaker closed", w.addr)
 		}
+	} else if w.br.failure(p.clock.Now()) {
+		p.logf("dist: worker %s is unreachable or draining; breaker open (evicted)", w.addr)
 	}
 }
 
@@ -252,16 +270,19 @@ func (p *pool) loop() {
 
 // pick returns the dispatch target for a shard. Affinity first: the
 // shard's preferred worker (rotated by retry attempt, skipping
-// unhealthy ones in ring order) keeps equal requests landing on the
+// broken-open ones in ring order) keeps equal requests landing on the
 // same machine, where the memo cache already holds or is computing the
 // result. Load sheds second: when the preferred worker's probed queue
 // depth exceeds the fleet median by more than the threshold, the least
-// loaded healthy worker takes the run instead — singleflight affinity
-// in the balanced case, demand-driven dispatch for hot shards (the
-// paper's own move: elect the less-loaded resource instead of fixed
-// affinity). Returns nil when no worker is healthy — the caller
-// degrades to local execution.
+// loaded dispatchable worker takes the run instead — singleflight
+// affinity in the balanced case, demand-driven dispatch for hot shards
+// (the paper's own move: elect the less-loaded resource instead of
+// fixed affinity). Returns nil when no worker is dispatchable — the
+// caller degrades to local execution. The chosen worker's breaker is
+// committed (an expired open breaker transitions to its half-open
+// trial).
 func (p *pool) pick(sh uint32, attempt int) *worker {
+	now := p.clock.Now()
 	ws := p.snapshot()
 	n := len(ws)
 	if n == 0 {
@@ -271,7 +292,7 @@ func (p *pool) pick(sh uint32, attempt int) *worker {
 	healthy := make([]*worker, 0, n)
 	for i := 0; i < n; i++ {
 		w := ws[(int(sh%uint32(n))+attempt+i)%n]
-		if !w.isHealthy() {
+		if !w.dispatchableAt(now) {
 			continue
 		}
 		if preferred == nil {
@@ -279,7 +300,11 @@ func (p *pool) pick(sh uint32, attempt int) *worker {
 		}
 		healthy = append(healthy, w)
 	}
-	if preferred == nil || len(healthy) == 1 {
+	if preferred == nil {
+		return nil
+	}
+	if len(healthy) == 1 {
+		preferred.br.allowDispatch(now)
 		return preferred
 	}
 	loads := make([]int64, len(healthy))
@@ -288,6 +313,7 @@ func (p *pool) pick(sh uint32, attempt int) *worker {
 	}
 	pref := preferred.loadNow()
 	if pref <= median(loads)+p.loadThreshold {
+		preferred.br.allowDispatch(now)
 		return preferred
 	}
 	// Hot shard: elect the least loaded worker (first in ring order on
@@ -298,6 +324,27 @@ func (p *pool) pick(sh uint32, attempt int) *worker {
 		if l := w.loadNow(); l < bestLoad {
 			best, bestLoad = w, l
 		}
+	}
+	best.br.allowDispatch(now)
+	return best
+}
+
+// leastLoadedExcept returns the least-loaded dispatchable worker other
+// than skip — the hedged-dispatch peer. Nil when no such worker exists.
+func (p *pool) leastLoadedExcept(skip *worker) *worker {
+	now := p.clock.Now()
+	var best *worker
+	var bestLoad int64
+	for _, w := range p.snapshot() {
+		if w == skip || !w.dispatchableAt(now) {
+			continue
+		}
+		if l := w.loadNow(); best == nil || l < bestLoad {
+			best, bestLoad = w, l
+		}
+	}
+	if best != nil {
+		best.br.allowDispatch(now)
 	}
 	return best
 }
@@ -310,9 +357,10 @@ func median(loads []int64) int64 {
 
 // healthyCount reports how many workers are currently in dispatch.
 func (p *pool) healthyCount() int {
+	now := p.clock.Now()
 	n := 0
 	for _, w := range p.snapshot() {
-		if w.isHealthy() {
+		if w.dispatchableAt(now) {
 			n++
 		}
 	}

@@ -2,10 +2,12 @@ package dist
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,11 @@ type ServerOptions struct {
 	// <token>" on /run and /drain; anything else gets 401. /healthz
 	// stays open for probes.
 	Token string
+	// PreRun, when non-nil, runs before every accepted /run request —
+	// the chaos harness's worker-side seam (cmd/sweepd's -chaos-seed
+	// injects deterministic pre-simulation delays through it so a smoke
+	// fleet has a reproducibly slow worker). It must not mutate req.
+	PreRun func(req experiments.Request)
 	// Logf, when non-nil, receives one line per request lifecycle event
 	// (cmd/sweepd wires it to log.Printf).
 	Logf func(format string, args ...any)
@@ -54,6 +61,7 @@ type Server struct {
 	sem      chan struct{}
 	memoCap  int
 	token    string
+	preRun   func(req experiments.Request)
 	logf     func(format string, args ...any)
 	draining atomic.Bool
 	running  atomic.Int64
@@ -90,6 +98,7 @@ func NewServer(opts ServerOptions) *Server {
 		sem:     make(chan struct{}, par),
 		memoCap: cap,
 		token:   opts.Token,
+		preRun:  opts.PreRun,
 		logf:    logf,
 		memo:    make(map[string]*memoEntry),
 		lru:     list.New(),
@@ -185,8 +194,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	// Queue for a simulation slot — but give up if the client does: a
 	// coordinator that times out and re-dispatches must not leave this
-	// handler camped on the semaphore to later simulate for nobody.
+	// handler camped on the semaphore to later simulate for nobody. The
+	// coordinator's deadline header bounds the wait too, so the job's
+	// one budget is honored even when the abandoned connection lingers.
 	ctx := r.Context()
+	if ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64); err == nil && ms > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		defer cancel()
+	}
 	label := req.Label()
 	select {
 	case s.sem <- struct{}{}:
@@ -217,6 +233,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res := make(chan outcome, 1)
 	go func() {
+		if s.preRun != nil {
+			s.preRun(req)
+		}
 		st, err := s.execute(req)
 		res <- outcome{st, err}
 	}()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 
@@ -76,8 +77,15 @@ func Execute(req Request) (*uarch.Stats, error) {
 // it completes, in that order, even across internal retries. obs may be
 // nil. Execute must be safe for concurrent use and deterministic: equal
 // Requests must yield identical Stats.
+//
+// ctx carries the caller's cancellation and deadline — the per-job
+// execution budget hpserve's API plumbs down to the fleet. A backend
+// must stop retrying and waiting once ctx is done; it need not
+// interrupt an in-flight local simulation (simulations are finite and
+// the result stays correct). ctx must not influence the Stats — a
+// request either completes bit-identically or fails.
 type Backend interface {
-	Execute(req Request, obs Observer) (*uarch.Stats, error)
+	Execute(ctx context.Context, req Request, obs Observer) (*uarch.Stats, error)
 }
 
 // CachedObserver is the optional Observer extension for runs whose
@@ -108,8 +116,15 @@ func NotifyCached(obs Observer, bench, config string, insts uint64) {
 // use; it is the Runner's default when Options.Backend is nil.
 type LocalBackend struct{}
 
-// Execute implements Backend.
-func (LocalBackend) Execute(req Request, obs Observer) (*uarch.Stats, error) {
+// Execute implements Backend. A ctx already done before the simulation
+// starts fails fast; once started, the run completes — local
+// simulations are finite and a completed result is never wrong.
+func (LocalBackend) Execute(ctx context.Context, req Request, obs Observer) (*uarch.Stats, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if obs != nil {
 		obs.RunStarted(req.Bench, req.Label(), req.Budget)
 	}

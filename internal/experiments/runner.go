@@ -20,6 +20,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -283,7 +284,7 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 		// local backend around the in-process simulation, the
 		// distributed one when its worker streams them back.
 		if r.opts.Store == nil {
-			st, err := r.backend.Execute(req, obs)
+			st, err := r.backend.Execute(context.Background(), req, obs)
 			mustf(err == nil, "experiments: %v", err)
 			e.st = st
 			r.sims.Add(1)
@@ -294,7 +295,7 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 		// sweeps sharing the cache directory; everyone else is served
 		// the winner's checkpointed result.
 		st, cached, err := r.opts.Store.GetOrCompute(req.Key(), func() (*uarch.Stats, error) {
-			return r.backend.Execute(req, obs)
+			return r.backend.Execute(context.Background(), req, obs)
 		})
 		mustf(err == nil, "experiments: %v", err)
 		e.st = st

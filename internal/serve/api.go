@@ -45,6 +45,11 @@ type SubmitRequest struct {
 	// Priority is the admission class: interactive, batch (default) or
 	// background.
 	Priority string `json:"priority,omitempty"`
+	// DeadlineSec is the job's whole-life budget in seconds, counted
+	// from submission: queueing, dispatch and every retry all spend from
+	// it, and a job that cannot finish inside it fails with a deadline
+	// error. 0 means no deadline.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
 
 	priority Priority
 }
@@ -71,6 +76,9 @@ func (sr *SubmitRequest) resolve(maxInsts uint64) (experiments.Request, error) {
 	}
 	if sr.Warmup >= sr.Insts {
 		return req, fmt.Errorf("warmup %d leaves no instructions to measure under insts %d", sr.Warmup, sr.Insts)
+	}
+	if sr.DeadlineSec < 0 {
+		return req, fmt.Errorf("deadline_sec must be non-negative, got %g", sr.DeadlineSec)
 	}
 	pri, err := ParsePriority(sr.Priority)
 	if err != nil {

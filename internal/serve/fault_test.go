@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"halfprice/internal/chaos"
 	"halfprice/internal/experiments"
 	"halfprice/internal/store"
 	"halfprice/internal/uarch"
@@ -25,7 +27,7 @@ type blockedBackend struct {
 	park    chan struct{}
 }
 
-func (b *blockedBackend) Execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+func (b *blockedBackend) Execute(ctx context.Context, req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
 	if b.started != nil {
 		b.started <- req.Bench
 	}
@@ -263,7 +265,7 @@ func TestJournalTornTail(t *testing.T) {
 	}
 	f.Close()
 
-	jl, jobs, err := openJournal(dir, 16)
+	jl, jobs, err := openJournal(chaos.OS{}, dir, 16)
 	if err != nil {
 		t.Fatalf("torn tail rejected: %v", err)
 	}
@@ -280,7 +282,7 @@ func TestJournalTornTail(t *testing.T) {
 	if err := os.WriteFile(path, append([]byte("garbage not json\n"), data...), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := openJournal(dir, 16); err == nil {
+	if _, _, err := openJournal(chaos.OS{}, dir, 16); err == nil {
 		t.Fatal("interior corruption accepted")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"halfprice/internal/chaos"
 	"halfprice/internal/experiments"
 )
 
@@ -25,6 +26,9 @@ import (
 // cap are dropped via a tmp+rename rewrite, so the journal's size is
 // bounded by live work plus bounded history rather than by lifetime
 // traffic.
+//
+// All file access goes through a chaos.FS so the chaos harness can
+// inject disk faults (EIO, short writes, slow fsync) under the journal.
 
 // journalRecord is one NDJSON line.
 type journalRecord struct {
@@ -54,7 +58,7 @@ type jobRecord struct {
 // serialized by the owning Server's mu.
 type journal struct {
 	path string
-	f    *os.File
+	f    chaos.File
 }
 
 // replayedJob is one job reconstructed by openJournal.
@@ -70,24 +74,24 @@ type replayedJob struct {
 // mid-append), compacts, and reopens the journal for appending.
 // historyCap bounds how many terminal jobs survive compaction; the
 // most recently submitted are kept.
-func openJournal(dir string, historyCap int) (*journal, []replayedJob, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func openJournal(fsys chaos.FS, dir string, historyCap int) (*journal, []replayedJob, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("serve: creating state dir: %w", err)
 	}
 	path := filepath.Join(dir, "jobs.journal")
-	jobs, err := replayJournal(path)
+	jobs, err := replayJournal(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := compactJournal(path, jobs, historyCap); err != nil {
+	if err := compactJournal(fsys, path, jobs, historyCap); err != nil {
 		return nil, nil, err
 	}
 	// Re-derive the retained set so the in-memory view matches the file.
-	jobs, err = replayJournal(path)
+	jobs, err = replayJournal(fsys, path)
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: opening journal: %w", err)
 	}
@@ -98,8 +102,8 @@ func openJournal(dir string, historyCap int) (*journal, []replayedJob, error) {
 // preserved. A missing file is an empty journal. A torn final line
 // (crash mid-append) is ignored; a corrupt interior line is an error —
 // that is damage, not a crash artifact.
-func replayJournal(path string) ([]replayedJob, error) {
-	f, err := os.Open(path)
+func replayJournal(fsys chaos.FS, path string) ([]replayedJob, error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -170,14 +174,14 @@ func replayJournal(path string) ([]replayedJob, error) {
 // compactJournal rewrites the journal keeping every non-terminal job
 // and the historyCap most recent terminal jobs, via tmp+rename so a
 // crash mid-compaction leaves the old journal intact.
-func compactJournal(path string, jobs []replayedJob, historyCap int) error {
+func compactJournal(fsys chaos.FS, path string, jobs []replayedJob, historyCap int) error {
 	var terminal []int
 	for i := range jobs {
 		if terminalState(jobs[i].state) {
 			terminal = append(terminal, i)
 		}
 	}
-	if len(jobs) == 0 || len(terminal) <= historyCap && fileLineCount(path) <= len(jobs)*2 {
+	if len(jobs) == 0 || len(terminal) <= historyCap && fileLineCount(fsys, path) <= len(jobs)*2 {
 		// Nothing to drop and no redundant records worth rewriting.
 		return nil
 	}
@@ -190,7 +194,7 @@ func compactJournal(path string, jobs []replayedJob, historyCap int) error {
 		}
 	}
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("serve: compacting journal: %w", err)
 	}
@@ -227,7 +231,7 @@ func compactJournal(path string, jobs []replayedJob, historyCap int) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("serve: compacting journal: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
 		return fmt.Errorf("serve: compacting journal: %w", err)
 	}
 	return syncDir(filepath.Dir(path))
@@ -235,8 +239,8 @@ func compactJournal(path string, jobs []replayedJob, historyCap int) error {
 
 // fileLineCount counts newline-terminated lines; 0 on any error (the
 // caller only uses it to decide whether a rewrite is worthwhile).
-func fileLineCount(path string) int {
-	data, err := os.ReadFile(path)
+func fileLineCount(fsys chaos.FS, path string) int {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0
 	}
@@ -270,6 +274,8 @@ func (jl *journal) close() error { return jl.f.Close() }
 
 // syncDir fsyncs a directory so a rename is durable. Some filesystems
 // reject directory fsync; that is not worth failing startup over.
+// Directory handles stay on the real os package — chaos.FS deals in
+// regular files.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {

@@ -15,12 +15,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	"halfprice/internal/chaos"
 	"halfprice/internal/experiments"
 	"halfprice/internal/store"
 	"halfprice/internal/uarch"
@@ -74,6 +77,13 @@ type Options struct {
 	// (healthy workers, summed Health.Running) for admission control and
 	// /v1/stats; nil when the backend is local.
 	FleetStats func() (workers int, running int64)
+	// FS is the filesystem the journal writes through; nil means the
+	// real one. The chaos harness injects disk faults here.
+	FS chaos.FS
+	// Clock supplies time for job stamps, deadlines and retry
+	// estimates; nil means the system clock. The chaos harness injects
+	// skew here.
+	Clock chaos.Clock
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +106,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HistoryCap <= 0 {
 		o.HistoryCap = defaultHistoryCap
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS{}
+	}
+	if o.Clock == nil {
+		o.Clock = chaos.System()
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -124,6 +140,10 @@ type Server struct {
 	storeHits  uint64
 	dispatched uint64
 	ewmaJobSec float64
+	// deadlineExceeded counts jobs that failed because their submit-time
+	// budget ran out; shed counts brownout rejections per class.
+	deadlineExceeded int
+	shed             [numPriorities]uint64
 
 	wake chan struct{}
 	stop chan struct{}
@@ -140,14 +160,14 @@ func New(opts Options) (*Server, error) {
 	if opts.Dir == "" {
 		return nil, fmt.Errorf("serve: Options.Dir is required")
 	}
-	jl, replayed, err := openJournal(opts.Dir, opts.HistoryCap)
+	jl, replayed, err := openJournal(opts.FS, opts.Dir, opts.HistoryCap)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		opts:    opts,
 		journal: jl,
-		start:   time.Now(),
+		start:   opts.Clock.Now(),
 		jobs:    map[string]*Job{},
 		wake:    make(chan struct{}, opts.Workers),
 		stop:    make(chan struct{}),
@@ -277,7 +297,7 @@ func (s *Server) Submit(tenant string, spec SubmitRequest, req experiments.Reque
 			j.state = StateDone
 			j.cached = true
 			j.result = st
-			j.finished = time.Now()
+			j.finished = s.opts.Clock.Now()
 			if err := s.journalSubmitLocked(j); err != nil {
 				return nil, err
 			}
@@ -300,7 +320,7 @@ func (s *Server) Submit(tenant string, spec SubmitRequest, req experiments.Reque
 		}
 	}
 
-	if err := s.admitLocked(tenant); err != nil {
+	if err := s.admitLocked(tenant, spec.priority); err != nil {
 		return nil, err
 	}
 	j := s.newJobLocked(tenant, spec, req)
@@ -324,7 +344,7 @@ func (s *Server) newJobLocked(tenant string, spec SubmitRequest, req experiments
 		Spec:      spec,
 		Request:   req,
 		state:     StateQueued,
-		submitted: time.Now(),
+		submitted: s.opts.Clock.Now(),
 		events:    newEventLog(),
 	}
 	s.seq++
@@ -349,10 +369,11 @@ func (s *Server) journalSubmitLocked(j *Job) error {
 }
 
 // admitLocked is the admission decision: per-tenant quota, global
-// queue bound, and — when fleet telemetry is wired — an earlier cutoff
-// while the fleet is already saturated (no point stacking a deep
-// backlog behind a drowning fleet; tell the client to come back).
-func (s *Server) admitLocked(tenant string) error {
+// queue bound, then the brownout floor — as pressure builds, whole
+// classes shed (background first, batch next) rather than every class
+// degrading at once; interactive work is only refused when the queue is
+// hard-full.
+func (s *Server) admitLocked(tenant string, pri Priority) error {
 	if d := s.queue.tenantDepth(tenant); d >= s.opts.TenantQuota {
 		return &AdmissionError{
 			Reason:     fmt.Sprintf("tenant %q at quota (%d queued jobs)", tenant, d),
@@ -366,13 +387,36 @@ func (s *Server) admitLocked(tenant string) error {
 			RetryAfter: s.retryAfterLocked(depth),
 		}
 	}
-	if s.fleetSaturatedLocked() && depth >= s.opts.MaxQueue/4 {
+	if floor := s.shedFloorLocked(); pri < floor {
+		s.shed[pri]++
 		return &AdmissionError{
-			Reason:     fmt.Sprintf("fleet saturated with %d jobs already queued", depth),
+			Reason: fmt.Sprintf("shedding %s class under load (%d queued, admitting %s and above)",
+				pri, depth, floor),
 			RetryAfter: s.retryAfterLocked(depth),
 		}
 	}
 	return nil
+}
+
+// shedFloorLocked is the brownout signal: the lowest priority class
+// admission currently accepts. Pressure is the queue depth relative to
+// MaxQueue plus the probe-cached fleet saturation bit. Background jobs
+// shed first — whenever the fleet is saturated or the queue is half
+// full. Batch jobs shed once the fleet is saturated with a real backlog
+// (a quarter of MaxQueue queued) or the queue is three-quarters full
+// regardless of fleet state. Interactive jobs are only ever refused by
+// the hard queue-full bound above.
+func (s *Server) shedFloorLocked() Priority {
+	depth := s.queue.depth()
+	sat := s.fleetSaturatedLocked()
+	switch {
+	case sat && depth*4 >= s.opts.MaxQueue || depth*4 >= 3*s.opts.MaxQueue:
+		return Interactive
+	case sat || depth*2 >= s.opts.MaxQueue:
+		return Batch
+	default:
+		return Background
+	}
 }
 
 // fleetSaturatedLocked reports whether the probe-cached fleet load is
@@ -418,7 +462,7 @@ func (s *Server) eventLocked(j *Job, kind, state, errMsg string) Event {
 	e.Bench = j.Request.Bench
 	e.Config = j.Request.Label()
 	e.Insts = j.Request.Budget
-	e.T = time.Since(j.submitted).Seconds()
+	e.T = s.opts.Clock.Now().Sub(j.submitted).Seconds()
 	e.Queued = s.queue.depth()
 	e.Running = s.running
 	e.Done = s.done + s.failed + s.canceled
@@ -483,8 +527,25 @@ func (s *Server) dequeue() *Job {
 // without executing, reported on the stream as a cache hit; a miss
 // elects this process to compute via the store's cross-process lock and
 // stores the result for every future tenant.
+//
+// A job submitted with a deadline carries one budget from submit time:
+// whatever queueing already consumed is gone, and the remainder bounds
+// the backend call through its context (the dist coordinator decrements
+// it further across retries and forwards it to workers).
 func (s *Server) execute(j *Job) {
-	started := time.Now()
+	started := s.opts.Clock.Now()
+	ctx := context.Background()
+	if j.Spec.DeadlineSec > 0 {
+		budget := time.Duration(j.Spec.DeadlineSec * float64(time.Second))
+		remaining := budget - started.Sub(j.submitted)
+		if remaining <= 0 {
+			s.failDeadline(j, fmt.Sprintf("deadline exceeded before dispatch (%.1fs budget spent queued)", j.Spec.DeadlineSec))
+			return
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, remaining)
+		defer cancel()
+	}
 	obs := &jobObserver{s: s, j: j}
 	var (
 		st     *uarch.Stats
@@ -496,20 +557,24 @@ func (s *Server) execute(j *Job) {
 			s.mu.Lock()
 			s.dispatched++
 			s.mu.Unlock()
-			return s.opts.Backend.Execute(j.Request, obs)
+			return s.opts.Backend.Execute(ctx, j.Request, obs)
 		})
 	} else {
 		s.mu.Lock()
 		s.dispatched++
 		s.mu.Unlock()
-		st, err = s.opts.Backend.Execute(j.Request, obs)
+		st, err = s.opts.Backend.Execute(ctx, j.Request, obs)
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running--
-	j.finished = time.Now()
+	j.finished = s.opts.Clock.Now()
 	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("deadline exceeded (%.1fs budget): %w", j.Spec.DeadlineSec, err)
+			s.deadlineExceeded++
+		}
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.failed++
@@ -544,6 +609,24 @@ func (s *Server) execute(j *Job) {
 		s.opts.Logf("serve: %v", jerr)
 	}
 	j.events.publish(s.eventLocked(j, "done", StateDone, ""))
+}
+
+// failDeadline terminates a dequeued job whose budget ran out before
+// the backend was ever called — queueing alone consumed the deadline.
+func (s *Server) failDeadline(j *Job, msg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	s.deadlineExceeded++
+	s.failed++
+	j.state = StateFailed
+	j.errMsg = msg
+	j.finished = s.opts.Clock.Now()
+	if jerr := s.journal.append(journalRecord{Op: "fail", ID: j.ID, Error: j.errMsg}); jerr != nil {
+		s.opts.Logf("serve: %v", jerr)
+	}
+	j.events.publish(s.eventLocked(j, "error", StateFailed, j.errMsg))
+	s.opts.Logf("serve: job %s failed: %s", j.ID, msg)
 }
 
 // jobObserver forwards backend lifecycle events onto the job's stream.
@@ -606,7 +689,7 @@ func (s *Server) Cancel(tenant, id string) error {
 		return ErrNotCancelable
 	}
 	j.state = StateCanceled
-	j.finished = time.Now()
+	j.finished = s.opts.Clock.Now()
 	s.canceled++
 	if err := s.journal.append(journalRecord{Op: "cancel", ID: j.ID}); err != nil {
 		s.opts.Logf("serve: %v", err)
@@ -625,23 +708,29 @@ var (
 // fleet telemetry and the admission signal — everything an autoscaler
 // or load balancer needs.
 type StatsView struct {
-	Queued        int            `json:"queued"`
-	Running       int            `json:"running"`
-	Done          int            `json:"done"`
-	Failed        int            `json:"failed"`
-	Canceled      int            `json:"canceled"`
-	StoreHits     uint64         `json:"store_hits"`
-	Dispatched    uint64         `json:"dispatched"`
-	QueuedByClass map[string]int `json:"queued_by_class,omitempty"`
-	AvgJobSec     float64        `json:"avg_job_sec,omitempty"`
-	MaxQueue      int            `json:"max_queue"`
-	TenantQuota   int            `json:"tenant_quota"`
-	Workers       int            `json:"workers"`
-	FleetWorkers  int            `json:"fleet_workers,omitempty"`
-	FleetRunning  int64          `json:"fleet_running,omitempty"`
-	Saturated     bool           `json:"saturated"`
-	RetryAfterSec float64        `json:"retry_after_sec,omitempty"`
-	UptimeSec     float64        `json:"uptime_sec"`
+	Queued           int            `json:"queued"`
+	Running          int            `json:"running"`
+	Done             int            `json:"done"`
+	Failed           int            `json:"failed"`
+	Canceled         int            `json:"canceled"`
+	StoreHits        uint64         `json:"store_hits"`
+	Dispatched       uint64         `json:"dispatched"`
+	DeadlineExceeded int            `json:"deadline_exceeded,omitempty"`
+	QueuedByClass    map[string]int `json:"queued_by_class,omitempty"`
+	AvgJobSec        float64        `json:"avg_job_sec,omitempty"`
+	MaxQueue         int            `json:"max_queue"`
+	TenantQuota      int            `json:"tenant_quota"`
+	Workers          int            `json:"workers"`
+	FleetWorkers     int            `json:"fleet_workers,omitempty"`
+	FleetRunning     int64          `json:"fleet_running,omitempty"`
+	Saturated        bool           `json:"saturated"`
+	// Shedding lists the priority classes admission is currently
+	// refusing under brownout; Shed counts lifetime brownout rejections
+	// per class.
+	Shedding      []string          `json:"shedding,omitempty"`
+	Shed          map[string]uint64 `json:"shed,omitempty"`
+	RetryAfterSec float64           `json:"retry_after_sec,omitempty"`
+	UptimeSec     float64           `json:"uptime_sec"`
 }
 
 // Stats snapshots the service for /v1/stats.
@@ -649,18 +738,19 @@ func (s *Server) Stats() StatsView {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	v := StatsView{
-		Queued:      s.queue.depth(),
-		Running:     s.running,
-		Done:        s.done,
-		Failed:      s.failed,
-		Canceled:    s.canceled,
-		StoreHits:   s.storeHits,
-		Dispatched:  s.dispatched,
-		AvgJobSec:   s.ewmaJobSec,
-		MaxQueue:    s.opts.MaxQueue,
-		TenantQuota: s.opts.TenantQuota,
-		Workers:     s.opts.Workers,
-		UptimeSec:   time.Since(s.start).Seconds(),
+		Queued:           s.queue.depth(),
+		Running:          s.running,
+		Done:             s.done,
+		Failed:           s.failed,
+		Canceled:         s.canceled,
+		StoreHits:        s.storeHits,
+		Dispatched:       s.dispatched,
+		DeadlineExceeded: s.deadlineExceeded,
+		AvgJobSec:        s.ewmaJobSec,
+		MaxQueue:         s.opts.MaxQueue,
+		TenantQuota:      s.opts.TenantQuota,
+		Workers:          s.opts.Workers,
+		UptimeSec:        s.opts.Clock.Now().Sub(s.start).Seconds(),
 	}
 	byClass := map[string]int{}
 	for p := 0; p < numPriorities; p++ {
@@ -681,6 +771,19 @@ func (s *Server) Stats() StatsView {
 	v.Saturated = s.queue.depth() >= s.opts.MaxQueue || s.fleetSaturatedLocked() && s.queue.depth() >= s.opts.MaxQueue/4
 	if v.Saturated {
 		v.RetryAfterSec = s.retryAfterLocked(s.queue.depth()).Seconds()
+	}
+	floor := s.shedFloorLocked()
+	for p := Background; p < floor; p++ {
+		v.Shedding = append(v.Shedding, p.String())
+	}
+	shed := map[string]uint64{}
+	for p := 0; p < numPriorities; p++ {
+		if s.shed[p] > 0 {
+			shed[Priority(p).String()] = s.shed[p]
+		}
+	}
+	if len(shed) > 0 {
+		v.Shed = shed
 	}
 	return v
 }

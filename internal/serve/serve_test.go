@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -31,7 +32,7 @@ type fakeBackend struct {
 	executed []uint64
 }
 
-func (b *fakeBackend) Execute(req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
+func (b *fakeBackend) Execute(ctx context.Context, req experiments.Request, obs experiments.Observer) (*uarch.Stats, error) {
 	b.mu.Lock()
 	b.executed = append(b.executed, req.Budget)
 	b.mu.Unlock()

@@ -31,12 +31,12 @@ func (s *Store) lockPath(key string) string {
 func (s *Store) lock(key string) (release func(), err error) {
 	path := s.lockPath(key)
 	for {
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		f, err := s.opts.FS.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 		if err == nil {
 			host, _ := os.Hostname()
 			json.NewEncoder(f).Encode(lockInfo{PID: os.Getpid(), Host: host})
 			f.Close()
-			return func() { os.Remove(path) }, nil
+			return func() { s.opts.FS.Remove(path) }, nil
 		}
 		if !errors.Is(err, fs.ErrExist) {
 			return nil, err
@@ -44,7 +44,7 @@ func (s *Store) lock(key string) (release func(), err error) {
 		if s.lockIsStale(path) {
 			// Best-effort break: whoever wins the next O_EXCL create
 			// holds the lock; a failed remove just retries.
-			os.Remove(path)
+			s.opts.FS.Remove(path)
 			continue
 		}
 		time.Sleep(s.opts.LockPoll)
@@ -57,11 +57,11 @@ func (s *Store) lock(key string) (release func(), err error) {
 // vanished lock file counts as stale so the caller retries the
 // exclusive create immediately.
 func (s *Store) lockIsStale(path string) bool {
-	fi, err := os.Stat(path)
+	fi, err := s.opts.FS.Stat(path)
 	if err != nil {
 		return true
 	}
-	data, err := os.ReadFile(path)
+	data, err := s.opts.FS.ReadFile(path)
 	var li lockInfo
 	parsed := err == nil && json.Unmarshal(data, &li) == nil && li.PID > 0
 	if parsed {

@@ -46,6 +46,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"halfprice/internal/chaos"
 	"halfprice/internal/uarch"
 )
 
@@ -84,6 +85,11 @@ type Options struct {
 	// LockPoll is the wait between checks while another process holds a
 	// key's compute lock (default 50ms).
 	LockPoll time.Duration
+	// FS is the filesystem all store I/O goes through (default: the
+	// real one). The chaos harness injects disk faults here; the store's
+	// degrade-gracefully contract is what turns them into cache misses
+	// instead of failed sweeps.
+	FS chaos.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -100,6 +106,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LockPoll <= 0 {
 		o.LockPoll = 50 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = chaos.OS{}
 	}
 	return o
 }
@@ -118,7 +127,7 @@ type Store struct {
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	for _, sub := range []string{"objects", "tmp", "locks", "quarantine"} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+		if err := opts.FS.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", dir, err)
 		}
 	}
@@ -187,7 +196,7 @@ func (s *Store) objectPath(key string) string {
 // read as misses; Get never fails a caller.
 func (s *Store) Get(key string) (*uarch.Stats, bool) {
 	path := s.objectPath(key)
-	data, err := os.ReadFile(path)
+	data, err := s.opts.FS.ReadFile(path)
 	if err != nil {
 		s.misses.Add(1)
 		return nil, false
@@ -239,7 +248,7 @@ func (s *Store) Put(key string, st *uarch.Stats) error {
 	if err != nil {
 		return fmt.Errorf("store: marshaling entry: %w", err)
 	}
-	f, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), hash(key)+".*")
+	f, err := s.opts.FS.CreateTemp(filepath.Join(s.dir, "tmp"), hash(key)+".*")
 	if err != nil {
 		return fmt.Errorf("store: staging entry: %w", err)
 	}
@@ -251,10 +260,10 @@ func (s *Store) Put(key string, st *uarch.Stats) error {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, s.objectPath(key))
+		err = s.opts.FS.Rename(tmp, s.objectPath(key))
 	}
 	if err != nil {
-		os.Remove(tmp)
+		s.opts.FS.Remove(tmp)
 		return fmt.Errorf("store: committing entry: %w", err)
 	}
 	// Persist the rename itself; without this a power loss can forget
@@ -306,8 +315,8 @@ func (s *Store) GetOrCompute(key string, compute func() (*uarch.Stats, error)) (
 // race to quarantine the same entry and one rename loses.
 func (s *Store) quarantine(path, reason string) {
 	dst := filepath.Join(s.dir, "quarantine", filepath.Base(path))
-	if err := os.Rename(path, dst); err != nil {
-		os.Remove(path)
+	if err := s.opts.FS.Rename(path, dst); err != nil {
+		s.opts.FS.Remove(path)
 		s.opts.Logf("store: warning: quarantining %s (%s): %v; entry removed", filepath.Base(path), reason, err)
 	} else {
 		s.opts.Logf("store: warning: quarantined corrupt entry %s (%s); will recompute", filepath.Base(path), reason)

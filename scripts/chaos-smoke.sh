@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Chaos smoke test (CI and `make chaos-smoke`), two phases:
+#
+#   1. In-process fault storm: the internal/chaos storm tests drive a
+#      two-worker dist fleet through a seeded faulty transport — dropped
+#      connections, injected latency, synthesized 503s, mid-stream body
+#      cuts — and assert sweep output byte-identical to a serial run,
+#      exactly-once observer accounting, and bounded completion time.
+#      The storm's fault schedule is a pure function of its seed
+#      (Plan.ScheduleDigest), so a failure here reproduces exactly.
+#
+#   2. Process-level storm: two sweepd workers started with -chaos-seed
+#      inject deterministic pre-run delays (a reproducibly slow fleet);
+#      a figures sweep through them must still be byte-identical to the
+#      serial in-process run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+insts=${CHAOS_SMOKE_INSTS:-2000}
+seed=${CHAOS_SMOKE_SEED:-1107}
+port_a=${CHAOS_SMOKE_PORT_A:-9791}
+port_b=${CHAOS_SMOKE_PORT_B:-9792}
+
+tmp=$(mktemp -d)
+worker_pids=""
+cleanup() {
+  kill $worker_pids $(jobs -p) 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+trap 'exit 130' INT
+trap 'exit 143' TERM
+
+### Phase 1: seeded in-process fault storm ###########################
+
+echo "chaos-smoke: in-process fault storm (internal/chaos)" >&2
+go test -count=1 -run 'TestChaosStorm' ./internal/chaos
+
+### Phase 2: sweepd fleet with -chaos-seed ###########################
+
+go build -o "$tmp/sweepd" ./cmd/sweepd
+go build -o "$tmp/figures" ./cmd/figures
+go build -o "$tmp/httpprobe" ./scripts/httpprobe
+
+echo "chaos-smoke: serial in-process sweep" >&2
+"$tmp/figures" -insts "$insts" -j 1 -quiet -no-cache > "$tmp/serial.txt"
+
+"$tmp/sweepd" -addr "localhost:$port_a" -chaos-seed "$seed" &
+worker_pids="$worker_pids $!"
+"$tmp/sweepd" -addr "localhost:$port_b" -chaos-seed "$seed" &
+worker_pids="$worker_pids $!"
+"$tmp/httpprobe" -wait 15s \
+  "http://localhost:$port_a/healthz" "http://localhost:$port_b/healthz"
+
+echo "chaos-smoke: sweep through the chaos fleet (seed $seed)" >&2
+"$tmp/figures" -insts "$insts" -j 8 -quiet -no-cache \
+  -workers "localhost:$port_a,localhost:$port_b" > "$tmp/chaos.txt"
+
+if ! cmp "$tmp/serial.txt" "$tmp/chaos.txt"; then
+  echo "chaos-smoke: FAIL — chaos-fleet output differs from serial" >&2
+  diff "$tmp/serial.txt" "$tmp/chaos.txt" | head -40 >&2 || true
+  exit 1
+fi
+
+echo "chaos-smoke: ok — storm tests pass and the chaos-fleet sweep is byte-identical to serial" >&2

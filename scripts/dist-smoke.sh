@@ -35,21 +35,13 @@ trap 'exit 130' INT
 trap 'exit 143' TERM
 
 wait_up() { # port...
+  # Readiness gate: httpprobe -wait retries until each listener answers
+  # an HTTP request (any status) or the explicit budget runs out.
+  urls=""
   for port in "$@"; do
-    up=""
-    for _ in $(seq 1 50); do
-      if (exec 3<>"/dev/tcp/localhost/$port") 2>/dev/null; then
-        exec 3>&- 3<&- || true
-        up=1
-        break
-      fi
-      sleep 0.2
-    done
-    if [ -z "$up" ]; then
-      echo "dist-smoke: worker on port $port never came up" >&2
-      exit 1
-    fi
+    urls="$urls http://localhost:$port/healthz"
   done
+  "$tmp/httpprobe" -wait 15s $urls
 }
 
 go build -o "$tmp/sweepd" ./cmd/sweepd

@@ -6,9 +6,17 @@
 // Usage:
 //
 //	go run ./scripts/httpprobe [-method GET] [-token t] [-expect code] url
+//	go run ./scripts/httpprobe -wait 10s url...
 //
 // The status code is printed to stdout; with -expect the exit status is
 // non-zero when it does not match.
+//
+// -wait turns the probe into a readiness gate: it retries each url
+// until one request completes (any status counts — a 401 from an authed
+// endpoint still proves the listener is up) or the wait budget runs
+// out, and accepts several urls so a smoke script can gate on a whole
+// fleet with one call. This replaces the hand-rolled /dev/tcp polling
+// loops the smoke scripts used to carry.
 package main
 
 import (
@@ -27,34 +35,76 @@ func main() {
 	body := flag.String("body", "", "request body")
 	expect := flag.Int("expect", 0, "fail unless the response status matches (0 = report only)")
 	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	wait := flag.Duration("wait", 0, "readiness mode: retry each url until a response arrives or this budget elapses")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: httpprobe [flags] url")
+	if flag.NArg() < 1 || (*wait == 0 && flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: httpprobe [flags] url  |  httpprobe -wait d url...")
 		os.Exit(2)
 	}
 
-	req, err := http.NewRequest(*method, flag.Arg(0), strings.NewReader(*body))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "httpprobe:", err)
-		os.Exit(2)
+	if *wait > 0 {
+		for _, url := range flag.Args() {
+			if err := waitUp(url, *wait); err != nil {
+				fmt.Fprintln(os.Stderr, "httpprobe:", err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
-	if *body != "" {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	if *token != "" {
-		req.Header.Set("Authorization", "Bearer "+*token)
-	}
-	resp, err := (&http.Client{Timeout: *timeout}).Do(req)
+
+	code, err := probe(*method, flag.Arg(0), *body, *token, *timeout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "httpprobe:", err)
 		os.Exit(1)
+	}
+	fmt.Println(code)
+	if *expect != 0 && code != *expect {
+		fmt.Fprintf(os.Stderr, "httpprobe: %s %s: status %d, want %d\n", *method, flag.Arg(0), code, *expect)
+		os.Exit(1)
+	}
+}
+
+// probe performs one request and returns the response status.
+func probe(method, url, body, token string, timeout time.Duration) (int, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := (&http.Client{Timeout: timeout}).Do(req)
+	if err != nil {
+		return 0, err
 	}
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
 	resp.Body.Close()
+	return resp.StatusCode, nil
+}
 
-	fmt.Println(resp.StatusCode)
-	if *expect != 0 && resp.StatusCode != *expect {
-		fmt.Fprintf(os.Stderr, "httpprobe: %s %s: status %d, want %d\n", *method, flag.Arg(0), resp.StatusCode, *expect)
-		os.Exit(1)
+// waitUp polls url until any HTTP response arrives or budget elapses.
+// Every poll gets a short per-request timeout so one black-holed
+// connection attempt cannot eat the whole budget.
+func waitUp(url string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("%s not up after %s: %v", url, budget, lastErr)
+		}
+		perTry := time.Second
+		if remaining < perTry {
+			perTry = remaining
+		}
+		if _, err := probe(http.MethodGet, url, "", "", perTry); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+		time.Sleep(100 * time.Millisecond)
 	}
 }
