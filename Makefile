@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint fmt generate check sweepd hpserve dist-smoke cache-smoke serve-smoke chaos-smoke bench bench-smoke
+.PHONY: build test race lint fmt generate check sweepd hpserve dist-smoke cache-smoke serve-smoke chaos-smoke sample-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,13 @@ serve-smoke:
 # workers injecting seeded -chaos-seed pre-run delays.
 chaos-smoke:
 	bash scripts/chaos-smoke.sh
+
+# sample-smoke runs the sampled-simulation check CI runs: the t2 sweep
+# full and sampled at the same budget — sampled output must carry ci95
+# columns, stay near the full-detail IPCs, and be byte-identical across
+# two identical sampled runs.
+sample-smoke:
+	bash scripts/sample-smoke.sh
 
 # bench runs the pinned BENCH_<n>.json matrix (PERF.md, README.md
 # §Benchmarking) into BENCH_dev.json, diffed against the newest

@@ -27,6 +27,14 @@
 //	                  checkpointed there and a rerun (or a sweep resumed
 //	                  after a crash) skips them as cache hits
 //	-no-cache         bypass the durable result store
+//	-sample           sampled simulation: detect phases, simulate only
+//	                  representative windows, extrapolate whole-run stats
+//	                  with 95% confidence columns in t2/16
+//	-sample-interval n  sampling interval / window length (default 2000)
+//	-sample-warmup n    detailed warmup per window (default 500)
+//	-sample-phases n    max phases per workload (default 6)
+//	-sample-windows n   detailed windows per phase (default 4)
+//	-sample-seed n      phase-clustering seed (default 1)
 //
 // Output is one text table per artifact in the paper's layout, with a
 // MEAN row appended; the notes line records the paper's reference values.
@@ -46,6 +54,7 @@ import (
 	"halfprice/internal/dist"
 	"halfprice/internal/experiments"
 	"halfprice/internal/progress"
+	"halfprice/internal/sample"
 	"halfprice/internal/store"
 )
 
@@ -59,12 +68,19 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	dflags := dist.AddFlags()
+	sflags := sample.AddFlags()
 	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
 	opts.Store = store.FromFlags(*cacheDir, *noCache)
+	spec, serr := sflags()
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, "figures:", serr)
+		os.Exit(2)
+	}
+	opts.Sample = spec
 	coord, closeCoord, derr := dflags.Coordinator(nil)
 	if derr != nil {
 		fmt.Fprintln(os.Stderr, "figures:", derr)

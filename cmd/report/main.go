@@ -9,6 +9,12 @@
 //	       [-workers host1:port,host2:port] [-registry f]
 //	       [-worker-timeout d] [-token s] [-tls-ca f]
 //	       [-health-interval d] [-cache-dir d] [-no-cache]
+//	       [-sample] [-sample-interval n] [-sample-warmup n]
+//	       [-sample-phases n] [-sample-windows n] [-sample-seed n]
+//
+// With -sample the whole evaluation runs in sampled mode: phases are
+// detected per workload, only representative windows are simulated in
+// detail, and Table 2 / Figure 16 carry 95% confidence columns.
 //
 // The output is self-contained: run it after any model change to get a
 // fresh paper-vs-measured report. Simulations fan out over a bounded
@@ -27,6 +33,7 @@ import (
 	"halfprice"
 	"halfprice/internal/dist"
 	"halfprice/internal/progress"
+	"halfprice/internal/sample"
 	"halfprice/internal/store"
 )
 
@@ -39,6 +46,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	progressJSON := flag.String("progress-json", "", "write NDJSON progress events to this file (\"-\" = stderr)")
 	dflags := dist.AddFlags()
+	sflags := sample.AddFlags()
 	cacheDir := flag.String("cache-dir", store.DefaultDir(), "durable result-store directory (empty disables caching)")
 	noCache := flag.Bool("no-cache", false, "bypass the durable result store")
 	flag.Parse()
@@ -52,6 +60,12 @@ func main() {
 
 	opts := halfprice.Options{Insts: *insts, UseKernels: *kernels, Parallel: *par}
 	opts.Store = store.FromFlags(*cacheDir, *noCache)
+	spec, serr := sflags()
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, "report:", serr)
+		os.Exit(2)
+	}
+	opts.Sample = spec
 	coord, closeCoord, derr := dflags.Coordinator(nil)
 	if derr != nil {
 		fmt.Fprintln(os.Stderr, "report:", derr)

@@ -16,6 +16,7 @@ var determinismScope = []string{
 	"internal/trace",
 	"internal/vm",
 	"internal/experiments",
+	"internal/sample",   // seeded phase clustering: fully flagged, no exemption
 	"internal/dist",     // inventoried here, exempted below — see determinismExempt
 	"internal/store",    // inventoried here, exempted below — see determinismExempt
 	"internal/benchfmt", // inventoried here, exempted below — see determinismExempt

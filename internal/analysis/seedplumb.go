@@ -30,6 +30,7 @@ func runSeedPlumb(m *Module) []Diagnostic {
 		m.Path + "/internal/trace":       true,
 		m.Path + "/internal/vm":          true,
 		m.Path + "/internal/experiments": true,
+		m.Path + "/internal/sample":      true,
 	}
 	var profileObj types.Object
 	if tp := m.Pkgs[m.Path+"/internal/trace"]; tp != nil && tp.Types != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"halfprice/internal/sample"
 	"halfprice/internal/trace"
 	"halfprice/internal/uarch"
 	"halfprice/internal/vm"
@@ -29,6 +30,12 @@ type Request struct {
 	// UseKernels selects the execution-driven assembly kernel named
 	// Bench instead of its calibrated synthetic trace.
 	UseKernels bool `json:"kernels,omitempty"`
+	// Sample, when non-nil, switches the request to sampled simulation
+	// (phase detection + representative windows + extrapolation) under
+	// the given spec. omitempty keeps full-run keys byte-identical to
+	// pre-sampling builds, and makes sampled results cache under a
+	// distinct key — they never alias full runs in the result store.
+	Sample *sample.Spec `json:"sample,omitempty"`
 }
 
 // Label is the short human-readable run descriptor used in progress
@@ -49,20 +56,78 @@ func (req Request) Key() string {
 // remote workers (cmd/sweepd), which is what makes distributed results
 // bit-identical to local ones: every side runs exactly this function.
 func Execute(req Request) (*uarch.Stats, error) {
-	var stream trace.Stream
+	if req.Sample != nil {
+		return executeSampled(req)
+	}
+	stream, err := newStream(req)
+	if err != nil {
+		return nil, err
+	}
+	return uarch.New(req.Config, stream).Run(), nil
+}
+
+// newStream builds the request's instruction stream. Streams are
+// single-use; executeSampled calls this twice (profiling pass, then
+// simulation pass) and both see identical instructions — the workloads
+// are seeded and deterministic.
+func newStream(req Request) (trace.Stream, error) {
 	if req.UseKernels {
 		if _, ok := workloads.Source(req.Bench); !ok {
 			return nil, fmt.Errorf("unknown kernel %q", req.Bench)
 		}
-		stream = trace.NewVMStream(vm.New(workloads.MustProgram(req.Bench)), req.Budget)
-	} else {
-		p, ok := trace.ProfileByName(req.Bench)
-		if !ok {
-			return nil, fmt.Errorf("unknown benchmark %q", req.Bench)
-		}
-		stream = trace.NewSynthetic(p, req.Budget)
+		return trace.NewVMStream(vm.New(workloads.MustProgram(req.Bench)), req.Budget), nil
 	}
-	return uarch.New(req.Config, stream).Run(), nil
+	p, ok := trace.ProfileByName(req.Bench)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", req.Bench)
+	}
+	return trace.NewSynthetic(p, req.Budget), nil
+}
+
+// executeSampled runs the sampled-simulation path: a fast functional
+// pass profiles the stream into interval signatures, phase detection
+// picks representative windows, and uarch.RunSampled simulates only
+// those windows in detail, extrapolating whole-run Stats. Streams too
+// short to sample fall back to the full simulation (the returned Stats
+// then carries a nil Sampled marker, which is how callers tell).
+func executeSampled(req Request) (*uarch.Stats, error) {
+	if err := req.Sample.Validate(); err != nil {
+		return nil, err
+	}
+	// The window plan owns both the warmup and the budget; a config that
+	// also sets them would silently fight the plan.
+	if req.Config.WarmupInsts != 0 {
+		return nil, fmt.Errorf("sampled request: Config.WarmupInsts must be zero (the sample spec owns warmup), got %d", req.Config.WarmupInsts)
+	}
+	if req.Config.MaxInsts != 0 {
+		return nil, fmt.Errorf("sampled request: Config.MaxInsts must be zero (Budget bounds the stream), got %d", req.Config.MaxInsts)
+	}
+	profStream, err := newStream(req)
+	if err != nil {
+		return nil, err
+	}
+	prof := uarch.ProfileForSampling(req.Config, profStream, req.Sample.IntervalInsts)
+	plan, ok := sample.BuildPlan(prof, *req.Sample)
+	if !ok {
+		full := req
+		full.Sample = nil
+		return Execute(full)
+	}
+	windows := make([]uarch.SampleWindow, len(plan.Windows))
+	for i, w := range plan.Windows {
+		windows[i] = uarch.SampleWindow{
+			Start:   w.Start,
+			Warmup:  plan.Spec.WarmupInsts,
+			Measure: w.Insts,
+			Weight:  w.Weight,
+			Phase:   w.Phase,
+		}
+	}
+	simStream, err := newStream(req)
+	if err != nil {
+		return nil, err
+	}
+	return uarch.RunSampled(req.Config, simStream, windows, prof.Total), nil
 }
 
 // Backend is the execution seam of the sweep engine: it turns one

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 
 	"halfprice/internal/trace"
 	"halfprice/internal/uarch"
@@ -21,8 +22,26 @@ func (r *Runner) Table2BaseIPC() *Result {
 		{Label: "IPC-8w", Values: r.perBench(func(b string) float64 { return r.Base(b, 8).IPC() })},
 		{Label: "paper-8w", Values: r.perBench(func(b string) float64 { return trace.BaseIPCPaper[b][1] })},
 	}
+	if r.opts.Sample != nil {
+		// Sampled runs carry a confidence interval; render it as extra
+		// columns (±IPC at 95%) so the error bars travel with the table.
+		res.Series = append(res.Series,
+			Series{Label: "ci95-4w", Values: r.perBench(func(b string) float64 { return ipcCI95(r.Base(b, 4)) })},
+			Series{Label: "ci95-8w", Values: r.perBench(func(b string) float64 { return ipcCI95(r.Base(b, 8)) })},
+		)
+	}
 	res.Notes = "paper columns are Table 2's reference values (SPEC binaries on SimpleScalar)"
 	return res
+}
+
+// ipcCI95 returns the 95% confidence half-width of a run's IPC —
+// non-zero only for sampled runs (full runs, including sampled-mode
+// fallbacks on streams too short to sample, are exact).
+func ipcCI95(st *uarch.Stats) float64 {
+	if st.Sampled == nil {
+		return 0
+	}
+	return st.Sampled.IPCErr95
 }
 
 // Figure2Formats reproduces Figure 2: the fraction of dynamic instructions
@@ -270,8 +289,31 @@ func (r *Runner) Figure16Combined() *Result {
 			Values: r.normalised(w, comb),
 		})
 	}
+	if r.opts.Sample != nil {
+		// Error bars on a ratio of two sampled estimates: relative errors
+		// add in quadrature, then scale back to the ratio's units.
+		for _, w := range []int{4, 8} {
+			w := w
+			res.Series = append(res.Series, Series{
+				Label: fmt.Sprintf("ci95-%dw", w),
+				Values: r.perBench(func(b string) float64 {
+					num, den := r.Run(b, w, comb), r.Base(b, w)
+					ratio := num.IPC() / den.IPC()
+					return ratio * quadratureRelErr(num, den)
+				}),
+			})
+		}
+	}
 	res.Notes = "paper: 2.2% average degradation, worst case 4.8% (bzip, 8-wide)"
 	return res
+}
+
+// quadratureRelErr combines the relative 95% CI half-widths of two
+// sampled runs for a derived ratio (independent-error propagation).
+func quadratureRelErr(num, den *uarch.Stats) float64 {
+	rn := ipcCI95(num) / num.IPC()
+	rd := ipcCI95(den) / den.IPC()
+	return math.Sqrt(rn*rn + rd*rd)
 }
 
 // All runs every experiment and returns the results in paper order. The

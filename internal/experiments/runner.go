@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"halfprice/internal/sample"
 	"halfprice/internal/stats"
 	"halfprice/internal/store"
 	"halfprice/internal/trace"
@@ -86,6 +87,13 @@ type Options struct {
 	// the Observer's cache-hit events) instead of simulating again,
 	// locally or on the fleet.
 	Store *store.Store
+	// Sample, when non-nil, switches every simulation to sampled mode
+	// (cmd flag -sample): phase detection picks representative windows,
+	// only those run through the detailed pipeline, and Stats are
+	// extrapolated with confidence intervals. Mutually exclusive with
+	// Warmup — the sample spec owns warmup. Sampled results use distinct
+	// memo and store keys, so they never alias full runs.
+	Sample *sample.Spec
 }
 
 func (o Options) insts() uint64 {
@@ -137,6 +145,11 @@ type Runner struct {
 type runKey struct {
 	bench string
 	cfg   uarch.Config
+	// sampled/sample keep sampled runs distinct from full runs of the
+	// same machine in the in-memory memo, mirroring the Request.Sample
+	// distinction in the durable store key.
+	sampled bool
+	sample  sample.Spec
 }
 
 // inflight is one memo entry: done closes when st is valid, so duplicate
@@ -231,9 +244,15 @@ func configLabel(cfg uarch.Config) string {
 // Run simulates one benchmark on one configuration (memoised and
 // deduplicated; safe to call from many goroutines).
 func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch.Stats {
+	mustf(r.opts.Sample == nil || r.opts.Warmup == 0,
+		"experiments: Options.Sample and Options.Warmup are mutually exclusive (the sample spec owns warmup)")
 	cfg := config(width, mutate)
 	cfg.WarmupInsts = r.opts.Warmup
 	key := runKey{bench: bench, cfg: cfg}
+	if r.opts.Sample != nil {
+		key.sampled = true
+		key.sample = *r.opts.Sample
+	}
 
 	r.mu.Lock()
 	if e, ok := r.cache[key]; ok {
@@ -248,7 +267,7 @@ func (r *Runner) Run(bench string, width int, mutate func(*uarch.Config)) *uarch
 
 	obs := r.opts.Observer
 	budget := r.opts.insts() + r.opts.Warmup
-	req := Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: r.opts.UseKernels}
+	req := Request{Bench: bench, Config: cfg, Budget: budget, UseKernels: r.opts.UseKernels, Sample: r.opts.Sample}
 
 	// Durable-store tier, fast path: a result checkpointed by an
 	// earlier (possibly killed) sweep is served without queueing for a

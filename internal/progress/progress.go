@@ -43,18 +43,22 @@ import (
 // InstsDone: throughput reports simulated instructions only, so a
 // mostly-cached resume does not report an inflated insts/sec.
 type Event struct {
-	Event       string  `json:"event"`            // queued | start | finish | hit | summary
-	Source      string  `json:"source,omitempty"` // remote worker address; "cache" for hits; empty = local
-	Bench       string  `json:"bench,omitempty"`
-	Config      string  `json:"config,omitempty"`
-	Insts       uint64  `json:"insts,omitempty"`   // this run's budget
-	T           float64 `json:"t"`                 // seconds since start
-	Queued      int     `json:"queued"`            // runs discovered so far
-	Running     int     `json:"running"`           // runs in flight
-	Done        int     `json:"done"`              // runs finished
-	InstsDone   uint64  `json:"insts_done"`        // simulated insts finished
-	InstsPerSec float64 `json:"insts_per_sec"`     // aggregate throughput
-	ETASeconds  float64 `json:"eta_sec,omitempty"` // 0 until estimable
+	Event     string  `json:"event"`            // queued | start | finish | hit | summary
+	Source    string  `json:"source,omitempty"` // remote worker address; "cache" for hits; empty = local
+	Bench     string  `json:"bench,omitempty"`
+	Config    string  `json:"config,omitempty"`
+	Insts     uint64  `json:"insts,omitempty"` // this run's budget
+	T         float64 `json:"t"`               // seconds since start
+	Queued    int     `json:"queued"`          // runs discovered so far
+	Running   int     `json:"running"`         // runs in flight
+	Done      int     `json:"done"`            // runs finished
+	InstsDone uint64  `json:"insts_done"`      // simulated insts finished
+	// InstsPerSec and ETASeconds are omitted (not rendered as 0) until
+	// at least one run has actually simulated: an all-cache-hit resume
+	// has no throughput and no basis for an ETA, and a literal 0 would
+	// read as "stalled" to stream consumers.
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"` // aggregate throughput
+	ETASeconds  float64 `json:"eta_sec,omitempty"`       // 0 until estimable
 }
 
 // Tracker accumulates sweep state and renders it to the configured sinks.
@@ -69,6 +73,7 @@ type Tracker struct {
 	start time.Time
 
 	queued, running, done int
+	simDone               int // finishes that actually simulated (hits excluded)
 	instsDone             uint64
 	maxElapsed            float64   // high-water mark; keeps reported time monotone
 	lastLine              time.Time // throttle for human output
@@ -209,6 +214,7 @@ func (t *Tracker) event(kind, source, bench, config string, insts uint64) {
 			t.running--
 		}
 		t.done++
+		t.simDone++
 		t.instsDone += insts
 	case "hit":
 		// Served from the result store: done without running, and the
@@ -289,13 +295,16 @@ func (t *Tracker) elapsed() float64 {
 }
 
 // eta estimates seconds to drain the work discovered so far, from the
-// mean cost of the runs already finished. It grows as the sweep layer
-// discovers more work, and is 0 until the first run completes.
+// mean cost of the runs that actually simulated. It grows as the sweep
+// layer discovers more work, and is 0 until the first simulated run
+// completes — cache hits neither cost nor predict anything, so an
+// all-hit resume reports no ETA rather than an estimate derived from
+// instantaneous hits.
 func (t *Tracker) eta(elapsed float64) float64 {
-	if t.done == 0 || t.queued <= t.done {
+	if t.simDone == 0 || t.queued <= t.done {
 		return 0
 	}
-	return elapsed / float64(t.done) * float64(t.queued-t.done)
+	return elapsed / float64(t.simDone) * float64(t.queued-t.done)
 }
 
 // clearLine erases the live TTY status line before a final write.

@@ -293,6 +293,40 @@ func TestCacheHitEvents(t *testing.T) {
 	}
 }
 
+// A fully resumed sweep — every run served from the result store —
+// simulates nothing, so its NDJSON must not invent throughput or an
+// ETA: insts_per_sec and eta_sec are omitted entirely (a literal 0
+// would read as "stalled" to stream consumers), and the raw lines must
+// not even carry the keys.
+func TestAllCacheHitSweepReportsNoThroughput(t *testing.T) {
+	var out bytes.Buffer
+	tr := newTestTracker(nil, &out, 100*time.Millisecond)
+	for _, bench := range []string{"gzip", "mcf", "vortex"} {
+		tr.RunQueued(bench, "4w", 1000)
+	}
+	for _, bench := range []string{"gzip", "mcf", "vortex"} {
+		tr.RunCached(bench, "4w", 1000)
+	}
+	tr.Close()
+
+	raw := out.String()
+	for _, key := range []string{"insts_per_sec", "eta_sec"} {
+		if strings.Contains(raw, key) {
+			t.Errorf("all-cache-hit stream must omit %q:\n%s", key, raw)
+		}
+	}
+	evs := decode(t, &out)
+	last := evs[len(evs)-1]
+	if last.Event != "summary" || last.Done != 3 || last.InstsDone != 0 {
+		t.Errorf("summary: want 3 done, 0 simulated insts: %+v", last)
+	}
+	for _, e := range evs {
+		if e.InstsPerSec != 0 || e.ETASeconds != 0 {
+			t.Errorf("event %q reports throughput with nothing simulated: %+v", e.Event, e)
+		}
+	}
+}
+
 // TestMergeOutOfOrderAndDuplicateEvents hammers the tracker with the
 // pathologies of a multi-source merge — finishes before starts,
 // duplicated finishes from a worker retry, and clock reads that jump

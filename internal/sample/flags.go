@@ -1,0 +1,37 @@
+package sample
+
+import (
+	"flag"
+	"fmt"
+)
+
+// AddFlags registers the sweep commands' -sample* flags on the default
+// FlagSet and returns a resolver to call after flag.Parse: nil when
+// -sample is off, otherwise the validated Spec the flags describe (or
+// an error for an impossible combination). Both cmd/figures and
+// cmd/report use this, so the flag surface cannot drift between them.
+func AddFlags() func() (*Spec, error) {
+	def := DefaultSpec()
+	enabled := flag.Bool("sample", false, "sampled simulation: detect phases, simulate representative windows, extrapolate with error bars")
+	interval := flag.Uint64("sample-interval", def.IntervalInsts, "sampling interval / measured window length in instructions")
+	warmup := flag.Uint64("sample-warmup", def.WarmupInsts, "detailed warmup instructions before each measured window")
+	phases := flag.Int("sample-phases", def.MaxPhases, "maximum phases (clusters) detected per workload")
+	windows := flag.Int("sample-windows", def.WindowsPerPhase, "detailed windows simulated per phase (2+ for non-degenerate error bars)")
+	seed := flag.Uint64("sample-seed", def.Seed, "phase-clustering seed (non-zero)")
+	return func() (*Spec, error) {
+		if !*enabled {
+			return nil, nil
+		}
+		s := &Spec{
+			IntervalInsts:   *interval,
+			WarmupInsts:     *warmup,
+			MaxPhases:       *phases,
+			WindowsPerPhase: *windows,
+			Seed:            *seed,
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("bad -sample flags: %w", err)
+		}
+		return s, nil
+	}
+}

@@ -1,0 +1,192 @@
+package sample
+
+// Seeded k-medoids over interval signatures. Medoids (actual intervals,
+// not synthetic centroids) are what sampling needs: the chosen
+// representative must be a window that exists in the stream so it can be
+// simulated. Distances are L1 — the natural metric for L1-normalised
+// frequency vectors, and the one the SimPoint line of work uses.
+
+// rng is a deterministic xorshift64* generator, the same construction as
+// internal/trace's: explicit non-zero seed, no platform or version
+// dependence.
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng {
+	mustf(seed != 0, "sample: rng requires an explicit non-zero seed")
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// l1 returns the L1 (Manhattan) distance between two signatures.
+func l1(a, b []float64) float64 {
+	mustf(len(a) == len(b), "sample: signature dimension mismatch (%d vs %d)", len(a), len(b))
+	d := 0.0
+	for i := range a {
+		v := a[i] - b[i]
+		if v < 0 {
+			v = -v
+		}
+		d += v
+	}
+	return d
+}
+
+// kMedoidsMaxIter bounds the assign/update loop. Clustering converges in
+// a handful of iterations at these problem sizes; the bound only guards
+// against a pathological oscillation.
+const kMedoidsMaxIter = 50
+
+// kMedoids clusters sigs into k groups and returns the medoid interval
+// indices (ascending) plus each interval's cluster assignment. The seed
+// drives the k-means++-style initialisation; everything downstream is
+// deterministic given the same signatures, k and seed.
+func kMedoids(sigs [][]float64, k int, seed uint64) (medoids []int, assign []int) {
+	n := len(sigs)
+	mustf(k > 0 && k <= n, "sample: k=%d out of range for %d intervals", k, n)
+	r := newRng(seed)
+
+	// k-means++ init: the first medoid is seeded-random, each further
+	// one is drawn with probability proportional to its distance to the
+	// nearest medoid so far — spread-out starting points without the
+	// O(n^2) global optimum search.
+	medoids = make([]int, 0, k)
+	medoids = append(medoids, int(r.next()%uint64(n)))
+	nearest := make([]float64, n)
+	for i := range nearest {
+		nearest[i] = l1(sigs[i], sigs[medoids[0]])
+	}
+	for len(medoids) < k {
+		total := 0.0
+		for _, d := range nearest {
+			total += d
+		}
+		pick := 0
+		if total > 0 {
+			target := r.float() * total
+			acc := 0.0
+			for i, d := range nearest {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		if total <= 0 || chosen(medoids, pick) {
+			// Degenerate draw (all remaining intervals coincide with a
+			// medoid, or the weighted pick landed on one): take the
+			// lowest index not yet chosen instead of duplicating.
+			pick = firstUnchosen(medoids, n)
+		}
+		medoids = append(medoids, pick)
+		for i := range nearest {
+			if d := l1(sigs[i], sigs[pick]); d < nearest[i] {
+				nearest[i] = d
+			}
+		}
+	}
+
+	assign = make([]int, n)
+	for iter := 0; iter < kMedoidsMaxIter; iter++ {
+		// Assign: nearest medoid, ties to the lowest cluster index.
+		for i := range sigs {
+			best, bestD := 0, l1(sigs[i], sigs[medoids[0]])
+			for c := 1; c < len(medoids); c++ {
+				if d := l1(sigs[i], sigs[medoids[c]]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			assign[i] = best
+		}
+		// Update: each cluster's new medoid is the member minimising the
+		// summed distance to its co-members (ties to the lowest index).
+		changed := false
+		for c := range medoids {
+			bestIdx, bestCost := -1, 0.0
+			for i := range sigs {
+				if assign[i] != c {
+					continue
+				}
+				cost := 0.0
+				for j := range sigs {
+					if assign[j] == c {
+						cost += l1(sigs[i], sigs[j])
+					}
+				}
+				if bestIdx < 0 || cost < bestCost {
+					bestIdx, bestCost = i, cost
+				}
+			}
+			if bestIdx >= 0 && bestIdx != medoids[c] {
+				medoids[c] = bestIdx
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Canonical output order: medoids ascending by interval index, with
+	// assignments renumbered to match, so the caller's phase numbering is
+	// position-stable regardless of the seeded init order.
+	order := make([]int, len(medoids))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && medoids[order[j]] < medoids[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	remap := make([]int, len(medoids))
+	sorted := make([]int, len(medoids))
+	for newC, oldC := range order {
+		remap[oldC] = newC
+		sorted[newC] = medoids[oldC]
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return sorted, assign
+}
+
+// chosen reports whether i is already a medoid.
+func chosen(medoids []int, i int) bool {
+	for _, m := range medoids {
+		if m == i {
+			return true
+		}
+	}
+	return false
+}
+
+// firstUnchosen returns the lowest index in [0,n) not already a medoid.
+func firstUnchosen(medoids []int, n int) int {
+	for i := 0; i < n; i++ {
+		taken := false
+		for _, m := range medoids {
+			if m == i {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return i
+		}
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+package sample
+
+import "fmt"
+
+// mustf panics with a formatted message when ok is false. It is the
+// package's single intentional panic site: hpvet's panicpolicy analyzer
+// forbids naked panics outside must*-named helpers, so programmer-error
+// guards on static data funnel through here.
+func mustf(ok bool, format string, args ...interface{}) {
+	if !ok {
+		panic(fmt.Sprintf(format, args...))
+	}
+}

@@ -1,0 +1,192 @@
+package sample
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"halfprice/internal/trace"
+)
+
+// twoPhaseProfile builds a profile whose intervals alternate between two
+// blocks of clearly separated signatures: nA intervals concentrated in
+// bucket 0, then nB in bucket 1.
+func twoPhaseProfile(nA, nB int, interval uint64) trace.IntervalProfile {
+	prof := trace.IntervalProfile{Interval: interval}
+	for i := 0; i < nA+nB; i++ {
+		sig := make([]float64, trace.SignatureDim)
+		if i < nA {
+			sig[0] = 1
+		} else {
+			sig[1] = 1
+		}
+		prof.Sigs = append(prof.Sigs, sig)
+		prof.Total += interval
+	}
+	return prof
+}
+
+func TestSpecValidate(t *testing.T) {
+	valid := Spec{IntervalInsts: 1000, WarmupInsts: 200, MaxPhases: 4, WindowsPerPhase: 2, Seed: 1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"zero interval", func(s *Spec) { s.IntervalInsts = 0 }, "IntervalInsts"},
+		{"zero phases", func(s *Spec) { s.MaxPhases = 0 }, "MaxPhases"},
+		{"negative phases", func(s *Spec) { s.MaxPhases = -3 }, "MaxPhases"},
+		{"zero windows", func(s *Spec) { s.WindowsPerPhase = 0 }, "WindowsPerPhase"},
+		{"zero seed", func(s *Spec) { s.Seed = 0 }, "Seed"},
+	}
+	for _, c := range cases {
+		s := valid
+		c.mutate(&s)
+		err := s.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %s", c.name, err, c.want)
+		}
+	}
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Errorf("DefaultSpec invalid: %v", err)
+	}
+}
+
+func TestKMedoidsDeterministicAndCanonical(t *testing.T) {
+	prof := twoPhaseProfile(10, 10, 1000)
+	m1, a1 := kMedoids(prof.Sigs, 2, 7)
+	m2, a2 := kMedoids(prof.Sigs, 2, 7)
+	if !reflect.DeepEqual(m1, m2) || !reflect.DeepEqual(a1, a2) {
+		t.Fatal("same sigs/k/seed must give identical clustering")
+	}
+	// Canonical order: medoid interval indices ascending, so phase 0 is
+	// always the earlier-stream phase whatever the seeded init did.
+	if len(m1) != 2 || m1[0] >= m1[1] {
+		t.Fatalf("medoids not ascending: %v", m1)
+	}
+	// The two blocks are unambiguous: every interval must cluster with
+	// its block, phase 0 = first block.
+	for i, a := range a1 {
+		want := 0
+		if i >= 10 {
+			want = 1
+		}
+		if a != want {
+			t.Errorf("interval %d assigned to phase %d, want %d", i, a, want)
+		}
+	}
+}
+
+func TestBuildPlanWeightsAndDeterminism(t *testing.T) {
+	prof := twoPhaseProfile(12, 8, 1000)
+	spec := Spec{IntervalInsts: 1000, WarmupInsts: 200, MaxPhases: 2, WindowsPerPhase: 3, Seed: 3}
+	plan, ok := BuildPlan(prof, spec)
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	if plan.Phases != 2 {
+		t.Fatalf("Phases = %d", plan.Phases)
+	}
+	if len(plan.Windows) != 6 {
+		t.Fatalf("%d windows, want 2 phases x 3", len(plan.Windows))
+	}
+	sum := 0.0
+	for i, w := range plan.Windows {
+		sum += w.Weight
+		if w.Insts != spec.IntervalInsts {
+			t.Errorf("window %d Insts = %d", i, w.Insts)
+		}
+		if w.Start%spec.IntervalInsts != 0 {
+			t.Errorf("window %d Start %d not interval-aligned", i, w.Start)
+		}
+		if i > 0 && plan.Windows[i-1].Start > w.Start {
+			t.Errorf("windows not sorted at %d", i)
+		}
+		// The pick must come from the phase it claims to represent.
+		iv := int(w.Start / spec.IntervalInsts)
+		wantPhase := 0
+		if iv >= 12 {
+			wantPhase = 1
+		}
+		if w.Phase != wantPhase {
+			t.Errorf("window %d (interval %d) claims phase %d", i, iv, w.Phase)
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %g, want 1", sum)
+	}
+	plan2, _ := BuildPlan(prof, spec)
+	if !reflect.DeepEqual(plan, plan2) {
+		t.Error("same profile+spec must give the identical plan")
+	}
+	// DetailedInsts: 6 windows x (1000 measured + 200 warmup).
+	if got := plan.DetailedInsts(); got != 6*1200 {
+		t.Errorf("DetailedInsts = %d, want %d", got, 6*1200)
+	}
+}
+
+func TestBuildPlanShortStreamFallsBack(t *testing.T) {
+	prof := twoPhaseProfile(2, 1, 1000) // 3 intervals < minIntervals
+	spec := Spec{IntervalInsts: 1000, WarmupInsts: 100, MaxPhases: 2, WindowsPerPhase: 1, Seed: 1}
+	if _, ok := BuildPlan(prof, spec); ok {
+		t.Fatal("3-interval stream must report no plan (full-run fallback)")
+	}
+}
+
+func TestBuildPlanCapsWindowsAtMembers(t *testing.T) {
+	// 4 intervals, 2 phases of 2 members each, 5 windows per phase
+	// requested: each phase can only supply 2.
+	prof := twoPhaseProfile(2, 2, 1000)
+	spec := Spec{IntervalInsts: 1000, WarmupInsts: 100, MaxPhases: 2, WindowsPerPhase: 5, Seed: 1}
+	plan, ok := BuildPlan(prof, spec)
+	if !ok {
+		t.Fatal("plan expected")
+	}
+	if len(plan.Windows) != 4 {
+		t.Fatalf("%d windows, want 4 (phase membership caps the request)", len(plan.Windows))
+	}
+	sum := 0.0
+	for _, w := range plan.Windows {
+		sum += w.Weight
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %g", sum)
+	}
+}
+
+func TestClusterFeaturesNormalisesAux(t *testing.T) {
+	prof := twoPhaseProfile(4, 4, 1000)
+	prof.AuxDims = 2
+	for i := range prof.Sigs {
+		// Aux dim 0 varies (0..7 pattern), dim 1 is constant.
+		prof.Sigs[i] = append(prof.Sigs[i], float64(i)*100, 42)
+	}
+	feats := clusterFeatures(prof)
+	base := trace.SignatureDim
+	// z-normalised: mean 0, unit variance (times auxWeight) over dim 0.
+	mean, mean2 := 0.0, 0.0
+	for _, f := range feats {
+		mean += f[base]
+		mean2 += f[base] * f[base]
+	}
+	mean /= float64(len(feats))
+	if math.Abs(mean) > 1e-9 {
+		t.Errorf("aux dim 0 mean = %g, want 0", mean)
+	}
+	if sd := math.Sqrt(mean2/float64(len(feats)) - mean*mean); math.Abs(sd-auxWeight) > 1e-9 {
+		t.Errorf("aux dim 0 sd = %g, want %g", sd, auxWeight)
+	}
+	for i, f := range feats {
+		if f[base+1] != 0 {
+			t.Errorf("constant aux dim must map to 0, interval %d has %g", i, f[base+1])
+		}
+		// The PC-signature part is untouched, and the input not mutated.
+		if prof.Sigs[i][base] != float64(i)*100 {
+			t.Fatalf("clusterFeatures mutated its input at %d", i)
+		}
+	}
+}

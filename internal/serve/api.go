@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"halfprice/internal/benchfmt"
 	"halfprice/internal/experiments"
@@ -163,6 +165,19 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
+// retryAfterSeconds renders a backoff estimate as an RFC 9110
+// Retry-After value: whole seconds, rounded up and clamped to at least
+// 1. Truncation would turn any sub-second estimate into "0" — which the
+// RFC defines as "retry immediately", converting a brief overload into
+// a thundering herd of instant retries.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenant string) {
 	var spec SubmitRequest
 	dec := json.NewDecoder(r.Body)
@@ -180,7 +195,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tenant str
 	if err != nil {
 		var adm *AdmissionError
 		if errors.As(err, &adm) {
-			w.Header().Set("Retry-After", strconv.Itoa(int(adm.RetryAfter.Seconds())))
+			w.Header().Set("Retry-After", retryAfterSeconds(adm.RetryAfter))
 			writeJSON(w, http.StatusTooManyRequests, map[string]any{
 				"error":           adm.Reason,
 				"retry_after_sec": adm.RetryAfter.Seconds(),

@@ -1,0 +1,30 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// Sub-second backoff estimates must not truncate to "0": RFC 9110
+// defines Retry-After: 0 as "retry immediately", which turns a brief
+// overload into a synchronized stampede of instant retries.
+func TestRetryAfterSecondsNeverZero(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-3 * time.Second, "1"},
+		{200 * time.Millisecond, "1"},
+		{999 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1200 * time.Millisecond, "2"},
+		{2 * time.Second, "2"},
+		{90 * time.Second, "90"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

@@ -139,6 +139,26 @@ func (h *Histogram) Mean() float64 {
 // Name returns the histogram's name.
 func (h *Histogram) Name() string { return h.name }
 
+// AddWeighted folds src into h with every count scaled by w (rounded to
+// the nearest integer per bucket), keeping total consistent with the
+// bucket sum. Sampled simulation uses it to extrapolate a window's
+// histogram to whole-run counts; w must be non-negative and the bucket
+// shapes must match.
+func (h *Histogram) AddWeighted(src *Histogram, w float64) {
+	mustf(len(h.buckets) == len(src.buckets),
+		"stats: AddWeighted bucket shape mismatch (%d vs %d)", len(h.buckets), len(src.buckets))
+	mustf(w >= 0, "stats: AddWeighted weight must be non-negative, got %g", w)
+	for i, c := range src.buckets {
+		add := uint64(math.Round(float64(c) * w))
+		h.buckets[i] += add
+		h.total += add
+	}
+	over := uint64(math.Round(float64(src.over) * w))
+	h.over += over
+	h.total += over
+	h.sum += src.sum * w
+}
+
 // histogramJSON is the wire form of a Histogram. The fields are exact
 // (uint64 counts and a float64 sum, which encoding/json renders with the
 // shortest round-tripping decimal), so a marshal/unmarshal cycle is

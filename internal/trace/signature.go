@@ -1,0 +1,122 @@
+package trace
+
+// Interval signatures for phase detection (SimPoint-style sampling).
+//
+// A signature is the execution-frequency vector of one fixed-length
+// instruction interval: every dynamic instruction's PC is hashed into a
+// fixed number of buckets and the bucket counts are L1-normalised. Two
+// intervals executing the same code regions in the same proportions get
+// near-identical signatures regardless of absolute instruction counts —
+// the basic-block-vector idea of Sherwood et al., at PC rather than
+// basic-block granularity (the pipeline never recovers block boundaries
+// from a DynInst stream, and per-PC counts carry the same phase signal).
+
+// SignatureDim is the number of hash buckets per interval signature.
+// 64 buckets distinguish the phase structure of every calibrated
+// workload while keeping the k-medoids distance computations cheap.
+const SignatureDim = 64
+
+// IntervalProfile is the phase-detection view of one instruction stream:
+// one signature per full interval, in stream order.
+type IntervalProfile struct {
+	// Interval is the signature interval length in instructions.
+	Interval uint64
+	// Total is the total number of instructions the stream produced
+	// (including the tail not covered by a full interval).
+	Total uint64
+	// Sigs holds one vector per full interval, in stream order: the
+	// L1-normalised SignatureDim PC buckets, followed by AuxDims
+	// per-instruction auxiliary rates (see IntervalProfiler.AddAux).
+	Sigs [][]float64
+	// AuxDims is the number of auxiliary feature dimensions appended to
+	// each signature (0 for a pure PC-bucket profile).
+	AuxDims int
+}
+
+// sigHash spreads a PC over the signature buckets (splitmix64 finaliser;
+// neighbouring PCs must land in unrelated buckets or a signature would
+// collapse to "which half of the text section ran").
+func sigHash(pc uint64) uint64 {
+	z := pc + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// IntervalProfiler builds an IntervalProfile incrementally, one observed
+// instruction at a time. Callers with functional models of their own
+// (caches, branch predictors) interleave AddAux calls to attach
+// performance features — e.g. load-miss cycles or mispredicts — to the
+// current interval; the profiler normalises them to per-instruction
+// rates and appends them after the PC buckets, so phase clustering can
+// group intervals by how they perform, not only by what code they run.
+type IntervalProfiler struct {
+	interval uint64
+	counts   []float64
+	aux      []float64
+	in       uint64
+	prof     IntervalProfile
+}
+
+// NewIntervalProfiler returns a profiler for the given interval length
+// with auxDims auxiliary feature dimensions per interval (0 for a pure
+// PC-bucket profile).
+func NewIntervalProfiler(interval uint64, auxDims int) *IntervalProfiler {
+	mustf(interval > 0, "trace: signature interval must be positive")
+	mustf(auxDims >= 0, "trace: negative aux dimension count %d", auxDims)
+	return &IntervalProfiler{
+		interval: interval,
+		counts:   make([]float64, SignatureDim),
+		aux:      make([]float64, auxDims),
+		prof:     IntervalProfile{Interval: interval, AuxDims: auxDims},
+	}
+}
+
+// Observe accounts one dynamic instruction to the current interval.
+func (p *IntervalProfiler) Observe(d DynInst) {
+	p.prof.Total++
+	p.counts[sigHash(d.PC)%SignatureDim]++
+	p.in++
+	if p.in == p.interval {
+		sig := make([]float64, SignatureDim+len(p.aux))
+		for i, c := range p.counts {
+			sig[i] = c / float64(p.interval)
+			p.counts[i] = 0
+		}
+		for i, v := range p.aux {
+			sig[SignatureDim+i] = v / float64(p.interval)
+			p.aux[i] = 0
+		}
+		p.prof.Sigs = append(p.prof.Sigs, sig)
+		p.in = 0
+	}
+}
+
+// AddAux accumulates v into auxiliary dimension i of the interval the
+// next Observe call belongs to. Call it before or after the Observe of
+// the instruction it describes — within one interval the order is
+// immaterial, since the accumulator resets only on interval close.
+func (p *IntervalProfiler) AddAux(i int, v float64) {
+	p.aux[i] += v
+}
+
+// Profile returns the profile built so far. The final partial interval
+// (fewer than interval instructions) is counted in Total but gets no
+// signature — a short tail is not a comparable phase observation.
+func (p *IntervalProfiler) Profile() IntervalProfile {
+	return p.prof
+}
+
+// ProfileIntervals drains the stream and returns its interval signatures.
+// The same stream contents always produce the identical profile.
+func ProfileIntervals(s Stream, interval uint64) IntervalProfile {
+	p := NewIntervalProfiler(interval, 0)
+	for {
+		d, ok := s.Next()
+		if !ok {
+			break
+		}
+		p.Observe(d)
+	}
+	return p.Profile()
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// sigStream builds a stream of n instructions whose PCs cycle through
+// the given addresses.
+func sigStream(n int, pcs []uint64) Stream {
+	insts := make([]DynInst, n)
+	for i := range insts {
+		insts[i] = DynInst{Seq: uint64(i), PC: pcs[i%len(pcs)]}
+	}
+	return NewSliceStream(insts)
+}
+
+func TestProfileIntervalsBasics(t *testing.T) {
+	prof := ProfileIntervals(sigStream(25, []uint64{0x1000, 0x1004}), 10)
+	if prof.Interval != 10 || prof.AuxDims != 0 {
+		t.Fatalf("prof header: %+v", prof)
+	}
+	if prof.Total != 25 {
+		t.Fatalf("Total = %d, want 25 (tail counted)", prof.Total)
+	}
+	if len(prof.Sigs) != 2 {
+		t.Fatalf("%d signatures, want 2 (the 5-inst tail gets none)", len(prof.Sigs))
+	}
+	for i, sig := range prof.Sigs {
+		if len(sig) != SignatureDim {
+			t.Fatalf("sig %d has %d dims, want %d", i, len(sig), SignatureDim)
+		}
+		sum := 0.0
+		for _, v := range sig {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("sig %d not L1-normalised: sum %g", i, sum)
+		}
+	}
+}
+
+func TestProfileIntervalsDeterministic(t *testing.T) {
+	pcs := []uint64{0x1000, 0x2000, 0x2004, 0x3000}
+	a := ProfileIntervals(sigStream(100, pcs), 16)
+	b := ProfileIntervals(sigStream(100, pcs), 16)
+	if len(a.Sigs) != len(b.Sigs) {
+		t.Fatal("signature counts differ")
+	}
+	for i := range a.Sigs {
+		for d := range a.Sigs[i] {
+			if a.Sigs[i][d] != b.Sigs[i][d] {
+				t.Fatalf("sig %d dim %d differs", i, d)
+			}
+		}
+	}
+}
+
+func TestProfileIntervalsSeparatesPhases(t *testing.T) {
+	// Two code regions executed back to back must yield distinguishable
+	// signatures: the L1 distance between cross-phase signatures should
+	// dwarf the within-phase distance (which is zero here).
+	phaseA := make([]DynInst, 0, 100)
+	for i := 0; i < 100; i++ {
+		phaseA = append(phaseA, DynInst{PC: 0x1000 + uint64(i%5)*4})
+	}
+	phaseB := make([]DynInst, 0, 100)
+	for i := 0; i < 100; i++ {
+		phaseB = append(phaseB, DynInst{PC: 0x8000 + uint64(i%5)*4})
+	}
+	prof := ProfileIntervals(NewSliceStream(append(phaseA, phaseB...)), 50)
+	if len(prof.Sigs) != 4 {
+		t.Fatalf("%d sigs", len(prof.Sigs))
+	}
+	dist := func(a, b []float64) float64 {
+		d := 0.0
+		for i := range a {
+			d += math.Abs(a[i] - b[i])
+		}
+		return d
+	}
+	if d := dist(prof.Sigs[0], prof.Sigs[1]); d != 0 {
+		t.Errorf("within-phase distance = %g, want 0", d)
+	}
+	if d := dist(prof.Sigs[1], prof.Sigs[2]); d < 1 {
+		t.Errorf("cross-phase distance = %g, want ≥ 1", d)
+	}
+}
+
+func TestIntervalProfilerAux(t *testing.T) {
+	p := NewIntervalProfiler(10, 2)
+	for i := 0; i < 25; i++ {
+		// Attribute a latency of i to dim 0 and one event to dim 1 for
+		// every 5th instruction, before its Observe (the pipeline order).
+		if i%5 == 0 {
+			p.AddAux(0, float64(i))
+			p.AddAux(1, 1)
+		}
+		p.Observe(DynInst{Seq: uint64(i), PC: 0x1000})
+	}
+	prof := p.Profile()
+	if prof.AuxDims != 2 {
+		t.Fatalf("AuxDims = %d", prof.AuxDims)
+	}
+	if len(prof.Sigs) != 2 {
+		t.Fatalf("%d sigs", len(prof.Sigs))
+	}
+	for i, sig := range prof.Sigs {
+		if len(sig) != SignatureDim+2 {
+			t.Fatalf("sig %d has %d dims", i, len(sig))
+		}
+	}
+	// Interval 0 saw AddAux(0, 0) and AddAux(0, 5): mean 0.5/inst.
+	// Interval 1 saw 10 and 15: mean 2.5/inst. Events: 2 per interval.
+	if got := prof.Sigs[0][SignatureDim]; math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("interval 0 aux0 = %g, want 0.5", got)
+	}
+	if got := prof.Sigs[1][SignatureDim]; math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("interval 1 aux0 = %g, want 2.5", got)
+	}
+	for i := 0; i < 2; i++ {
+		if got := prof.Sigs[i][SignatureDim+1]; math.Abs(got-0.2) > 1e-12 {
+			t.Errorf("interval %d aux1 = %g, want 0.2", i, got)
+		}
+	}
+	// The tail's AddAux(0, 20) must not leak into any full interval.
+}

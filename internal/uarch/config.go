@@ -290,7 +290,20 @@ func (c Config) mustValidate() {
 	mustf(c.Bypass <= BypassHalf, "uarch: unknown bypass scheme %d", c.Bypass)
 	mustf(c.Select <= SelectPositional, "uarch: unknown select policy %d", c.Select)
 	mustf(c.SlowBusDelay >= 0, "uarch: SlowBusDelay must be non-negative")
-	mustf(c.MaxInsts == 0 || c.WarmupInsts < c.MaxInsts, "uarch: WarmupInsts must leave instructions to measure under MaxInsts")
+	mustValidateWindowSplit(c.WarmupInsts, c.MaxInsts)
+}
+
+// mustValidateWindowSplit checks the warmup/measure window arithmetic
+// shared by whole-run configs and sampled windows: the measurement
+// region (budget minus warmup) must be non-empty, and the split must
+// not wrap uint64. An ill-formed split would otherwise measure zero
+// instructions and report an all-zero Stats as if it were real data.
+func mustValidateWindowSplit(warmup, budget uint64) {
+	if budget == 0 {
+		return // unbudgeted: the stream length bounds the run
+	}
+	mustf(warmup < budget,
+		"uarch: empty measurement region: warmup=%d consumes the whole budget=%d", warmup, budget)
 }
 
 // slowBusDelay returns the slow-bus extra latency in cycles (default 1).

@@ -91,28 +91,44 @@ type Simulator struct {
 // New builds a simulator over the stream. The stream is the architectural
 // oracle: the pipeline replays it and charges cycles.
 func New(cfg Config, stream trace.Stream) *Simulator {
-	cfg.mustValidate()
-	var op opred.Predictor
+	return newWithState(cfg, stream,
+		mem.NewHierarchy(cfg.Mem), bpred.New(cfg.Bpred), newOpPredictor(cfg),
+		make(map[uint64]opred.Side))
+}
+
+// newOpPredictor builds the last-arriving operand predictor the config
+// selects.
+func newOpPredictor(cfg Config) opred.Predictor {
 	switch cfg.OpPred {
 	case OpPredStaticRight:
-		op = opred.Static{Side: opred.Right}
+		return opred.Static{Side: opred.Right}
 	case OpPredTwoLevel:
-		op = opred.NewTwoLevel(cfg.OpPredEntries, 6)
+		return opred.NewTwoLevel(cfg.OpPredEntries, 6)
 	default:
-		op = opred.NewBimodal(cfg.OpPredEntries)
+		return opred.NewBimodal(cfg.OpPredEntries)
 	}
+}
+
+// newWithState builds a simulator around externally owned long-lived
+// state (memory hierarchy, predictors, per-PC operand history). Sampled
+// simulation (RunSampled) threads the same state through a sequence of
+// per-window simulators so that warming survives between windows; New
+// passes fresh state for the ordinary whole-run case.
+func newWithState(cfg Config, stream trace.Stream, hier *mem.Hierarchy,
+	bp *bpred.Predictor, op opred.Predictor, lastSidePC map[uint64]opred.Side) *Simulator {
+	cfg.mustValidate()
 	return &Simulator{
 		cfg:               cfg,
 		sched:             newSchedCore(cfg.WindowSize),
 		stream:            stream,
-		hier:              mem.NewHierarchy(cfg.Mem),
-		bp:                bpred.New(cfg.Bpred),
+		hier:              hier,
+		bp:                bp,
 		op:                op,
 		st:                NewStats(),
 		issueBlockedCycle: -1,
 		intDivBusy:        make([]int64, cfg.IntMulDiv),
 		fpDivBusy:         make([]int64, cfg.FpMulDiv),
-		lastSidePC:        make(map[uint64]opred.Side),
+		lastSidePC:        lastSidePC,
 	}
 }
 
@@ -177,6 +193,13 @@ func (s *Simulator) Run() *Stats {
 			lastCommitted = s.st.Committed
 		}
 	}
+	// A stream that runs dry before warmup completes leaves the
+	// transient's statistics in place — silently reporting contaminated
+	// numbers as if they were measured. That is a caller bug (budget
+	// shorter than warmup): fail loudly instead.
+	mustf(s.cfg.WarmupInsts == 0 || s.st.WarmupDiscarded > 0,
+		"uarch: stream ended after %d instructions, before WarmupInsts=%d completed; the measurement region is empty",
+		s.st.Committed, s.cfg.WarmupInsts)
 	return s.st
 }
 

@@ -60,6 +60,11 @@ type Stats struct {
 
 	// CPI stack: every cycle classified by its commit outcome.
 	CycleClasses [NumCycleClasses]uint64
+
+	// Sampled is set when the stats were extrapolated from a sampled
+	// run (RunSampled); full runs leave it nil. omitempty keeps full-run
+	// serialisations byte-identical to pre-sampling builds.
+	Sampled *SampledMeta `json:",omitempty"`
 }
 
 // CycleClass labels one cycle of the CPI stack.
